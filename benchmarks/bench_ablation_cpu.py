@@ -1,0 +1,48 @@
+"""Ablation: the 400 MHz Pentium II secondary machine.
+
+The paper: "on the faster machine, the results for Apache, IIS, and
+SQL Server as stand-alone services and with watchd were essentially
+identical to those on the slower machine."  Outcome classification must
+be CPU-speed invariant (only response times scale); this bench re-runs
+the IIS workload sets at 400 MHz and compares distributions.
+"""
+
+from repro.core.campaign import Campaign
+from repro.core.runner import RunConfig
+from repro.core.workload import MiddlewareKind
+
+
+def _distributions(cpu_mhz: int, base_seed: int):
+    out = {}
+    for middleware in (MiddlewareKind.NONE, MiddlewareKind.WATCHD):
+        config = RunConfig(base_seed=base_seed, cpu_mhz=cpu_mhz)
+        out[middleware] = Campaign("IIS", middleware, config=config).run()
+    return out
+
+
+def test_fast_machine_reproduces_slow_machine_outcomes(benchmark, suite):
+    fast = benchmark.pedantic(
+        lambda: _distributions(400, suite.base_seed), rounds=1, iterations=1)
+    for middleware, fast_set in fast.items():
+        slow_set = suite.workload_set("IIS", middleware)
+        fast_fractions = fast_set.outcome_fractions()
+        slow_fractions = slow_set.outcome_fractions()
+        print(f"\nIIS / {middleware.label}:")
+        for outcome in fast_fractions:
+            print(f"  {outcome.value:22s} 100MHz {slow_fractions[outcome]:6.1%}"
+                  f"  400MHz {fast_fractions[outcome]:6.1%}")
+        # "Essentially identical": every outcome class within 5 points.
+        for outcome, fraction in fast_fractions.items():
+            assert abs(fraction - slow_fractions[outcome]) < 0.05, outcome
+
+    # Response times DO scale with the CPU.
+    from repro.core.runner import execute_run
+    from repro.core.workload import get_workload
+
+    fast_run = execute_run(get_workload("IIS"), MiddlewareKind.NONE, None,
+                           RunConfig(base_seed=suite.base_seed, cpu_mhz=400))
+    slow_run = execute_run(get_workload("IIS"), MiddlewareKind.NONE, None,
+                           RunConfig(base_seed=suite.base_seed, cpu_mhz=100))
+    print(f"\nfault-free response time: 100MHz {slow_run.response_time:.2f}s"
+          f" vs 400MHz {fast_run.response_time:.2f}s")
+    assert fast_run.response_time < slow_run.response_time

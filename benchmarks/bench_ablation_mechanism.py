@@ -1,0 +1,41 @@
+"""Ablation: parameter corruption vs return-value corruption.
+
+The paper's mechanism corrupts call *parameters*; the architecture was
+explicitly designed to host others.  This bench runs the same workload
+under both mechanisms and contrasts the outcome mix: return-value
+faults skip the crash-in-kernel32 class (the callee already ran
+correctly) and concentrate on the application's error-handling paths.
+"""
+
+from repro.core.campaign import Campaign
+from repro.core.outcomes import Outcome
+from repro.core.runner import RunConfig
+from repro.core.workload import MiddlewareKind
+
+
+def test_mechanism_comparison(benchmark, suite):
+    config = RunConfig(base_seed=suite.base_seed)
+
+    def run_return_mechanism():
+        return Campaign("IIS", MiddlewareKind.NONE, config=config,
+                        mechanism="return").run()
+
+    return_set = benchmark.pedantic(run_return_mechanism, rounds=1,
+                                    iterations=1)
+    param_set = suite.workload_set("IIS", MiddlewareKind.NONE)
+
+    print(f"\nIIS stand-alone, parameter mechanism: "
+          f"{param_set.activated_count} activated, "
+          f"{param_set.failure_fraction:.1%} failures")
+    print(f"IIS stand-alone, return mechanism   : "
+          f"{return_set.activated_count} activated, "
+          f"{return_set.failure_fraction:.1%} failures")
+
+    # Both mechanisms activate faults and produce failures, but the
+    # fault spaces differ: return corruption reaches parameter-less
+    # functions the paper's mechanism cannot touch.
+    assert return_set.activated_count > 0
+    return_functions = {r.fault.function for r in return_set.activated_runs}
+    param_functions = {r.fault.function for r in param_set.activated_runs}
+    assert return_functions - param_functions  # e.g. GetTickCount
+    assert 0.0 < return_set.failure_fraction < 1.0

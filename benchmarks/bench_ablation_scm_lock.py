@@ -1,0 +1,45 @@
+"""Ablation: the SCM Start-Pending database lock.
+
+DESIGN.md attributes the paper's slow Apache restarts (Figure 4) to the
+SCM locking its database while a service is start-pending.  Disabling
+the lock should let watchd restart a dying Apache master immediately,
+collapsing the restart-time gap.
+"""
+
+from repro.analysis.figures import build_figure4
+from repro.core.campaign import Campaign
+from repro.core.runner import RunConfig
+from repro.core.workload import MiddlewareKind
+
+
+def _apache_restart_time(scm_lock_enabled: bool, base_seed: int) -> float:
+    config = RunConfig(base_seed=base_seed,
+                       scm_lock_enabled=scm_lock_enabled)
+    per_mw = {}
+    for mw in (MiddlewareKind.NONE, MiddlewareKind.MSCS,
+               MiddlewareKind.WATCHD):
+        per_mw[mw] = {
+            "Apache1": Campaign("Apache1", mw, config=config).run(),
+            "Apache2": Campaign("Apache2", mw, config=config).run(),
+            "IIS": Campaign("IIS", mw, config=config).run(),
+        }
+    figure = build_figure4(
+        {mw: grid["Apache1"] for mw, grid in per_mw.items()},
+        {mw: grid["Apache2"] for mw, grid in per_mw.items()},
+        {mw: grid["IIS"] for mw, grid in per_mw.items()},
+    )
+    cell = figure.get("Apache", MiddlewareKind.WATCHD, "restart")
+    assert cell is not None and cell.count > 0
+    return cell.mean
+
+
+def test_scm_lock_drives_slow_apache_restarts(benchmark, suite):
+    with_lock = benchmark.pedantic(
+        lambda: _apache_restart_time(True, suite.base_seed),
+        rounds=1, iterations=1)
+    without_lock = _apache_restart_time(False, suite.base_seed)
+    print(f"\nApache restart-success mean response time under watchd:")
+    print(f"  SCM lock enabled : {with_lock:.2f}s")
+    print(f"  SCM lock disabled: {without_lock:.2f}s")
+    # The lock accounts for the bulk of the Apache restart latency.
+    assert without_lock < with_lock - 10.0

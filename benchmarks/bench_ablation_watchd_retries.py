@@ -1,0 +1,42 @@
+"""Ablation: watchd3's start-retry budget.
+
+Watchd3's fix is the validate-and-retry start loop that outwaits the
+SCM's Start-Pending lock.  Cutting the retry budget to (nearly) nothing
+should regress SQL back toward Watchd2 behaviour.
+"""
+
+import pytest
+
+from repro.core.campaign import Campaign
+from repro.core.runner import RunConfig
+from repro.core.workload import MiddlewareKind
+from repro.middleware import watchd as watchd_module
+
+
+@pytest.fixture
+def restore_retry_budget():
+    original = watchd_module.V3_MAX_START_ATTEMPTS
+    yield
+    watchd_module.V3_MAX_START_ATTEMPTS = original
+
+
+def test_retry_budget_is_what_fixes_sql(benchmark, suite,
+                                        restore_retry_budget):
+    config = RunConfig(base_seed=suite.base_seed, watchd_version=3)
+
+    def starved():
+        watchd_module.V3_MAX_START_ATTEMPTS = 2
+        try:
+            return Campaign("SQL", MiddlewareKind.WATCHD, config=config).run()
+        finally:
+            watchd_module.V3_MAX_START_ATTEMPTS = 30
+
+    starved_result = benchmark.pedantic(starved, rounds=1, iterations=1)
+    full_result = suite.workload_set("SQL", MiddlewareKind.WATCHD, 3)
+    print(f"\nSQL watchd3 failures: full retry budget "
+          f"{full_result.failure_fraction:.1%}, starved budget "
+          f"{starved_result.failure_fraction:.1%}")
+    # With only 2 attempts the retries cannot outlast SQL's 25s
+    # Start-Pending window: the v3 advantage evaporates.
+    assert starved_result.failure_fraction > \
+        full_result.failure_fraction + 0.10

@@ -1,0 +1,26 @@
+"""Figure 2: outcome distributions, 4 workloads x 3 middleware configs.
+
+Shape criteria (paper): both MSCS and watchd markedly cut failures for
+Apache1, IIS and SQL; neither moves Apache2; watchd beats MSCS.
+"""
+
+from repro.core.workload import MiddlewareKind
+
+
+def test_figure2(benchmark, suite):
+    figure = benchmark.pedantic(suite.figure2, rounds=1, iterations=1)
+    print()
+    print(figure.render())
+
+    def fail(workload, middleware):
+        return figure.get(workload, middleware).failure_fraction
+
+    for workload in ("Apache1", "IIS", "SQL"):
+        standalone = fail(workload, MiddlewareKind.NONE)
+        assert fail(workload, MiddlewareKind.MSCS) < 0.6 * standalone
+        assert fail(workload, MiddlewareKind.WATCHD) < 0.6 * standalone
+        assert fail(workload, MiddlewareKind.WATCHD) <= \
+            fail(workload, MiddlewareKind.MSCS)
+    # Apache2 is protected by its own master, not by the middleware.
+    assert abs(fail("Apache2", MiddlewareKind.MSCS)
+               - fail("Apache2", MiddlewareKind.NONE)) < 0.05

@@ -1,0 +1,31 @@
+"""Figure 3: Apache (Apache1+Apache2, weighted) vs IIS.
+
+Shape criteria (paper): stand-alone Apache 20.58% vs IIS 41.90%
+failures (about 2x); with watchd the gap narrows (5.80% vs 7.60%).
+"""
+
+from repro.core.workload import MiddlewareKind
+
+
+def test_figure3(benchmark, suite):
+    figure = benchmark.pedantic(suite.figure3, rounds=1, iterations=1)
+    print()
+    print(figure.render())
+
+    apache_none, iis_none = figure.failure_pair(MiddlewareKind.NONE)
+    apache_mscs, iis_mscs = figure.failure_pair(MiddlewareKind.MSCS)
+    apache_watchd, iis_watchd = figure.failure_pair(MiddlewareKind.WATCHD)
+    print(f"stand-alone: Apache {apache_none:.1%} vs IIS {iis_none:.1%} "
+          f"(paper 20.58% vs 41.90%)")
+    print(f"MSCS:        Apache {apache_mscs:.1%} vs IIS {iis_mscs:.1%}")
+    print(f"watchd:      Apache {apache_watchd:.1%} vs IIS {iis_watchd:.1%} "
+          f"(paper 5.80% vs 7.60%)")
+
+    # Apache beats IIS in every configuration.
+    assert apache_none < iis_none
+    assert apache_mscs < iis_mscs
+    assert apache_watchd <= iis_watchd
+    # Roughly 2x stand-alone.
+    assert 1.5 <= iis_none / apache_none <= 2.7
+    # The gap narrows under watchd.
+    assert (iis_watchd - apache_watchd) < (iis_none - apache_none) / 2

@@ -1,0 +1,26 @@
+"""Figure 5: the watchd1 -> watchd2 -> watchd3 iteration.
+
+Shape criteria (paper, Section 4.3): Watchd2 *increased* Apache1
+failures, dramatically improved IIS, left SQL unchanged; Watchd3
+dramatically improved Apache1 and SQL and left IIS unchanged; Watchd3
+beats MSCS everywhere.
+"""
+
+
+def test_figure5(benchmark, suite):
+    figure = benchmark.pedantic(suite.figure5, rounds=1, iterations=1)
+    print()
+    print(figure.render())
+    for workload in ("Apache1", "IIS", "SQL"):
+        print(f"{workload}: " + " -> ".join(
+            f"v{v} {figure.failure(workload, v):.1%}" for v in (1, 2, 3)))
+
+    # Apache1: v2 worse than v1; v3 fixes it.
+    assert figure.failure("Apache1", 2) > figure.failure("Apache1", 1)
+    assert figure.failure("Apache1", 3) < 0.2 * figure.failure("Apache1", 1)
+    # IIS: v2 dramatic improvement; v3 unchanged.
+    assert figure.failure("IIS", 2) < 0.5 * figure.failure("IIS", 1)
+    assert abs(figure.failure("IIS", 3) - figure.failure("IIS", 2)) < 0.02
+    # SQL: v1 == v2; v3 dramatic improvement.
+    assert abs(figure.failure("SQL", 2) - figure.failure("SQL", 1)) < 0.05
+    assert figure.failure("SQL", 3) < 0.3 * figure.failure("SQL", 2)

@@ -1,0 +1,56 @@
+"""The Linux port's preliminary experiment (Section 5).
+
+Regenerates the paper's ongoing-work result: Apache on Linux with and
+without watchd, over the libc fault space.  Shape criteria: watchd
+sharply reduces master (Apache1) failures; the worker (Apache2) is
+already protected by its master; and — unlike NT — restarts carry no
+Start-Pending penalty.
+"""
+
+from repro.core.campaign import Campaign
+from repro.core.outcomes import Outcome
+from repro.core.runner import RunConfig
+from repro.core.workload import MiddlewareKind
+from repro.posix import APACHE1_LINUX, APACHE2_LINUX
+
+
+def test_linux_port(benchmark, suite):
+    config = RunConfig(base_seed=suite.base_seed)
+
+    def run_grid():
+        grid = {}
+        for workload in (APACHE1_LINUX, APACHE2_LINUX):
+            for middleware in (MiddlewareKind.NONE, MiddlewareKind.WATCHD):
+                grid[(workload.name, middleware)] = Campaign(
+                    workload, middleware, config=config).run()
+        return grid
+
+    grid = benchmark.pedantic(run_grid, rounds=1, iterations=1)
+    print()
+    for (name, middleware), result in grid.items():
+        fractions = result.outcome_fractions()
+        print(f"{name:13s} {middleware.label:11s} "
+              f"act={result.activated_count:3d}  "
+              + "  ".join(f"{o.value.split('-')[0]}={fractions[o]:.1%}"
+                          for o in fractions))
+
+    master_none = grid[("Apache1Linux", MiddlewareKind.NONE)]
+    master_watchd = grid[("Apache1Linux", MiddlewareKind.WATCHD)]
+    worker_none = grid[("Apache2Linux", MiddlewareKind.NONE)]
+    worker_watchd = grid[("Apache2Linux", MiddlewareKind.WATCHD)]
+
+    # watchd sharply reduces master failures...
+    assert master_watchd.failure_fraction < \
+        0.3 * master_none.failure_fraction
+    # ...while the worker is already protected by its master.
+    assert worker_none.failure_fraction < 0.15
+    assert abs(worker_watchd.failure_fraction
+               - worker_none.failure_fraction) < 0.10
+
+    # No SCM lock on Linux: recovered-master response times stay modest.
+    restart_times = [r.response_time
+                     for r in master_watchd.activated_runs
+                     if r.outcome is Outcome.RESTART_SUCCESS
+                     and r.response_time is not None]
+    assert restart_times
+    assert max(restart_times) < 60.0

@@ -1,0 +1,20 @@
+"""Raw harness performance: fault-injection runs per second.
+
+Not a paper artifact — this measures the reproduction's own cost, which
+is what makes the full campaign grid (a weekend of wall-clock time on
+the paper's 100 MHz testbed) run in seconds here.
+"""
+
+from repro.core.faults import FaultSpec, FaultType
+from repro.core.runner import RunConfig, execute_run
+from repro.core.workload import MiddlewareKind, get_workload
+
+
+def test_single_run_throughput(benchmark):
+    workload = get_workload("IIS")
+    fault = FaultSpec("CreateEventA", 3, FaultType.ZERO)
+    config = RunConfig()
+
+    result = benchmark(lambda: execute_run(
+        workload, MiddlewareKind.NONE, fault, config))
+    assert result.activated

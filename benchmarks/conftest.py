@@ -1,0 +1,19 @@
+"""Shared fixtures for the benchmark harness.
+
+``suite`` is session-scoped: the expensive campaign grid runs once and
+all table/figure benchmarks read from it; each benchmark's *measured*
+body regenerates its artifact (and any campaign runs it alone needs).
+"""
+
+import pytest
+
+from repro.analysis.experiment import ExperimentSuite
+
+
+def _log(message: str) -> None:
+    print(f"[suite] {message}", flush=True)
+
+
+@pytest.fixture(scope="session")
+def suite() -> ExperimentSuite:
+    return ExperimentSuite(log=_log)

@@ -1,0 +1,36 @@
+#!/usr/bin/env python
+"""Compare fault-tolerance middleware on one workload (Section 4.1).
+
+Runs the full KERNEL32 fault campaign against the SQL Server workload
+as a stand-alone service, under MSCS, and under watchd, and prints the
+Figure-2-style outcome distributions plus failure coverage.
+
+Run:  python examples/compare_middleware.py [workload]
+"""
+
+import sys
+
+from repro.analysis import OutcomeDistribution, build_coverage
+from repro.core import Campaign, MiddlewareKind, RunConfig
+
+
+def main() -> None:
+    workload = sys.argv[1] if len(sys.argv) > 1 else "SQL"
+    config = RunConfig(base_seed=2000)
+    results = {}
+    for middleware in MiddlewareKind:
+        print(f"running {workload} / {middleware.label} ...", flush=True)
+        results[(workload, middleware)] = Campaign(
+            workload, middleware, config=config).run()
+
+    print()
+    for (name, middleware), result in results.items():
+        dist = OutcomeDistribution.from_result(
+            f"{name} / {middleware.label}", result)
+        print(dist.render())
+    print()
+    print(build_coverage(results).render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,41 @@
+#!/usr/bin/env python
+"""Reproduce every table and figure of the paper in one run.
+
+Runs the complete experiment grid (4 workloads x 3 middleware configs,
+plus watchd versions 1 and 2 for Figure 5), prints each artifact with
+its paper anchors, evaluates the shape claims, and optionally rewrites
+EXPERIMENTS.md.
+
+Run:  python examples/reproduce_paper.py [--write-report]
+"""
+
+import sys
+import time
+from pathlib import Path
+
+from repro.analysis.experiment import ExperimentSuite
+from repro.analysis.report import generate_experiments_report, shape_checks
+
+
+def main() -> None:
+    started = time.time()
+    suite = ExperimentSuite(base_seed=2000,
+                            log=lambda message: print(f"  {message}",
+                                                      flush=True))
+    print("running the full experiment grid ...")
+    report = generate_experiments_report(suite)
+    checks = shape_checks(suite)
+    held = sum(1 for check in checks if check.holds)
+
+    print(report)
+    print(f"shape claims: {held}/{len(checks)} hold "
+          f"(total wall time {time.time() - started:.1f}s)")
+
+    if "--write-report" in sys.argv[1:]:
+        path = Path(__file__).resolve().parent.parent / "EXPERIMENTS.md"
+        path.write_text(report, encoding="utf-8")
+        print(f"wrote {path}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+"""repro — a reproduction of DTS (Dependability Test Suite).
+
+From "Reliability Testing of Applications on Windows NT" (Tsai & Singh,
+DSN 2000): a SWIFI fault-injection tool corrupting KERNEL32 library-call
+parameters of NT server applications, used to compare fault-tolerance
+middleware (MSCS vs NT-SwiFT watchd), compare applications (Apache vs
+IIS), and iteratively improve watchd.
+
+Layers (bottom-up):
+
+- :mod:`repro.sim` — deterministic discrete-event kernel.
+- :mod:`repro.nt` — simulated NT machine: processes, handles, the
+  681-export KERNEL32 with its interception layer, SCM, event log.
+- :mod:`repro.net` — transport fabric and application messages.
+- :mod:`repro.servers` — the workloads: Apache (master+child), IIS,
+  SQL Server (with a real mini SQL engine).
+- :mod:`repro.middleware` — MSCS and watchd v1/v2/v3.
+- :mod:`repro.clients` — HttpClient / SqlClient.
+- :mod:`repro.core` — DTS itself: fault lists, the injector, the
+  Figure-1 campaign flow, outcome classification.
+- :mod:`repro.analysis` — the paper's tables/figures and extensions.
+
+Quickstart::
+
+    from repro.core import Campaign, MiddlewareKind
+
+    result = Campaign("IIS", MiddlewareKind.WATCHD).run()
+    print(f"failure coverage: {result.failure_coverage:.1%}")
+"""
+
+from . import analysis, clients, core, middleware, net, nt, servers, sim
+from .core import (
+    Campaign,
+    FaultSpec,
+    FaultType,
+    Injector,
+    MiddlewareKind,
+    Outcome,
+    RunConfig,
+    WorkloadSetResult,
+    execute_run,
+    generate_fault_list,
+    get_workload,
+)
+from .nt import Machine
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "sim", "nt", "net", "servers", "middleware", "clients", "core",
+    "analysis",
+    "Machine",
+    "Campaign",
+    "WorkloadSetResult",
+    "MiddlewareKind",
+    "FaultSpec",
+    "FaultType",
+    "Injector",
+    "Outcome",
+    "RunConfig",
+    "execute_run",
+    "generate_fault_list",
+    "get_workload",
+    "__version__",
+]

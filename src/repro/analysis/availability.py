@@ -1,0 +1,132 @@
+"""Availability modelling (the paper's Section-5 future-work item).
+
+    "The DTS tool may play a role in providing testing-based parameters
+    as input to analytical models that would then be able to yield
+    [availability] estimates that are more precise."
+
+This module is that pipeline: campaign results provide the measured
+parameters — per-fault failure/recovery behaviour and recovery
+latencies — which feed a standard alternating-renewal availability
+model:
+
+    A = MTTF / (MTTF + MTTR)
+
+- **MTTR** comes from the measured recovery times: for covered faults,
+  the extra latency restarts added over a fault-free run; uncovered
+  faults (failure outcomes) incur a manual-repair penalty.
+- **MTTF** is supplied as a fault-arrival assumption (faults/hour), the
+  one quantity injection cannot measure.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..core.campaign import WorkloadSetResult
+from ..core.outcomes import Outcome
+from .stats import mean
+
+
+class AvailabilityEstimate:
+    """Steady-state availability with its model inputs."""
+
+    def __init__(self, availability: float, mttf_hours: float,
+                 mttr_hours: float, covered_fraction: float,
+                 mean_recovery_seconds: float):
+        self.availability = availability
+        self.mttf_hours = mttf_hours
+        self.mttr_hours = mttr_hours
+        self.covered_fraction = covered_fraction
+        self.mean_recovery_seconds = mean_recovery_seconds
+
+    @property
+    def nines(self) -> float:
+        """Number of nines of availability (the industry shorthand)."""
+        import math
+
+        if self.availability >= 1.0:
+            return float("inf")
+        return -math.log10(1.0 - self.availability)
+
+    def __repr__(self) -> str:
+        return (f"<Availability {self.availability * 100:.4f}% "
+                f"({self.nines:.2f} nines)>")
+
+
+def estimate_availability(
+    result: WorkloadSetResult,
+    fault_rate_per_hour: float = 0.1,
+    manual_repair_hours: float = 1.0,
+    baseline_response_time: Optional[float] = None,
+) -> AvailabilityEstimate:
+    """Availability from one workload set's measured outcomes.
+
+    ``fault_rate_per_hour`` is the assumed arrival rate of faults of
+    the injected class; ``manual_repair_hours`` the operator response
+    for failures the middleware did not cover.
+    """
+    runs = result.activated_runs
+    if not runs:
+        raise ValueError("no activated runs to estimate from")
+
+    if baseline_response_time is None:
+        normal_times = [r.response_time for r in runs
+                        if r.outcome is Outcome.NORMAL_SUCCESS
+                        and r.response_time is not None]
+        baseline_response_time = mean(normal_times) if normal_times else 0.0
+
+    recovery_times: list[float] = []
+    uncovered = 0
+    for run in runs:
+        if run.outcome is Outcome.FAILURE:
+            uncovered += 1
+        elif run.outcome is Outcome.NORMAL_SUCCESS:
+            recovery_times.append(0.0)
+        elif run.response_time is not None:
+            recovery_times.append(
+                max(0.0, run.response_time - baseline_response_time))
+
+    covered = len(runs) - uncovered
+    covered_fraction = covered / len(runs)
+    mean_recovery = mean(recovery_times) if recovery_times else 0.0
+
+    # Expected downtime per fault: automated recovery for covered
+    # faults, operator repair for uncovered ones.
+    expected_downtime_hours = (
+        covered_fraction * (mean_recovery / 3600.0)
+        + (1.0 - covered_fraction) * manual_repair_hours
+    )
+    mttf_hours = 1.0 / fault_rate_per_hour
+    availability = mttf_hours / (mttf_hours + expected_downtime_hours)
+    return AvailabilityEstimate(
+        availability=availability,
+        mttf_hours=mttf_hours,
+        mttr_hours=expected_downtime_hours,
+        covered_fraction=covered_fraction,
+        mean_recovery_seconds=mean_recovery,
+    )
+
+
+def compare_availability(results: Sequence[tuple[str, WorkloadSetResult]],
+                         fault_rate_per_hour: float = 0.1,
+                         manual_repair_hours: float = 1.0) -> str:
+    """Rendered availability comparison across configurations."""
+    from .render import render_table
+
+    rows = []
+    for label, result in results:
+        estimate = estimate_availability(
+            result, fault_rate_per_hour, manual_repair_hours)
+        rows.append([
+            label,
+            f"{estimate.covered_fraction * 100:.1f}%",
+            f"{estimate.mean_recovery_seconds:.1f}",
+            f"{estimate.availability * 100:.4f}%",
+            f"{estimate.nines:.2f}",
+        ])
+    return render_table(
+        ["Configuration", "Coverage", "Mean recovery (s)",
+         "Availability", "Nines"],
+        rows,
+        title="Availability estimates (renewal model on DTS measurements)",
+    )

@@ -1,0 +1,61 @@
+"""Failure-coverage summaries (Section 5).
+
+The paper expresses middleware effectiveness as failure coverage —
+*"unity minus the percentage of failure outcomes"* — and concludes the
+improved watchd achieves >90 % for every tested server program.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from ..core.campaign import WorkloadSetResult
+from ..core.workload import MiddlewareKind
+from .render import render_table
+
+
+class CoverageSummary:
+    """Failure coverage per (workload, middleware)."""
+
+    def __init__(self, coverage: Mapping[tuple[str, MiddlewareKind], float]):
+        self.coverage = dict(coverage)
+
+    def get(self, workload: str, middleware: MiddlewareKind) -> float:
+        return self.coverage[(workload, middleware)]
+
+    def watchd_exceeds(self, threshold: float = 0.9) -> bool:
+        """The paper's headline: watchd coverage >90 % everywhere."""
+        values = [value for (_w, mw), value in self.coverage.items()
+                  if mw is MiddlewareKind.WATCHD]
+        return bool(values) and all(value > threshold for value in values)
+
+    def watchd_beats_mscs(self) -> bool:
+        """watchd coverage at least matches MSCS for every workload."""
+        workloads = {w for (w, _mw) in self.coverage}
+        return all(
+            self.coverage.get((w, MiddlewareKind.WATCHD), 0.0)
+            >= self.coverage.get((w, MiddlewareKind.MSCS), 1.0)
+            for w in workloads
+        )
+
+    def render(self) -> str:
+        workloads = sorted({w for (w, _mw) in self.coverage})
+        rows = []
+        for workload in workloads:
+            row = [workload]
+            for mw in (MiddlewareKind.NONE, MiddlewareKind.MSCS,
+                       MiddlewareKind.WATCHD):
+                value = self.coverage.get((workload, mw))
+                row.append(f"{value * 100:.1f}%" if value is not None else "-")
+            rows.append(row)
+        return render_table(
+            ["Workload", "Stand-alone", "MSCS", "watchd"], rows,
+            title="Failure coverage (1 - failure fraction)",
+        )
+
+
+def build_coverage(results: Mapping[tuple[str, MiddlewareKind],
+                                    WorkloadSetResult]) -> CoverageSummary:
+    return CoverageSummary({
+        key: result.failure_coverage for key, result in results.items()
+    })

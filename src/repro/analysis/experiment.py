@@ -1,0 +1,133 @@
+"""The full paper experiment: every workload set, every artifact.
+
+One :class:`ExperimentSuite` runs (lazily, with caching) the complete
+grid of Section 4:
+
+- Figure 2 / Figure 3 / Figure 4 / Table 2 share the 4 workloads ×
+  3 middleware configurations (watchd at version 3);
+- Figure 5 adds watchd versions 1 and 2 for Apache1, IIS and SQL;
+- Table 1 uses fault-free profiling runs.
+
+The suite is what the per-table/per-figure benchmarks and the
+``reproduce_paper`` example drive.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..core.campaign import Campaign, WorkloadSetResult, profile_workload
+from ..core.runner import RunConfig
+from ..core.workload import MiddlewareKind
+from .coverage import CoverageSummary, build_coverage
+from .figures import (
+    Figure2,
+    Figure3,
+    Figure4,
+    Figure5,
+    build_figure2,
+    build_figure3,
+    build_figure4,
+    build_figure5,
+)
+from .tables import Table1, Table2, build_table1, build_table2
+
+WORKLOADS = ("Apache1", "Apache2", "IIS", "SQL")
+MIDDLEWARE = (MiddlewareKind.NONE, MiddlewareKind.MSCS, MiddlewareKind.WATCHD)
+FIGURE5_WORKLOADS = ("Apache1", "IIS", "SQL")
+
+
+class ExperimentSuite:
+    """Caching driver for the whole experiment grid."""
+
+    def __init__(self, base_seed: int = 2000,
+                 log: Optional[Callable[[str], None]] = None):
+        self.base_seed = base_seed
+        self._log = log or (lambda message: None)
+        self._sets: dict[tuple[str, MiddlewareKind, int], WorkloadSetResult] = {}
+        self._profiles: dict[tuple[str, MiddlewareKind], set[str]] = {}
+
+    # ------------------------------------------------------------------
+    # Workload-set access (cached)
+    # ------------------------------------------------------------------
+    def config(self, watchd_version: int = 3) -> RunConfig:
+        return RunConfig(base_seed=self.base_seed,
+                         watchd_version=watchd_version)
+
+    def workload_set(self, workload: str, middleware: MiddlewareKind,
+                     watchd_version: int = 3) -> WorkloadSetResult:
+        key = (workload, middleware, watchd_version)
+        if key not in self._sets:
+            self._log(f"running workload set {workload}/{middleware.value}"
+                      f"/v{watchd_version} ...")
+            campaign = Campaign(workload, middleware,
+                                config=self.config(watchd_version))
+            self._sets[key] = campaign.run()
+        return self._sets[key]
+
+    def profile(self, workload: str,
+                middleware: MiddlewareKind) -> set[str]:
+        key = (workload, middleware)
+        if key not in self._profiles:
+            self._log(f"profiling {workload}/{middleware.value} ...")
+            self._profiles[key] = profile_workload(
+                workload, middleware, config=self.config())
+        return self._profiles[key]
+
+    # ------------------------------------------------------------------
+    # Grids
+    # ------------------------------------------------------------------
+    def figure2_grid(self) -> dict[tuple[str, MiddlewareKind],
+                                   WorkloadSetResult]:
+        return {
+            (workload, middleware): self.workload_set(workload, middleware)
+            for workload in WORKLOADS
+            for middleware in MIDDLEWARE
+        }
+
+    def per_middleware(self, workload: str) -> dict[MiddlewareKind,
+                                                    WorkloadSetResult]:
+        return {middleware: self.workload_set(workload, middleware)
+                for middleware in MIDDLEWARE}
+
+    def figure5_grid(self) -> dict[tuple[str, int], WorkloadSetResult]:
+        return {
+            (workload, version): self.workload_set(
+                workload, MiddlewareKind.WATCHD, version)
+            for workload in FIGURE5_WORKLOADS
+            for version in (1, 2, 3)
+        }
+
+    # ------------------------------------------------------------------
+    # Artifacts
+    # ------------------------------------------------------------------
+    def table1(self) -> Table1:
+        return build_table1({
+            (workload, middleware): self.profile(workload, middleware)
+            for workload in WORKLOADS
+            for middleware in MIDDLEWARE
+        })
+
+    def table2(self) -> Table2:
+        return build_table2(self.per_middleware("Apache1"),
+                            self.per_middleware("Apache2"),
+                            self.per_middleware("IIS"))
+
+    def figure2(self) -> Figure2:
+        return build_figure2(self.figure2_grid())
+
+    def figure3(self) -> Figure3:
+        return build_figure3(self.per_middleware("Apache1"),
+                             self.per_middleware("Apache2"),
+                             self.per_middleware("IIS"))
+
+    def figure4(self) -> Figure4:
+        return build_figure4(self.per_middleware("Apache1"),
+                             self.per_middleware("Apache2"),
+                             self.per_middleware("IIS"))
+
+    def figure5(self) -> Figure5:
+        return build_figure5(self.figure5_grid())
+
+    def coverage(self) -> CoverageSummary:
+        return build_coverage(self.figure2_grid())

@@ -1,0 +1,259 @@
+"""Builders for the paper's figures (as data series + text rendering).
+
+- **Figure 2** — normalized outcome distributions per workload ×
+  {stand-alone, MSCS, watchd}.
+- **Figure 3** — Apache (Apache1+Apache2 weighted by activated faults)
+  vs IIS across the three configurations.
+- **Figure 4** — mean response time per outcome class with 95 % CIs,
+  Apache vs IIS (no-response failures excluded).
+- **Figure 5** — Watchd1 vs Watchd2 vs Watchd3 for Apache1, IIS, SQL.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence
+
+from ..core.campaign import WorkloadSetResult
+from ..core.outcomes import ORDERED_OUTCOMES, FailureMode, Outcome
+from ..core.workload import MiddlewareKind
+from .render import render_stacked_distribution, render_table
+from .stats import MeanCI, mean_ci95, proportion
+
+_SHORT_LABEL = {
+    Outcome.NORMAL_SUCCESS: "normal",
+    Outcome.RESTART_SUCCESS: "restart",
+    Outcome.RESTART_RETRY_SUCCESS: "restart+retry",
+    Outcome.RETRY_SUCCESS: "retry",
+    Outcome.FAILURE: "failure",
+}
+
+MIDDLEWARE_ORDER = (MiddlewareKind.NONE, MiddlewareKind.MSCS,
+                    MiddlewareKind.WATCHD)
+
+
+class OutcomeDistribution:
+    """Normalized outcome percentages for one workload set."""
+
+    def __init__(self, label: str, activated: int,
+                 fractions: Mapping[Outcome, float]):
+        self.label = label
+        self.activated = activated
+        self.fractions = dict(fractions)
+
+    @property
+    def failure_fraction(self) -> float:
+        return self.fractions[Outcome.FAILURE]
+
+    @property
+    def failure_coverage(self) -> float:
+        return 1.0 - self.failure_fraction
+
+    @classmethod
+    def from_result(cls, label: str,
+                    result: WorkloadSetResult) -> "OutcomeDistribution":
+        return cls(label, result.activated_count, result.outcome_fractions())
+
+    @classmethod
+    def from_runs(cls, label: str, runs: Sequence) -> "OutcomeDistribution":
+        total = len(runs)
+        fractions = {
+            outcome: proportion(
+                sum(1 for r in runs if r.outcome is outcome), total)
+            for outcome in Outcome
+        }
+        return cls(label, total, fractions)
+
+    def render(self) -> str:
+        pairs = [(_SHORT_LABEL[o], self.fractions[o]) for o in ORDERED_OUTCOMES]
+        return (f"{self.label:28s} act={self.activated:4d}  "
+                + render_stacked_distribution(pairs))
+
+
+class Figure2:
+    """One distribution per (workload, middleware)."""
+
+    def __init__(self, distributions: Mapping[tuple[str, MiddlewareKind],
+                                              OutcomeDistribution]):
+        self.distributions = dict(distributions)
+
+    def get(self, workload: str,
+            middleware: MiddlewareKind) -> OutcomeDistribution:
+        return self.distributions[(workload, middleware)]
+
+    def render(self) -> str:
+        lines = ["Figure 2. Standalone/MSCS/watchd comparisons"]
+        for workload in ("Apache1", "Apache2", "IIS", "SQL"):
+            for middleware in MIDDLEWARE_ORDER:
+                dist = self.distributions.get((workload, middleware))
+                if dist is not None:
+                    lines.append(dist.render())
+            lines.append("")
+        return "\n".join(lines)
+
+
+def build_figure2(results: Mapping[tuple[str, MiddlewareKind],
+                                   WorkloadSetResult]) -> Figure2:
+    return Figure2({
+        key: OutcomeDistribution.from_result(
+            f"{key[0]} / {key[1].label}", result)
+        for key, result in results.items()
+    })
+
+
+# ----------------------------------------------------------------------
+# Figure 3: Apache (combined) vs IIS
+# ----------------------------------------------------------------------
+def combine_apache(apache1: WorkloadSetResult, apache2: WorkloadSetResult,
+                   label: str) -> OutcomeDistribution:
+    """The paper's combination: "The Apache results are a combination
+    of the Apache1 and Apache2 results ... weighted based on the
+    relative number of activated faults for each process" — i.e. the
+    pooled run set."""
+    runs = apache1.activated_runs + apache2.activated_runs
+    return OutcomeDistribution.from_runs(label, runs)
+
+
+class Figure3:
+    def __init__(self, apache: Mapping[MiddlewareKind, OutcomeDistribution],
+                 iis: Mapping[MiddlewareKind, OutcomeDistribution]):
+        self.apache = dict(apache)
+        self.iis = dict(iis)
+
+    def failure_pair(self, middleware: MiddlewareKind) -> tuple[float, float]:
+        """(apache, iis) failure fractions for one configuration."""
+        return (self.apache[middleware].failure_fraction,
+                self.iis[middleware].failure_fraction)
+
+    def render(self) -> str:
+        lines = ["Figure 3. Comparison of Apache to IIS"]
+        for middleware in MIDDLEWARE_ORDER:
+            for dist in (self.apache[middleware], self.iis[middleware]):
+                lines.append(dist.render())
+            lines.append("")
+        return "\n".join(lines)
+
+
+def build_figure3(apache1: Mapping[MiddlewareKind, WorkloadSetResult],
+                  apache2: Mapping[MiddlewareKind, WorkloadSetResult],
+                  iis: Mapping[MiddlewareKind, WorkloadSetResult]) -> Figure3:
+    apache = {
+        mw: combine_apache(apache1[mw], apache2[mw],
+                           f"Apache / {mw.label}")
+        for mw in MIDDLEWARE_ORDER
+    }
+    iis_dists = {
+        mw: OutcomeDistribution.from_result(f"IIS / {mw.label}", iis[mw])
+        for mw in MIDDLEWARE_ORDER
+    }
+    return Figure3(apache, iis_dists)
+
+
+# ----------------------------------------------------------------------
+# Figure 4: response times by outcome class
+# ----------------------------------------------------------------------
+# Outcome classes of Figure 4: the five of Figure 2, with failures
+# subdivided and no-response failures excluded (infinite time).
+FIGURE4_CLASSES = (
+    (Outcome.NORMAL_SUCCESS, None),
+    (Outcome.RESTART_SUCCESS, None),
+    (Outcome.RESTART_RETRY_SUCCESS, None),
+    (Outcome.RETRY_SUCCESS, None),
+    (Outcome.FAILURE, FailureMode.INCORRECT_RESPONSE),
+)
+
+
+def _class_label(outcome: Outcome, mode: Optional[FailureMode]) -> str:
+    if mode is FailureMode.INCORRECT_RESPONSE:
+        return "failure (incorrect response)"
+    return _SHORT_LABEL[outcome]
+
+
+class Figure4:
+    """Mean ± CI response times per (server, middleware, outcome class)."""
+
+    def __init__(self, cells: Mapping[tuple[str, MiddlewareKind, str],
+                                      Optional[MeanCI]]):
+        self.cells = dict(cells)
+
+    def get(self, server: str, middleware: MiddlewareKind,
+            class_label: str) -> Optional[MeanCI]:
+        return self.cells.get((server, middleware, class_label))
+
+    def render(self) -> str:
+        headers = ["Server", "Middleware", "Outcome class",
+                   "Mean resp. time (s)", "95% CI ±", "n"]
+        rows = []
+        for (server, middleware, label), ci in sorted(
+                self.cells.items(),
+                key=lambda item: (item[0][0], item[0][1].value, item[0][2])):
+            if ci is None:
+                rows.append([server, middleware.label, label, "-", "-", "0"])
+            else:
+                rows.append([server, middleware.label, label,
+                             f"{ci.mean:.2f}", f"{ci.half_width:.2f}",
+                             str(ci.count)])
+        return render_table(
+            headers, rows,
+            title="Figure 4. Average response times (95% confidence intervals)",
+        )
+
+
+def response_times_by_class(runs) -> dict[str, list[float]]:
+    """Group finite response times by Figure-4 outcome class."""
+    grouped: dict[str, list[float]] = {}
+    for outcome, mode in FIGURE4_CLASSES:
+        label = _class_label(outcome, mode)
+        times = [
+            r.response_time for r in runs
+            if r.outcome is outcome and r.response_time is not None
+            and (mode is None or r.failure_mode is mode)
+        ]
+        grouped[label] = times
+    return grouped
+
+
+def build_figure4(apache1: Mapping[MiddlewareKind, WorkloadSetResult],
+                  apache2: Mapping[MiddlewareKind, WorkloadSetResult],
+                  iis: Mapping[MiddlewareKind, WorkloadSetResult]) -> Figure4:
+    cells: dict[tuple[str, MiddlewareKind, str], Optional[MeanCI]] = {}
+    for middleware in MIDDLEWARE_ORDER:
+        apache_runs = (apache1[middleware].activated_runs
+                       + apache2[middleware].activated_runs)
+        for server, runs in (("Apache", apache_runs),
+                             ("IIS", iis[middleware].activated_runs)):
+            for label, times in response_times_by_class(runs).items():
+                cells[(server, middleware, label)] = mean_ci95(times)
+    return Figure4(cells)
+
+
+# ----------------------------------------------------------------------
+# Figure 5: watchd versions
+# ----------------------------------------------------------------------
+class Figure5:
+    """Outcome distributions per (workload, watchd version)."""
+
+    def __init__(self, distributions: Mapping[tuple[str, int],
+                                              OutcomeDistribution]):
+        self.distributions = dict(distributions)
+
+    def failure(self, workload: str, version: int) -> float:
+        return self.distributions[(workload, version)].failure_fraction
+
+    def render(self) -> str:
+        lines = ["Figure 5. Comparison of original to improved watchd"]
+        for workload in ("Apache1", "IIS", "SQL"):
+            for version in (1, 2, 3):
+                dist = self.distributions.get((workload, version))
+                if dist is not None:
+                    lines.append(dist.render())
+            lines.append("")
+        return "\n".join(lines)
+
+
+def build_figure5(results: Mapping[tuple[str, int], WorkloadSetResult]
+                  ) -> Figure5:
+    return Figure5({
+        (workload, version): OutcomeDistribution.from_result(
+            f"{workload} / Watchd{version}", result)
+        for (workload, version), result in results.items()
+    })

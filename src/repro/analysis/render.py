@@ -1,0 +1,70 @@
+"""Plain-text rendering of tables and bar charts.
+
+The benchmark harness prints the same rows/series the paper's tables
+and figures report; these helpers keep that output aligned and
+readable in a terminal or a log file.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
+                 title: str = "") -> str:
+    """A boxless fixed-width table."""
+    columns = len(headers)
+    cells = [[str(h) for h in headers]]
+    for row in rows:
+        if len(row) != columns:
+            raise ValueError(f"row {row!r} does not match {columns} headers")
+        cells.append([_format_cell(value) for value in row])
+    widths = [max(len(line[i]) for line in cells) for i in range(columns)]
+    out = []
+    if title:
+        out.append(title)
+    header_line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(cells[0]))
+    out.append(header_line)
+    out.append("  ".join("-" * w for w in widths))
+    for line in cells[1:]:
+        out.append("  ".join(
+            line[i].rjust(widths[i]) if _is_numeric(line[i]) else
+            line[i].ljust(widths[i])
+            for i in range(columns)
+        ))
+    return "\n".join(out)
+
+
+def _format_cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def _is_numeric(text: str) -> bool:
+    stripped = text.replace("%", "").replace("±", "").replace(".", "") \
+        .replace("-", "").replace(" ", "")
+    return stripped.isdigit()
+
+
+def render_bar(fraction: float, width: int = 40, fill: str = "#") -> str:
+    """A single horizontal bar scaled to ``width`` characters."""
+    filled = round(max(0.0, min(1.0, fraction)) * width)
+    return fill * filled + "." * (width - filled)
+
+
+def render_stacked_distribution(labels_fractions: Sequence[tuple[str, float]],
+                                width: int = 50) -> str:
+    """One stacked bar (the paper's normalized outcome charts)."""
+    symbols = " .:+x#"
+    parts = []
+    for index, (label, fraction) in enumerate(labels_fractions):
+        count = round(fraction * width)
+        symbol = symbols[min(index + 1, len(symbols) - 1)]
+        parts.append(symbol * count)
+    bar = "".join(parts)[:width].ljust(width)
+    legend = "  ".join(
+        f"{symbols[min(i + 1, len(symbols) - 1)]}={label} {fraction * 100:.1f}%"
+        for i, (label, fraction) in enumerate(labels_fractions)
+    )
+    return f"[{bar}]  {legend}"

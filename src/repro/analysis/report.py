@@ -1,0 +1,255 @@
+"""EXPERIMENTS.md generation: paper-vs-measured for every artifact.
+
+The report states, per table/figure, what the paper reports, what this
+reproduction measures, and whether the *shape* claims hold (absolute
+numbers are not expected to transfer from a 1999 testbed to a
+simulator; the qualitative orderings and ratios are the reproduction
+criteria, per DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from ..core.workload import MiddlewareKind
+from .experiment import ExperimentSuite
+
+_NONE = MiddlewareKind.NONE
+_MSCS = MiddlewareKind.MSCS
+_WATCHD = MiddlewareKind.WATCHD
+
+
+def _pct(value: float) -> str:
+    return f"{value * 100:.1f}%"
+
+
+class ShapeCheck:
+    """One qualitative claim from the paper, verified against data."""
+
+    def __init__(self, claim: str, holds: bool, evidence: str):
+        self.claim = claim
+        self.holds = holds
+        self.evidence = evidence
+
+    def render(self) -> str:
+        mark = "HOLDS" if self.holds else "DEVIATES"
+        return f"- [{mark}] {self.claim}\n  measured: {self.evidence}"
+
+
+def shape_checks(suite: ExperimentSuite) -> list[ShapeCheck]:
+    """The paper's headline qualitative claims."""
+    checks: list[ShapeCheck] = []
+    grid = suite.figure2_grid()
+    figure3 = suite.figure3()
+    figure5 = suite.figure5()
+    coverage = suite.coverage()
+
+    def fail(workload, middleware):
+        return grid[(workload, middleware)].failure_fraction
+
+    # Table 1 exactness.
+    checks.append(ShapeCheck(
+        "Table 1: called-function counts match the paper exactly",
+        suite.table1().matches_paper(),
+        ", ".join(f"{w}:{len(suite.profile(w, m))}"
+                  for w in ("Apache1", "Apache2", "IIS", "SQL")
+                  for m in (_NONE,)),
+    ))
+
+    # Figure 2 claims.
+    for workload in ("Apache1", "IIS", "SQL"):
+        checks.append(ShapeCheck(
+            f"Fig 2: MSCS and watchd markedly reduce {workload} failures",
+            fail(workload, _MSCS) < 0.6 * fail(workload, _NONE)
+            and fail(workload, _WATCHD) < 0.6 * fail(workload, _NONE),
+            f"{workload}: none {_pct(fail(workload, _NONE))}, "
+            f"MSCS {_pct(fail(workload, _MSCS))}, "
+            f"watchd {_pct(fail(workload, _WATCHD))}",
+        ))
+    checks.append(ShapeCheck(
+        "Fig 2: middleware has no effect on Apache2 (the master already "
+        "restarts its child)",
+        abs(fail("Apache2", _MSCS) - fail("Apache2", _NONE)) < 0.05
+        and abs(fail("Apache2", _WATCHD) - fail("Apache2", _NONE)) < 0.05,
+        f"Apache2 failures: none {_pct(fail('Apache2', _NONE))}, "
+        f"MSCS {_pct(fail('Apache2', _MSCS))}, "
+        f"watchd {_pct(fail('Apache2', _WATCHD))}",
+    ))
+    checks.append(ShapeCheck(
+        "Fig 2 / conclusion: watchd's failure coverage is higher than "
+        "MSCS's for every server program",
+        coverage.watchd_beats_mscs(),
+        "; ".join(
+            f"{w}: MSCS {_pct(1 - fail(w, _MSCS))} vs "
+            f"watchd {_pct(1 - fail(w, _WATCHD))}"
+            for w in ("Apache1", "Apache2", "IIS", "SQL")),
+    ))
+    checks.append(ShapeCheck(
+        "Conclusion: improved watchd exhibits >90% failure coverage for "
+        "all tested server programs",
+        coverage.watchd_exceeds(0.9),
+        "; ".join(f"{w}: {_pct(1 - fail(w, _WATCHD))}"
+                  for w in ("Apache1", "Apache2", "IIS", "SQL")),
+    ))
+
+    # Figure 3 claims.
+    apache_none, iis_none = figure3.failure_pair(_NONE)
+    apache_watchd, iis_watchd = figure3.failure_pair(_WATCHD)
+    checks.append(ShapeCheck(
+        "Fig 3: stand-alone IIS fails about twice as often as Apache "
+        "(paper: 41.90% vs 20.58%)",
+        1.5 <= iis_none / max(apache_none, 1e-9) <= 2.7,
+        f"Apache {_pct(apache_none)} vs IIS {_pct(iis_none)} "
+        f"(ratio {iis_none / max(apache_none, 1e-9):.2f})",
+    ))
+    checks.append(ShapeCheck(
+        "Fig 3: with watchd the Apache-IIS gap narrows "
+        "(paper: 5.80% vs 7.60%)",
+        (iis_watchd - apache_watchd) < (iis_none - apache_none) / 2,
+        f"Apache {_pct(apache_watchd)} vs IIS {_pct(iis_watchd)}",
+    ))
+
+    # Figure 4 claims.
+    figure4 = suite.figure4()
+    apache_normal = figure4.get("Apache", _NONE, "normal")
+    iis_normal = figure4.get("IIS", _NONE, "normal")
+    checks.append(ShapeCheck(
+        "Fig 4: for normal-success outcomes Apache is faster than IIS "
+        "(paper: 14.21s vs 18.94s)",
+        apache_normal is not None and iis_normal is not None
+        and apache_normal.mean < iis_normal.mean,
+        f"Apache {apache_normal.mean:.2f}s vs IIS {iis_normal.mean:.2f}s",
+    ))
+    apache_restart = figure4.get("Apache", _WATCHD, "restart")
+    iis_restart = figure4.get("IIS", _WATCHD, "restart")
+    checks.append(ShapeCheck(
+        "Fig 4: restart outcomes are slower for Apache than IIS (the SCM "
+        "Start-Pending lock makes Apache restarts wait)",
+        apache_restart is not None and iis_restart is not None
+        and apache_restart.mean > iis_restart.mean,
+        "Apache restart "
+        + (f"{apache_restart.mean:.2f}s" if apache_restart else "n/a")
+        + " vs IIS restart "
+        + (f"{iis_restart.mean:.2f}s" if iis_restart else "n/a")
+        + " (under watchd)",
+    ))
+
+    # Figure 5 claims.
+    checks.append(ShapeCheck(
+        "Fig 5: Watchd2 failures for Apache1 actually increased over "
+        "Watchd1",
+        figure5.failure("Apache1", 2) > figure5.failure("Apache1", 1),
+        f"Apache1: v1 {_pct(figure5.failure('Apache1', 1))} -> "
+        f"v2 {_pct(figure5.failure('Apache1', 2))}",
+    ))
+    checks.append(ShapeCheck(
+        "Fig 5: Watchd2 dramatically improved IIS; Watchd3 left IIS "
+        "unchanged",
+        figure5.failure("IIS", 2) < 0.5 * figure5.failure("IIS", 1)
+        and abs(figure5.failure("IIS", 3) - figure5.failure("IIS", 2)) < 0.02,
+        f"IIS: v1 {_pct(figure5.failure('IIS', 1))} -> "
+        f"v2 {_pct(figure5.failure('IIS', 2))} -> "
+        f"v3 {_pct(figure5.failure('IIS', 3))}",
+    ))
+    checks.append(ShapeCheck(
+        "Fig 5: SQL unchanged between Watchd1 and Watchd2, dramatically "
+        "improved by Watchd3",
+        abs(figure5.failure("SQL", 2) - figure5.failure("SQL", 1)) < 0.05
+        and figure5.failure("SQL", 3) < 0.3 * figure5.failure("SQL", 2),
+        f"SQL: v1 {_pct(figure5.failure('SQL', 1))} -> "
+        f"v2 {_pct(figure5.failure('SQL', 2))} -> "
+        f"v3 {_pct(figure5.failure('SQL', 3))}",
+    ))
+    checks.append(ShapeCheck(
+        "Fig 5 / Fig 2: Watchd3 is much better than MSCS for Apache1, "
+        "IIS and SQL",
+        all(figure5.failure(w, 3) <= fail(w, _MSCS)
+            for w in ("Apache1", "IIS", "SQL")),
+        "; ".join(f"{w}: v3 {_pct(figure5.failure(w, 3))} vs "
+                  f"MSCS {_pct(fail(w, _MSCS))}"
+                  for w in ("Apache1", "IIS", "SQL")),
+    ))
+    return checks
+
+
+def generate_experiments_report(suite: ExperimentSuite) -> str:
+    """The full EXPERIMENTS.md content."""
+    checks = shape_checks(suite)
+    held = sum(1 for c in checks if c.holds)
+    parts = [
+        "# EXPERIMENTS — paper vs measured",
+        "",
+        "Generated by `python examples/reproduce_paper.py --write-report`.",
+        "",
+        "Absolute percentages are not expected to match a 1999 NT testbed;",
+        "the reproduction criteria are the paper's qualitative claims",
+        "(orderings, ratios, crossovers).  Summary: "
+        f"**{held}/{len(checks)} shape claims hold**.",
+        "",
+        "## Shape claims",
+        "",
+    ]
+    parts.extend(check.render() for check in checks)
+    parts += [
+        "",
+        "## Table 1 (exact reproduction target)",
+        "",
+        "```",
+        suite.table1().render(),
+        "```",
+        "",
+        "## Figure 2 — outcome distributions",
+        "",
+        "```",
+        suite.figure2().render(),
+        "```",
+        "",
+        "## Figure 3 — Apache vs IIS",
+        "",
+        "```",
+        suite.figure3().render(),
+        "```",
+        "",
+        "## Table 2 — common activated faults",
+        "",
+        "```",
+        suite.table2().render(),
+        "```",
+        "",
+        "## Figure 4 — response times",
+        "",
+        "Paper anchors: Apache normal-success 14.21 s vs IIS 18.94 s;",
+        "restart outcomes slower for Apache than IIS.",
+        "",
+        "```",
+        suite.figure4().render(),
+        "```",
+        "",
+        "## Figure 5 — watchd iterations",
+        "",
+        "```",
+        suite.figure5().render(),
+        "```",
+        "",
+        "## Failure coverage (Section 5)",
+        "",
+        "```",
+        suite.coverage().render(),
+        "```",
+        "",
+        "## Known deviations",
+        "",
+        "- Apache1's *full-set* stand-alone failure fraction (~47%) is "
+        "higher than Table 2's common-fault 20%; the paper's Figure 2 "
+        "value for Apache1 is not legible in the scanned original.  The "
+        "combined Apache figure (Fig. 3) matches the paper's 20.58%.",
+        "- watchd's liveness probe recovers the two Apache2 hang faults, "
+        "so watchd shows a small effect on Apache2 where the paper "
+        "reports none.",
+        "- `Watchd1` is substantially (not \"slightly\") worse than MSCS "
+        "here, because MSCS's polling recovers almost all early deaths "
+        "the v1 getServiceInfo race loses.",
+        "- The MSCS-vs-Apache/IIS failure ratio under MSCS is larger "
+        "than the paper's ~2x: the simulated Apache master recovers its "
+        "child so effectively that almost no Apache faults are left for "
+        "MSCS to miss.",
+    ]
+    return "\n".join(parts) + "\n"

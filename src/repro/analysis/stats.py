@@ -1,0 +1,96 @@
+"""Statistics helpers: means and 95 % confidence intervals.
+
+Figure 4 reports average response times "with corresponding 95%
+confidence intervals (shown as error bars)"; these helpers compute the
+same quantities with the Student-t critical value (falling back to the
+normal approximation for large samples).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+try:  # scipy gives exact t quantiles; the fallback table covers its absence
+    from scipy import stats as _scipy_stats
+except ImportError:  # pragma: no cover - scipy is a declared dependency
+    _scipy_stats = None
+
+# Two-sided 95 % t critical values for small degrees of freedom.
+_T_TABLE = {
+    1: 12.706, 2: 4.303, 3: 3.182, 4: 2.776, 5: 2.571, 6: 2.447,
+    7: 2.365, 8: 2.306, 9: 2.262, 10: 2.228, 12: 2.179, 15: 2.131,
+    20: 2.086, 25: 2.060, 30: 2.042, 40: 2.021, 60: 2.000, 120: 1.980,
+}
+
+
+def t_critical_95(dof: int) -> float:
+    """Two-sided 95 % Student-t critical value."""
+    if dof <= 0:
+        raise ValueError("need at least two samples for an interval")
+    if _scipy_stats is not None:
+        return float(_scipy_stats.t.ppf(0.975, dof))
+    for table_dof in sorted(_T_TABLE):
+        if dof <= table_dof:
+            return _T_TABLE[table_dof]
+    return 1.96
+
+
+def mean(values: Sequence[float]) -> float:
+    if not values:
+        raise ValueError("mean of no values")
+    return sum(values) / len(values)
+
+
+def sample_std(values: Sequence[float]) -> float:
+    """Unbiased (n-1) sample standard deviation."""
+    if len(values) < 2:
+        return 0.0
+    center = mean(values)
+    return math.sqrt(sum((v - center) ** 2 for v in values) /
+                     (len(values) - 1))
+
+
+class MeanCI:
+    """A sample mean with its 95 % confidence half-width."""
+
+    __slots__ = ("mean", "half_width", "count")
+
+    def __init__(self, mean_value: float, half_width: float, count: int):
+        self.mean = mean_value
+        self.half_width = half_width
+        self.count = count
+
+    @property
+    def low(self) -> float:
+        return self.mean - self.half_width
+
+    @property
+    def high(self) -> float:
+        return self.mean + self.half_width
+
+    def __repr__(self) -> str:
+        return f"{self.mean:.2f} ± {self.half_width:.2f} (n={self.count})"
+
+
+def mean_ci95(values: Sequence[float]) -> Optional[MeanCI]:
+    """Mean with 95 % CI, or None for an empty sample.
+
+    A single observation yields a zero-width interval (the paper plots
+    singletons without error bars).
+    """
+    if not values:
+        return None
+    if len(values) == 1:
+        return MeanCI(values[0], 0.0, 1)
+    center = mean(values)
+    spread = sample_std(values)
+    half = t_critical_95(len(values) - 1) * spread / math.sqrt(len(values))
+    return MeanCI(center, half, len(values))
+
+
+def proportion(numerator: int, denominator: int) -> float:
+    """A percentage-safe ratio (0.0 when the denominator is zero)."""
+    if denominator == 0:
+        return 0.0
+    return numerator / denominator

@@ -1,0 +1,177 @@
+"""Builders for the paper's tables.
+
+- **Table 1** — number of called KERNEL32.dll functions per workload
+  (server program × fault-tolerance middleware).
+- **Table 2** — Apache vs IIS restricted to the *common* activated
+  faults, with Failure/Restart/Retry percentages per configuration.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence
+
+from ..core.campaign import WorkloadSetResult
+from ..core.outcomes import Outcome
+from ..core.workload import MiddlewareKind
+from .render import render_table
+from .stats import proportion
+
+MIDDLEWARE_ORDER = (MiddlewareKind.NONE, MiddlewareKind.MSCS,
+                    MiddlewareKind.WATCHD)
+WORKLOAD_ORDER = ("Apache1", "Apache2", "IIS", "SQL")
+
+# The values printed in the paper's Table 1, for comparison columns.
+PAPER_TABLE1 = {
+    ("Apache1", MiddlewareKind.NONE): 13,
+    ("Apache1", MiddlewareKind.MSCS): 17,
+    ("Apache1", MiddlewareKind.WATCHD): 13,
+    ("Apache2", MiddlewareKind.NONE): 22,
+    ("Apache2", MiddlewareKind.MSCS): 24,
+    ("Apache2", MiddlewareKind.WATCHD): 22,
+    ("IIS", MiddlewareKind.NONE): 76,
+    ("IIS", MiddlewareKind.MSCS): 76,
+    ("IIS", MiddlewareKind.WATCHD): 70,
+    ("SQL", MiddlewareKind.NONE): 71,
+    ("SQL", MiddlewareKind.MSCS): 74,
+    ("SQL", MiddlewareKind.WATCHD): 70,
+}
+
+
+class Table1:
+    """Called-function counts per (workload, middleware)."""
+
+    def __init__(self, counts: Mapping[tuple[str, MiddlewareKind], int]):
+        self.counts = dict(counts)
+
+    def count(self, workload: str, middleware: MiddlewareKind) -> Optional[int]:
+        return self.counts.get((workload, middleware))
+
+    def matches_paper(self) -> bool:
+        return all(self.counts.get(key) == value
+                   for key, value in PAPER_TABLE1.items())
+
+    def render(self) -> str:
+        rows = []
+        for workload in WORKLOAD_ORDER:
+            row = [workload]
+            for middleware in MIDDLEWARE_ORDER:
+                measured = self.counts.get((workload, middleware))
+                paper = PAPER_TABLE1.get((workload, middleware))
+                row.append(f"{measured if measured is not None else '-'}"
+                           f" (paper {paper})")
+            rows.append(row)
+        return render_table(
+            ["Server Program", "None", "MSCS", "watchd"], rows,
+            title="Table 1. Number of called KERNEL32.dll functions per workload",
+        )
+
+
+def build_table1(profiles: Mapping[tuple[str, MiddlewareKind], set[str]]
+                 ) -> Table1:
+    """From called-function sets (profiling runs) to Table 1."""
+    return Table1({key: len(functions)
+                   for key, functions in profiles.items()})
+
+
+# ----------------------------------------------------------------------
+# Table 2
+# ----------------------------------------------------------------------
+class Table2Row:
+    """One server-program row of Table 2 for one middleware config."""
+
+    def __init__(self, activated: int, failure: float, restart: float,
+                 retry: float):
+        self.activated = activated
+        self.failure = failure
+        self.restart = restart
+        self.retry = retry
+
+    def as_cells(self) -> list[str]:
+        return [str(self.activated), f"{self.failure * 100:.1f}%",
+                f"{self.restart * 100:.1f}%", f"{self.retry * 100:.1f}%"]
+
+
+class Table2:
+    """Apache vs IIS on the common activated-fault set."""
+
+    def __init__(self, rows: Mapping[str, Mapping[MiddlewareKind, Table2Row]],
+                 common_fault_count: int):
+        self.rows = {name: dict(by_mw) for name, by_mw in rows.items()}
+        self.common_fault_count = common_fault_count
+
+    def row(self, server: str, middleware: MiddlewareKind) -> Table2Row:
+        return self.rows[server][middleware]
+
+    def render(self) -> str:
+        headers = ["Server Program"]
+        for middleware in MIDDLEWARE_ORDER:
+            label = middleware.label
+            headers += [f"{label} Act", f"{label} Fail", f"{label} Restart",
+                        f"{label} Retry"]
+        body = []
+        for server in ("Apache1", "Apache2", "Apache1+Apache2", "IIS"):
+            if server not in self.rows:
+                continue
+            cells = [server]
+            for middleware in MIDDLEWARE_ORDER:
+                cells += self.rows[server][middleware].as_cells()
+            body.append(cells)
+        return render_table(
+            headers, body,
+            title="Table 2. Comparison of Apache to IIS counting only common faults",
+        )
+
+
+def _summarise(runs) -> Table2Row:
+    activated = len(runs)
+    failures = sum(1 for r in runs if r.outcome is Outcome.FAILURE)
+    restarts = sum(1 for r in runs if r.outcome.involves_restart)
+    retries = sum(1 for r in runs if r.outcome.involves_retry)
+    return Table2Row(
+        activated,
+        proportion(failures, activated),
+        proportion(restarts, activated),
+        proportion(retries, activated),
+    )
+
+
+def common_fault_keys(*result_groups: Sequence[WorkloadSetResult]) -> set:
+    """Fault keys activated in *every* given group of workload sets.
+
+    Each group is the set of results for one server program; for the
+    Apache side, Apache1 and Apache2 results together constitute the
+    program's activated set (their union), mirroring the paper's
+    treatment of the two processes as one application.
+    """
+    per_group = []
+    for group in result_groups:
+        keys: set = set()
+        for result in group:
+            keys |= {run.fault.key for run in result.activated_runs}
+        per_group.append(keys)
+    common = per_group[0]
+    for keys in per_group[1:]:
+        common &= keys
+    return common
+
+
+def build_table2(apache1: Mapping[MiddlewareKind, WorkloadSetResult],
+                 apache2: Mapping[MiddlewareKind, WorkloadSetResult],
+                 iis: Mapping[MiddlewareKind, WorkloadSetResult]) -> Table2:
+    """Assemble Table 2 from the three programs' workload-set results."""
+    common = common_fault_keys(
+        list(apache1.values()) + list(apache2.values()),
+        list(iis.values()),
+    )
+    rows: dict[str, dict[MiddlewareKind, Table2Row]] = {
+        "Apache1": {}, "Apache2": {}, "Apache1+Apache2": {}, "IIS": {},
+    }
+    for middleware in MIDDLEWARE_ORDER:
+        a1_runs = apache1[middleware].runs_for_fault_keys(common)
+        a2_runs = apache2[middleware].runs_for_fault_keys(common)
+        rows["Apache1"][middleware] = _summarise(a1_runs)
+        rows["Apache2"][middleware] = _summarise(a2_runs)
+        rows["Apache1+Apache2"][middleware] = _summarise(a1_runs + a2_runs)
+        rows["IIS"][middleware] = _summarise(
+            iis[middleware].runs_for_fault_keys(common))
+    return Table2(rows, len(common))

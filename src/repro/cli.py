@@ -1,0 +1,173 @@
+"""Command-line interface — the control surface of the tool.
+
+The original DTS is "controlled via a graphical interface and a set of
+configuration files"; this CLI is the headless equivalent, driving the
+same configuration files and campaign machinery:
+
+    python -m repro faultlist -o faults.lst
+    python -m repro profile --workload IIS --middleware watchd
+    python -m repro inject --workload SQL --fault "ReadFileEx 2 zero 1"
+    python -m repro run --config dts.ini
+    python -m repro reproduce --write-report EXPERIMENTS.md
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from .analysis.experiment import ExperimentSuite
+from .analysis.figures import OutcomeDistribution
+from .analysis.report import generate_experiments_report, shape_checks
+from .core.campaign import Campaign, profile_workload
+from .core.config import DtsConfig
+from .core.faultlist import generate_fault_list, write_fault_list_file
+from .core.faults import FaultSpec
+from .core.runner import RunConfig, execute_run
+from .core.workload import WORKLOADS, MiddlewareKind, get_workload
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="DTS (Dependability Test Suite) reproduction — "
+                    "KERNEL32 parameter-corruption fault injection.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    faultlist = commands.add_parser(
+        "faultlist", help="generate a fault-list file")
+    faultlist.add_argument("-o", "--output", required=True,
+                           help="path to write the fault list to")
+    faultlist.add_argument("--functions", default=None,
+                           help="comma-separated export names "
+                                "(default: all 551 injectable)")
+
+    profile = commands.add_parser(
+        "profile", help="fault-free profiling run (Table 1 counts)")
+    _add_target_arguments(profile)
+
+    inject = commands.add_parser(
+        "inject", help="run a single fault injection")
+    _add_target_arguments(inject)
+    inject.add_argument("--fault", required=True,
+                        help="fault-list line: '<function> <param> "
+                             "<zero|ones|flip> <invocation>'")
+
+    run = commands.add_parser(
+        "run", help="run a whole workload set from a config file")
+    run.add_argument("--config", required=True,
+                     help="path to the DTS main configuration file")
+    run.add_argument("--functions", default=None,
+                     help="restrict to a comma-separated function subset")
+
+    reproduce = commands.add_parser(
+        "reproduce", help="regenerate every table and figure of the paper")
+    reproduce.add_argument("--write-report", metavar="PATH", default=None,
+                           help="also write the EXPERIMENTS.md report here")
+    return parser
+
+
+def _add_target_arguments(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument("--workload", required=True, choices=sorted(WORKLOADS))
+    sub.add_argument("--middleware", default="none",
+                     choices=[m.value for m in MiddlewareKind])
+    sub.add_argument("--watchd-version", type=int, default=3,
+                     choices=(1, 2, 3))
+    sub.add_argument("--seed", type=int, default=2000)
+
+
+def _run_config(args: argparse.Namespace) -> RunConfig:
+    return RunConfig(base_seed=args.seed,
+                     watchd_version=args.watchd_version)
+
+
+def _middleware(args: argparse.Namespace) -> MiddlewareKind:
+    return MiddlewareKind(args.middleware)
+
+
+# ----------------------------------------------------------------------
+# Command bodies
+# ----------------------------------------------------------------------
+def cmd_faultlist(args, out) -> int:
+    functions = args.functions.split(",") if args.functions else None
+    faults = generate_fault_list(functions)
+    write_fault_list_file(args.output, faults)
+    print(f"wrote {len(faults)} faults to {args.output}", file=out)
+    return 0
+
+
+def cmd_profile(args, out) -> int:
+    called = profile_workload(args.workload, _middleware(args),
+                              config=_run_config(args))
+    print(f"{args.workload} / {args.middleware}: "
+          f"{len(called)} KERNEL32 functions called", file=out)
+    for name in sorted(called):
+        print(f"  {name}", file=out)
+    return 0
+
+
+def cmd_inject(args, out) -> int:
+    fault = FaultSpec.from_line(args.fault)
+    result = execute_run(get_workload(args.workload), _middleware(args),
+                         fault, _run_config(args))
+    print(f"fault      : {fault!r}", file=out)
+    print(f"activated  : {result.activated}", file=out)
+    print(f"outcome    : {result.outcome.value}", file=out)
+    print(f"failure    : {result.failure_mode.value}", file=out)
+    rt = (f"{result.response_time:.2f}s"
+          if result.response_time is not None else "none")
+    print(f"resp. time : {rt}", file=out)
+    print(f"restarts   : {result.restarts_detected}", file=out)
+    print(f"retries    : {result.retries_used}", file=out)
+    return 0
+
+
+def cmd_run(args, out) -> int:
+    config = DtsConfig.from_file(args.config)
+    functions = args.functions.split(",") if args.functions else None
+    campaign = Campaign(config.workload, config.middleware,
+                        functions=functions, config=config.run_config())
+    result = campaign.run()
+    dist = OutcomeDistribution.from_result(
+        f"{config.workload} / {config.middleware.label}", result)
+    print(dist.render(), file=out)
+    print(f"activated faults : {result.activated_count}", file=out)
+    print(f"failure coverage : {result.failure_coverage:.1%}", file=out)
+    print(f"skipped functions: {len(result.skipped_functions)}", file=out)
+    return 0
+
+
+def cmd_reproduce(args, out) -> int:
+    suite = ExperimentSuite(
+        base_seed=2000,
+        log=lambda message: print(f"  {message}", file=out, flush=True))
+    report = generate_experiments_report(suite)
+    print(report, file=out)
+    checks = shape_checks(suite)
+    held = sum(1 for check in checks if check.holds)
+    if args.write_report:
+        with open(args.write_report, "w", encoding="utf-8") as handle:
+            handle.write(report)
+        print(f"wrote {args.write_report}", file=out)
+    print(f"shape claims: {held}/{len(checks)} hold", file=out)
+    return 0 if held == len(checks) else 1
+
+
+_COMMANDS = {
+    "faultlist": cmd_faultlist,
+    "profile": cmd_profile,
+    "inject": cmd_inject,
+    "run": cmd_run,
+    "reproduce": cmd_reproduce,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args, out or sys.stdout)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,13 @@
+"""Synthetic client programs (the workload generators' client half)."""
+
+from .httpclient import HttpClient
+from .record import AttemptResult, ClientRecord, RequestRecord
+from .sqlclient import SqlClient
+
+__all__ = [
+    "HttpClient",
+    "SqlClient",
+    "ClientRecord",
+    "RequestRecord",
+    "AttemptResult",
+]

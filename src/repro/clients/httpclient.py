@@ -1,0 +1,83 @@
+"""HttpClient — the synthetic web client of Section 4.
+
+Sends two requests: a 115 kB static page and a 1 kB CGI page.  Each
+reply is verified against the expected content checksum; an incorrect
+or missing reply is retried after a 15-second wait, at most twice
+(three attempts total), exactly as the paper specifies:
+
+    "Both HttpClient and SqlClient check the correctness of the server
+    reply.  If the reply is incorrect or if the reply is not received
+    within a timeout period (a default of 15 seconds), the request is
+    retried.  A second retry is attempted if necessary."
+"""
+
+from __future__ import annotations
+
+from ..net.http import HttpRequest, HttpResponse
+from ..net.transport import RESET, Side
+from ..servers import content
+from ..sim import TIMED_OUT, Sleep
+from .record import AttemptResult, ClientRecord, RequestRecord
+
+DEFAULT_REPLY_TIMEOUT = 15.0
+DEFAULT_RETRY_WAIT = 15.0
+DEFAULT_MAX_ATTEMPTS = 3
+
+
+class HttpClient:
+    """httpclient.exe: drives the web-server workloads."""
+
+    image_name = "httpclient.exe"
+
+    def __init__(self, port: int = content.HTTP_PORT,
+                 reply_timeout: float = DEFAULT_REPLY_TIMEOUT,
+                 retry_wait: float = DEFAULT_RETRY_WAIT,
+                 max_attempts: int = DEFAULT_MAX_ATTEMPTS):
+        self.port = port
+        self.reply_timeout = reply_timeout
+        self.retry_wait = retry_wait
+        self.max_attempts = max_attempts
+        expected = content.expected_results()
+        self._plan = [
+            (HttpRequest(content.STATIC_PATH),
+             expected.static_size, expected.static_checksum),
+            (HttpRequest(content.CGI_PATH, is_cgi=True),
+             expected.cgi_size, expected.cgi_checksum),
+        ]
+        self.record = ClientRecord()
+
+    def main(self, ctx):
+        self.record.started_at = ctx.now
+        for request, size, checksum in self._plan:
+            request_record = yield from self._issue(ctx, request, size,
+                                                    checksum)
+            self.record.requests.append(request_record)
+        self.record.finished_at = ctx.now
+
+    # ------------------------------------------------------------------
+    def _issue(self, ctx, request, expected_size, expected_checksum):
+        record = RequestRecord(str(request))
+        transport = ctx.machine.transport
+        for attempt in range(1, self.max_attempts + 1):
+            connection = yield from transport.connect(
+                self.port, ctx.process, timeout=5.0)
+            if connection is None:
+                record.attempts.append(AttemptResult.REFUSED)
+            else:
+                transport.send(connection, Side.CLIENT, request)
+                reply = yield from transport.recv(
+                    connection, Side.CLIENT, timeout=self.reply_timeout)
+                if reply is TIMED_OUT:
+                    record.attempts.append(AttemptResult.TIMEOUT)
+                elif reply is RESET:
+                    record.attempts.append(AttemptResult.RESET)
+                elif isinstance(reply, HttpResponse) and \
+                        reply.matches(expected_size, expected_checksum):
+                    record.attempts.append(AttemptResult.OK)
+                    record.succeeded = True
+                    return record
+                else:
+                    record.attempts.append(AttemptResult.INCORRECT)
+            if attempt < self.max_attempts:
+                yield Sleep(self.retry_wait)
+        return record

@@ -1,0 +1,84 @@
+"""Client-side result records.
+
+Most DTS results are *client-oriented* (Section 3): the data collector
+classifies an injection run primarily from what the client observed —
+per-attempt results, retries used, and whether any request ultimately
+failed.  These records are that evidence.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+
+class AttemptResult(enum.Enum):
+    OK = "ok"                # correct reply received
+    INCORRECT = "incorrect"  # a reply arrived but failed verification
+    TIMEOUT = "timeout"      # no reply within the timeout
+    RESET = "reset"          # connection torn down (server death)
+    REFUSED = "refused"      # could not connect at all
+
+    @property
+    def received_response(self) -> bool:
+        """Did the server send anything back for this attempt?"""
+        return self in (AttemptResult.OK, AttemptResult.INCORRECT)
+
+
+class RequestRecord:
+    """Everything observed while trying to complete one request."""
+
+    def __init__(self, description: str):
+        self.description = description
+        self.attempts: list[AttemptResult] = []
+        self.succeeded = False
+
+    @property
+    def retries_used(self) -> int:
+        """Retransmissions beyond the first attempt."""
+        return max(0, len(self.attempts) - 1)
+
+    @property
+    def any_response_received(self) -> bool:
+        return any(a.received_response for a in self.attempts)
+
+    def __repr__(self) -> str:
+        marks = ",".join(a.value for a in self.attempts)
+        state = "ok" if self.succeeded else "FAILED"
+        return f"<Request {self.description} [{marks}] {state}>"
+
+
+class ClientRecord:
+    """The full client program output for one injection run."""
+
+    def __init__(self) -> None:
+        self.requests: list[RequestRecord] = []
+        self.started_at: Optional[float] = None
+        self.finished_at: Optional[float] = None
+
+    @property
+    def all_succeeded(self) -> bool:
+        return bool(self.requests) and all(r.succeeded for r in self.requests)
+
+    @property
+    def total_retries(self) -> int:
+        return sum(r.retries_used for r in self.requests)
+
+    @property
+    def any_response_received(self) -> bool:
+        return any(r.any_response_received for r in self.requests)
+
+    @property
+    def elapsed(self) -> Optional[float]:
+        if self.started_at is None or self.finished_at is None:
+            return None
+        return self.finished_at - self.started_at
+
+    @property
+    def completed(self) -> bool:
+        """Did the client program itself run to completion?"""
+        return self.finished_at is not None
+
+    def __repr__(self) -> str:
+        outcome = "ok" if self.all_succeeded else "failed"
+        return f"<ClientRecord {len(self.requests)} requests {outcome}>"

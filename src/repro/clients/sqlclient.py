@@ -1,0 +1,70 @@
+"""SqlClient — the synthetic database client of Section 4.
+
+Sends one SQL SELECT over a single table and verifies the result
+checksum, with the same 15-second timeout / 15-second wait / three
+attempts discipline as HttpClient.
+"""
+
+from __future__ import annotations
+
+from ..net.http import SqlRequest, SqlResponse
+from ..net.transport import RESET, Side
+from ..servers import content
+from ..sim import TIMED_OUT, Sleep
+from .httpclient import (
+    DEFAULT_MAX_ATTEMPTS,
+    DEFAULT_REPLY_TIMEOUT,
+    DEFAULT_RETRY_WAIT,
+)
+from .record import AttemptResult, ClientRecord, RequestRecord
+
+
+class SqlClient:
+    """sqlclient.exe: drives the SQL Server workload."""
+
+    image_name = "sqlclient.exe"
+
+    def __init__(self, port: int = content.SQL_PORT,
+                 query: str = content.SQL_QUERY,
+                 reply_timeout: float = DEFAULT_REPLY_TIMEOUT,
+                 retry_wait: float = DEFAULT_RETRY_WAIT,
+                 max_attempts: int = DEFAULT_MAX_ATTEMPTS):
+        self.port = port
+        self.query = query
+        self.reply_timeout = reply_timeout
+        self.retry_wait = retry_wait
+        self.max_attempts = max_attempts
+        expected = content.expected_results()
+        self._expected_rows = expected.sql_rows
+        self._expected_checksum = expected.sql_checksum
+        self.record = ClientRecord()
+
+    def main(self, ctx):
+        self.record.started_at = ctx.now
+        transport = ctx.machine.transport
+        record = RequestRecord(f"SQL {self.query!r}")
+        for attempt in range(1, self.max_attempts + 1):
+            connection = yield from transport.connect(
+                self.port, ctx.process, timeout=5.0)
+            if connection is None:
+                record.attempts.append(AttemptResult.REFUSED)
+            else:
+                transport.send(connection, Side.CLIENT, SqlRequest(self.query))
+                reply = yield from transport.recv(
+                    connection, Side.CLIENT, timeout=self.reply_timeout)
+                if reply is TIMED_OUT:
+                    record.attempts.append(AttemptResult.TIMEOUT)
+                elif reply is RESET:
+                    record.attempts.append(AttemptResult.RESET)
+                elif isinstance(reply, SqlResponse) and \
+                        reply.matches(self._expected_rows,
+                                      self._expected_checksum):
+                    record.attempts.append(AttemptResult.OK)
+                    record.succeeded = True
+                    break
+                else:
+                    record.attempts.append(AttemptResult.INCORRECT)
+            if not record.succeeded and attempt < self.max_attempts:
+                yield Sleep(self.retry_wait)
+        self.record.requests.append(record)
+        self.record.finished_at = ctx.now

@@ -1,0 +1,89 @@
+"""The DTS (Dependability Test Suite) core — the paper's contribution.
+
+Pipeline: a fault list (:mod:`faultlist`) enumerates the kernel32 fault
+space; the :mod:`campaign` drives the Figure-1 experiment flow, running
+each fault through :mod:`runner` with the :mod:`injector` armed; the
+:mod:`collector` classifies each run into Section 3's :mod:`outcomes`.
+"""
+
+from .campaign import (
+    Campaign,
+    WorkloadSetResult,
+    profile_workload,
+    run_workload_set,
+)
+from .collector import RunResult, count_restarts
+from .config import DtsConfig
+from .faultlist import (
+    dump_fault_list,
+    fault_count,
+    faults_by_function,
+    generate_fault_list,
+    parse_fault_list,
+    read_fault_list_file,
+    write_fault_list_file,
+)
+from .faults import DEFAULT_FAULT_TYPES, FaultSpec, FaultType
+from .injector import Injector
+from .return_injector import (
+    ReturnFaultSpec,
+    ReturnInjector,
+    generate_return_fault_list,
+)
+from .outcomes import (
+    ORDERED_OUTCOMES,
+    FailureMode,
+    Outcome,
+    classify,
+    classify_failure_mode,
+)
+from .runner import RunConfig, execute_run
+from .workload import (
+    APACHE1,
+    APACHE2,
+    IIS,
+    SQL,
+    WORKLOADS,
+    MiddlewareKind,
+    WorkloadSpec,
+    get_workload,
+)
+
+__all__ = [
+    "Campaign",
+    "WorkloadSetResult",
+    "run_workload_set",
+    "profile_workload",
+    "RunResult",
+    "count_restarts",
+    "DtsConfig",
+    "FaultSpec",
+    "FaultType",
+    "DEFAULT_FAULT_TYPES",
+    "generate_fault_list",
+    "fault_count",
+    "faults_by_function",
+    "dump_fault_list",
+    "parse_fault_list",
+    "read_fault_list_file",
+    "write_fault_list_file",
+    "Injector",
+    "ReturnFaultSpec",
+    "ReturnInjector",
+    "generate_return_fault_list",
+    "Outcome",
+    "FailureMode",
+    "ORDERED_OUTCOMES",
+    "classify",
+    "classify_failure_mode",
+    "RunConfig",
+    "execute_run",
+    "MiddlewareKind",
+    "WorkloadSpec",
+    "WORKLOADS",
+    "APACHE1",
+    "APACHE2",
+    "IIS",
+    "SQL",
+    "get_workload",
+]

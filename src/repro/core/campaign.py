@@ -1,0 +1,179 @@
+"""The experiment flow of Figure 1.
+
+An *experiment* is a series of *workload sets*; a workload set runs the
+full fault list against one (workload, middleware) configuration:
+
+    foreach workload → foreach function → foreach parameter →
+    foreach iteration → foreach fault type → one fault-injection run
+
+with the paper's activation shortcut: *"if an injected function is not
+called, all other injections for that function will be skipped because
+it is assumed that the function will also not be called if the server
+program is rerun for the next fault."*  A fault-free profiling run
+first discovers the called-function set (this is also how Table 1's
+counts are produced), and per-function activation is still verified
+during injection runs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+from .collector import RunResult
+from .faultlist import faults_by_function, generate_fault_list
+from .faults import DEFAULT_FAULT_TYPES, FaultSpec, FaultType
+from .outcomes import Outcome
+from .runner import RunConfig, execute_run
+from .workload import MiddlewareKind, WorkloadSpec, get_workload
+
+ProgressCallback = Callable[[int, int, Optional[RunResult]], None]
+
+
+class WorkloadSetResult:
+    """Results of one workload set (one chart column of Figure 2)."""
+
+    def __init__(self, workload_name: str, middleware: MiddlewareKind,
+                 watchd_version: int):
+        self.workload_name = workload_name
+        self.middleware = middleware
+        self.watchd_version = watchd_version
+        self.runs: list[RunResult] = []
+        self.skipped_functions: set[str] = set()
+        self.called_functions: set[str] = set()
+        self.profile_run: Optional[RunResult] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def activated_runs(self) -> list[RunResult]:
+        return [r for r in self.runs if r.counts_for_statistics]
+
+    @property
+    def activated_count(self) -> int:
+        return len(self.activated_runs)
+
+    def outcome_counts(self) -> dict[Outcome, int]:
+        counts = {outcome: 0 for outcome in Outcome}
+        for run in self.activated_runs:
+            counts[run.outcome] += 1
+        return counts
+
+    def outcome_fractions(self) -> dict[Outcome, float]:
+        total = self.activated_count
+        if total == 0:
+            return {outcome: 0.0 for outcome in Outcome}
+        return {outcome: count / total
+                for outcome, count in self.outcome_counts().items()}
+
+    @property
+    def failure_fraction(self) -> float:
+        return self.outcome_fractions()[Outcome.FAILURE]
+
+    @property
+    def failure_coverage(self) -> float:
+        """Section 5: unity minus the percentage of failure outcomes."""
+        return 1.0 - self.failure_fraction
+
+    def runs_for_fault_keys(self, keys: set) -> list[RunResult]:
+        """Activated runs restricted to a fault subset (Table 2's
+        common-fault comparison)."""
+        return [r for r in self.activated_runs if r.fault.key in keys]
+
+    def __repr__(self) -> str:
+        return (f"<WorkloadSet {self.workload_name}/{self.middleware.value} "
+                f"runs={len(self.runs)} activated={self.activated_count}>")
+
+
+class Campaign:
+    """Runs one workload set."""
+
+    def __init__(self, workload: WorkloadSpec | str,
+                 middleware: MiddlewareKind = MiddlewareKind.NONE,
+                 fault_types: Sequence[FaultType] = DEFAULT_FAULT_TYPES,
+                 invocations: Sequence[int] = (1,),
+                 functions: Optional[Sequence[str]] = None,
+                 config: Optional[RunConfig] = None,
+                 profile_first: bool = True,
+                 progress: Optional[ProgressCallback] = None,
+                 mechanism: str = "parameter"):
+        if mechanism not in ("parameter", "return"):
+            raise ValueError(f"unknown injection mechanism {mechanism!r}")
+        self.workload = (get_workload(workload)
+                         if isinstance(workload, str) else workload)
+        self.middleware = middleware
+        self.fault_types = tuple(fault_types)
+        self.invocations = tuple(invocations)
+        self.functions = list(functions) if functions is not None else None
+        self.config = config or RunConfig()
+        self.profile_first = profile_first
+        self.progress = progress
+        self.mechanism = mechanism
+
+    # ------------------------------------------------------------------
+    def run(self) -> WorkloadSetResult:
+        result = WorkloadSetResult(self.workload.name, self.middleware,
+                                   self.config.watchd_version)
+        if self.mechanism == "return":
+            from .return_injector import generate_return_fault_list
+
+            faults = generate_return_fault_list(
+                self.functions, self.fault_types, self.invocations)
+        else:
+            faults = generate_fault_list(self.functions, self.fault_types,
+                                         self.invocations,
+                                         registry=self.workload.registry)
+        grouped = faults_by_function(faults)
+
+        if self.profile_first:
+            result.profile_run = execute_run(
+                self.workload, self.middleware, fault=None, config=self.config)
+            result.called_functions = set(result.profile_run.called_functions)
+            candidates = {
+                name: fault_group for name, fault_group in grouped.items()
+                if name in result.called_functions
+            }
+            result.skipped_functions = set(grouped) - set(candidates)
+        else:
+            candidates = grouped
+
+        total = sum(len(group) for group in candidates.values())
+        done = 0
+        for function_name, fault_group in candidates.items():
+            for fault in fault_group:
+                run = execute_run(self.workload, self.middleware, fault,
+                                  config=self.config)
+                result.runs.append(run)
+                result.called_functions |= run.called_functions
+                done += 1
+                if self.progress is not None:
+                    self.progress(done, total, run)
+                if not run.activated:
+                    # The paper's shortcut: a fault that was not
+                    # activated means the function was not called; skip
+                    # the function's remaining faults.
+                    skipped = len(fault_group) - fault_group.index(fault) - 1
+                    done += skipped
+                    result.skipped_functions.add(function_name)
+                    break
+        return result
+
+
+def run_workload_set(workload_name: str, middleware: MiddlewareKind,
+                     config: Optional[RunConfig] = None,
+                     functions: Optional[Sequence[str]] = None,
+                     progress: Optional[ProgressCallback] = None
+                     ) -> WorkloadSetResult:
+    """Convenience wrapper: one workload set with defaults."""
+    campaign = Campaign(workload_name, middleware, functions=functions,
+                        config=config, progress=progress)
+    return campaign.run()
+
+
+def profile_workload(workload_name: str, middleware: MiddlewareKind,
+                     config: Optional[RunConfig] = None,
+                     watchd_version: int = 3) -> set[str]:
+    """A single fault-free run returning the called-function set — the
+    measurement behind Table 1."""
+    config = config or RunConfig(watchd_version=watchd_version)
+    run = execute_run(get_workload(workload_name), middleware, fault=None,
+                      config=config)
+    return set(run.called_functions)

@@ -1,0 +1,88 @@
+"""Fault model: parameter-value corruption.
+
+Section 4 of the paper: *"For each function, each function parameter
+was injected with three types of faults: (1) reset all bits to zero,
+(2) set all bits to one, and (3) flip all bits (i.e., one's complement
+for the parameter value)."*
+
+A fault is identified by (function, parameter index, invocation index,
+fault type); applying it rewrites the raw 32-bit argument word at the
+library-call boundary.
+"""
+
+from __future__ import annotations
+
+import enum
+
+MASK32 = 0xFFFFFFFF
+
+
+class FaultType(enum.Enum):
+    """The paper's three corruption operators."""
+
+    ZERO = "zero"   # reset all bits to zero
+    ONES = "ones"   # set all bits to one
+    FLIP = "flip"   # one's complement
+
+    def apply(self, raw: int) -> int:
+        """Corrupt one raw 32-bit word."""
+        if self is FaultType.ZERO:
+            return 0
+        if self is FaultType.ONES:
+            return MASK32
+        return (raw ^ MASK32) & MASK32
+
+    @property
+    def short_code(self) -> str:
+        return {"zero": "Z", "ones": "O", "flip": "F"}[self.value]
+
+
+DEFAULT_FAULT_TYPES = (FaultType.ZERO, FaultType.ONES, FaultType.FLIP)
+
+
+class FaultSpec:
+    """One injectable fault."""
+
+    __slots__ = ("function", "param_index", "fault_type", "invocation")
+
+    def __init__(self, function: str, param_index: int,
+                 fault_type: FaultType, invocation: int = 1):
+        if param_index < 0:
+            raise ValueError(f"negative parameter index {param_index}")
+        if invocation < 1:
+            raise ValueError(f"invocation index must be >= 1, got {invocation}")
+        self.function = function
+        self.param_index = param_index
+        self.fault_type = fault_type
+        self.invocation = invocation
+
+    @property
+    def key(self) -> tuple:
+        return (self.function, self.param_index,
+                self.fault_type.value, self.invocation)
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, FaultSpec) and self.key == other.key
+
+    def __hash__(self) -> int:
+        return hash(self.key)
+
+    def __repr__(self) -> str:
+        return (f"<Fault {self.function}[{self.param_index}] "
+                f"{self.fault_type.value}@{self.invocation}>")
+
+    # ------------------------------------------------------------------
+    # Fault-list line format (see core.faultlist)
+    # ------------------------------------------------------------------
+    def to_line(self) -> str:
+        return (f"{self.function} {self.param_index} "
+                f"{self.fault_type.value} {self.invocation}")
+
+    @classmethod
+    def from_line(cls, line: str) -> "FaultSpec":
+        parts = line.split()
+        if len(parts) != 4:
+            raise ValueError(f"malformed fault line: {line!r}")
+        function, param_index, fault_type, invocation = parts
+        return cls(function, int(param_index), FaultType(fault_type),
+                   int(invocation))

@@ -1,0 +1,76 @@
+"""The five-outcome taxonomy of Section 3 (plus Figure 4's split).
+
+1. **Normal success** — correct responses, no restarts, no retries.
+2. **Server restart with success** — a middleware-initiated server
+   restart occurred; no client retransmissions were needed.
+3. **Server restart and client request retry with success**.
+4. **Client request retry with success** — retransmission alone fixed it.
+5. **Failure** — at least one request never got a correct response.
+
+Figure 4 further splits failures into *incorrect response received*
+(finite response time) and *no response received* (infinite response
+time, excluded from the latency plots).
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Outcome(enum.Enum):
+    NORMAL_SUCCESS = "normal-success"
+    RESTART_SUCCESS = "restart-success"
+    RESTART_RETRY_SUCCESS = "restart-retry-success"
+    RETRY_SUCCESS = "retry-success"
+    FAILURE = "failure"
+
+    @property
+    def is_success(self) -> bool:
+        return self is not Outcome.FAILURE
+
+    @property
+    def involves_restart(self) -> bool:
+        return self in (Outcome.RESTART_SUCCESS, Outcome.RESTART_RETRY_SUCCESS)
+
+    @property
+    def involves_retry(self) -> bool:
+        return self in (Outcome.RETRY_SUCCESS, Outcome.RESTART_RETRY_SUCCESS)
+
+
+class FailureMode(enum.Enum):
+    """Figure 4's subdivision of failures."""
+
+    NONE = "none"                          # not a failure
+    INCORRECT_RESPONSE = "incorrect-response"
+    NO_RESPONSE = "no-response"
+
+
+ORDERED_OUTCOMES = (
+    Outcome.NORMAL_SUCCESS,
+    Outcome.RESTART_SUCCESS,
+    Outcome.RESTART_RETRY_SUCCESS,
+    Outcome.RETRY_SUCCESS,
+    Outcome.FAILURE,
+)
+
+
+def classify(all_succeeded: bool, restarts: int, retries: int) -> Outcome:
+    """Map client evidence + restart evidence to the taxonomy."""
+    if not all_succeeded:
+        return Outcome.FAILURE
+    if restarts > 0 and retries > 0:
+        return Outcome.RESTART_RETRY_SUCCESS
+    if restarts > 0:
+        return Outcome.RESTART_SUCCESS
+    if retries > 0:
+        return Outcome.RETRY_SUCCESS
+    return Outcome.NORMAL_SUCCESS
+
+
+def classify_failure_mode(outcome: Outcome,
+                          any_response_received: bool) -> FailureMode:
+    if outcome is not Outcome.FAILURE:
+        return FailureMode.NONE
+    if any_response_received:
+        return FailureMode.INCORRECT_RESPONSE
+    return FailureMode.NO_RESPONSE

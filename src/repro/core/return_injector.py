@@ -1,0 +1,116 @@
+"""Return-value corruption: an alternative fault-injection mechanism.
+
+Section 2 of the paper stresses that "the basic DTS architecture is not
+dependent on a particular fault injection mechanism" — parameter
+corruption is merely the initial implementation.  This module plugs a
+second mechanism into the same interception layer: corrupt the *result*
+a library call hands back to the application (the technique of
+Ghosh & Schmid's NT wrapping work the paper cites).
+
+A return-value fault emulates a different fault class than a parameter
+fault: the OS performed the operation correctly, but the application
+*believes* it failed (zero), succeeded wildly (ones), or got garbage
+(flip) — pure error-handling-path testing.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..nt.interception import ReturnHook
+from ..nt.kernel32.signatures import REGISTRY, FunctionSig
+from .faults import FaultType
+
+
+class ReturnFaultSpec:
+    """One injectable return-value fault."""
+
+    __slots__ = ("function", "fault_type", "invocation")
+
+    def __init__(self, function: str, fault_type: FaultType,
+                 invocation: int = 1):
+        if invocation < 1:
+            raise ValueError(f"invocation index must be >= 1, got {invocation}")
+        self.function = function
+        self.fault_type = fault_type
+        self.invocation = invocation
+
+    @property
+    def key(self) -> tuple:
+        return (self.function, self.fault_type.value, self.invocation)
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, ReturnFaultSpec) and self.key == other.key
+
+    def __hash__(self) -> int:
+        return hash(("return",) + self.key)
+
+    def __repr__(self) -> str:
+        return (f"<ReturnFault {self.function}() -> "
+                f"{self.fault_type.value}@{self.invocation}>")
+
+
+class ReturnInjector(ReturnHook):
+    """Arms a single :class:`ReturnFaultSpec` against one process role.
+
+    Unlike parameter corruption, *every* export is a candidate — the
+    130 parameter-less functions included (they still return values).
+    """
+
+    def __init__(self, fault: ReturnFaultSpec, target_role: str):
+        if fault.function not in REGISTRY:
+            raise ValueError(f"unknown export {fault.function!r}")
+        self.fault = fault
+        self.target_role = target_role
+        self.fired = False
+        self.fired_at: Optional[float] = None
+        self.original_result: Optional[int] = None
+        self.corrupted_result: Optional[int] = None
+        self._seen_invocations = 0
+
+    def on_return(self, process, sig: FunctionSig, invocation: int,
+                  result: int) -> Optional[int]:
+        if self.fired or process.role != self.target_role:
+            return None
+        if sig.name != self.fault.function:
+            return None
+        self._seen_invocations += 1
+        if self._seen_invocations != self.fault.invocation:
+            return None
+        self.fired = True
+        self.fired_at = process.machine.engine.now
+        corrupted = self.fault.fault_type.apply(result & 0xFFFFFFFF)
+        self.original_result = result
+        self.corrupted_result = corrupted
+        if corrupted == (result & 0xFFFFFFFF):
+            return None  # value-preserving: activated but a no-op
+        return corrupted
+
+    @property
+    def was_noop(self) -> bool:
+        return self.fired and \
+            self.original_result is not None and \
+            (self.original_result & 0xFFFFFFFF) == self.corrupted_result
+
+    def __repr__(self) -> str:
+        state = "fired" if self.fired else "armed"
+        return f"<ReturnInjector {self.fault!r} on {self.target_role} {state}>"
+
+
+def generate_return_fault_list(functions=None, fault_types=None,
+                               invocations=(1,)) -> list[ReturnFaultSpec]:
+    """Enumerate the return-value fault space (one fault per function ×
+    type × invocation — parameters are irrelevant here)."""
+    from .faults import DEFAULT_FAULT_TYPES
+
+    names = list(functions) if functions is not None else list(REGISTRY)
+    for name in names:
+        if name not in REGISTRY:
+            raise KeyError(name)
+    fault_types = tuple(fault_types or DEFAULT_FAULT_TYPES)
+    return [
+        ReturnFaultSpec(name, fault_type, invocation)
+        for name in names
+        for invocation in invocations
+        for fault_type in fault_types
+    ]

@@ -1,0 +1,132 @@
+"""Execution of a single fault-injection run (the inner box of Fig. 1).
+
+    Create fault param file → Prepare workload progs → Start server
+    prog (fault is injected) → Wait for server to be up → Start client
+    prog → Workload termination → Gather results
+
+A fresh :class:`~repro.nt.machine.Machine` is booted per run; one fault
+is armed against the workload's target role; the server is brought up
+(directly or through middleware); the client runs to completion; the
+workload is terminated gracefully (the DTS shutdown event) and then
+reaped; and everything the data collector needs is gathered.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..nt.machine import Machine
+from ..sim import derive_seed
+from .collector import RunResult, collect
+from .faults import FaultSpec
+from .injector import Injector
+from .return_injector import ReturnFaultSpec, ReturnInjector
+from .workload import MiddlewareKind, WorkloadSpec
+
+# Operational timeouts (virtual seconds), from the main config file in
+# the real tool.
+DEFAULT_SERVER_UP_TIMEOUT = 90.0
+DEFAULT_CLIENT_TIMEOUT = 240.0
+SHUTDOWN_GRACE = 3.0
+_POLL_STEP = 0.5
+
+
+class RunConfig:
+    """Per-run operational parameters (the main configuration file)."""
+
+    def __init__(self, base_seed: int = 2000,
+                 server_up_timeout: float = DEFAULT_SERVER_UP_TIMEOUT,
+                 client_timeout: float = DEFAULT_CLIENT_TIMEOUT,
+                 watchd_version: int = 3,
+                 cpu_mhz: int = 100,
+                 keep_full_trace: bool = False,
+                 scm_lock_enabled: bool = True):
+        self.base_seed = base_seed
+        self.server_up_timeout = server_up_timeout
+        self.client_timeout = client_timeout
+        self.watchd_version = watchd_version
+        self.cpu_mhz = cpu_mhz
+        self.keep_full_trace = keep_full_trace
+        self.scm_lock_enabled = scm_lock_enabled
+
+    def seed_for(self, workload: WorkloadSpec, middleware: MiddlewareKind,
+                 fault: Optional[FaultSpec]) -> int:
+        parts = [workload.name, middleware.value, self.watchd_version]
+        if fault is not None:
+            parts.extend(fault.key)
+        return derive_seed(self.base_seed, *parts)
+
+
+def execute_run(workload: WorkloadSpec, middleware: MiddlewareKind,
+                fault: Optional[FaultSpec],
+                config: Optional[RunConfig] = None) -> RunResult:
+    """Run one fault injection (or a fault-free profiling run when
+    ``fault`` is None) and return the collected result."""
+    config = config or RunConfig()
+    machine = Machine(seed=config.seed_for(workload, middleware, fault),
+                      cpu_mhz=config.cpu_mhz,
+                      keep_full_trace=config.keep_full_trace,
+                      scm_lock_enabled=config.scm_lock_enabled)
+    workload.setup(machine)
+
+    injector = None
+    if fault is not None:
+        if isinstance(fault, ReturnFaultSpec):
+            injector = ReturnInjector(fault,
+                                      target_role=workload.target_role)
+            machine.interception.add_return_hook(injector)
+        else:
+            injector = Injector(fault, target_role=workload.target_role,
+                                registry=workload.registry)
+            machine.interception.add_hook(injector)
+
+    middleware_program = workload.deploy_middleware(
+        machine, middleware, watchd_version=config.watchd_version)
+
+    # --- Wait for the server to be up ---------------------------------
+    deadline = config.server_up_timeout
+    while machine.now < deadline and \
+            not machine.transport.is_listening(workload.port):
+        machine.run(until=min(machine.now + _POLL_STEP, deadline))
+    server_came_up = machine.transport.is_listening(workload.port)
+
+    # --- Run the client -------------------------------------------------
+    client = workload.make_client()
+    client_process = machine.processes.spawn(client, role="dts-client")
+    client_deadline = machine.now + config.client_timeout
+    while client_process.alive and machine.now < client_deadline:
+        machine.run(until=min(machine.now + 2.0, client_deadline))
+
+    # --- Workload termination -------------------------------------------
+    # Monitoring stops first (as DTS tears the workload down), so the
+    # middleware does not misinterpret the shutdown as a failure.
+    for role in ("mscs", "watchd"):
+        for process in machine.processes.processes_with_role(role):
+            if process.alive:
+                process.terminate(exit_code=0)
+    _graceful_shutdown(machine)
+    result = collect(
+        machine=machine,
+        workload=workload,
+        middleware=middleware,
+        fault=fault,
+        injector=injector,
+        client=client,
+        middleware_program=middleware_program,
+        server_came_up=server_came_up,
+        watchd_version=config.watchd_version,
+    )
+    machine.shutdown()
+    return result
+
+
+def _graceful_shutdown(machine: Machine) -> None:
+    """Signal the DTS shutdown event so well-behaved servers exit their
+    normal path (this is also what completes the Table 1 call profile
+    of the Apache master)."""
+    from ..servers.apache import SHUTDOWN_EVENT
+
+    event = machine.named_objects.get(SHUTDOWN_EVENT)
+    if event is not None and hasattr(event, "set"):
+        event.set()
+        machine.run(until=machine.now + SHUTDOWN_GRACE)

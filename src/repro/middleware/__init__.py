@@ -1,0 +1,14 @@
+"""Fault-tolerance middleware packages under test.
+
+- :mod:`mscs` — Microsoft Cluster Server's generic service resource
+  monitor (coarse state polling, SCM restarts, event-log records).
+- :mod:`watchd` — Bell Labs NT-SwiFT watchd in the three versions the
+  paper iterates through (the ``getServiceInfo`` race, the merged
+  start, and the validate-and-retry start).
+"""
+
+from .base import MiddlewareLogEntry, probe_service
+from .mscs import ClusterService
+from .watchd import Watchd
+
+__all__ = ["ClusterService", "Watchd", "MiddlewareLogEntry", "probe_service"]

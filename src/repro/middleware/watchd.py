@@ -1,0 +1,266 @@
+"""NT-SwiFT watchd, in the three versions Section 4.3 iterates through.
+
+All versions share the monitoring loop: wait on the service process
+handle for death (immediate detection, unlike MSCS's polling) plus a
+periodic application-level liveness probe that catches *hangs*.  They
+differ in how a service start is performed and verified — exactly the
+axis the paper's DTS-driven debugging moved along:
+
+**Watchd1** — ``startService()`` (asynchronous), then after its
+bookkeeping delay ``getServiceInfo()`` to obtain the process handle.
+A service that dies inside that window can never be monitored or
+restarted: *"This small window of opportunity was sufficient to
+prevent watchd from correctly obtaining the necessary process
+handle."*
+
+**Watchd2** — merges ``getServiceInfo()`` into ``startService()``: the
+handle is captured at spawn, closing the race.  The merged call,
+however, now *waits internally* for the service to report RUNNING and
+declares the start failed on its (fixed, short) internal timeout —
+which penalises slow starters: Apache's master legitimately needs
+longer than the internal wait whenever its child is slow to come up,
+so Watchd2 kills and abandons services Watchd1 would have happily
+monitored.  That is the mechanism behind the paper's surprising
+"failure outcomes for Apache1 actually increased" result.
+
+**Watchd3** — additionally *validates* the captured handle and
+re-verifies the service state with the SCM, retrying the whole start —
+patiently waiting out ``ERROR_SERVICE_DATABASE_LOCKED`` periods — until
+the service is demonstrably running.  This is what recovers services
+that die while the SCM holds its Start-Pending lock (Apache's master,
+SQL Server's recovery phase).
+
+Watchd logs to *its own* log (``machine.watchd_log``), not the NT event
+log — the paper notes DTS reads restart evidence from a separate log
+file for NT-SwiFT.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..nt.errors import (
+    ERROR_SERVICE_ALREADY_RUNNING,
+    ERROR_SERVICE_DATABASE_LOCKED,
+    ERROR_SUCCESS,
+)
+from ..nt.scm import ServiceState
+from ..servers.base import WATCHD_ENV_MARKER
+from ..sim import Sleep
+from .base import MiddlewareLogEntry, probe_service, wait_for_exit
+
+LOG_SOURCE = "watchd"
+
+# Timing knobs (seconds); see the class docstring for their roles.
+V1_BOOKKEEPING_DELAY = 1.8
+V2_RUNNING_WAIT = 10.0
+V3_RUNNING_WAIT = 15.0
+V3_MAX_START_ATTEMPTS = 30
+V3_RETRY_DELAY = 2.0
+DEATH_WATCH_INTERVAL = 5.0
+PROBE_INTERVAL = 10.0
+PROBE_FAILURES_TO_RESTART = 2
+
+
+def install(machine) -> None:
+    """Traces watchd leaves on the system: its own log, and the
+    NT-SwiFT environment marker that makes servers disable their
+    redundant internal watchdogs (the Table 1 deltas)."""
+    machine.base_environment[WATCHD_ENV_MARKER] = "1"
+    if not hasattr(machine, "watchd_log"):
+        machine.watchd_log = []
+
+
+class Watchd:
+    """watchd.exe monitoring one NT service."""
+
+    image_name = "watchd.exe"
+
+    def __init__(self, service_name: str, probe_port: Optional[int],
+                 version: int = 3):
+        if version not in (1, 2, 3):
+            raise ValueError(f"unknown watchd version {version}")
+        self.service_name = service_name
+        self.probe_port = probe_port
+        self.version = version
+        self.gave_up = False
+        self.restart_count = 0
+
+    # ------------------------------------------------------------------
+    def main(self, ctx):
+        process = yield from self._start_service(ctx)
+        while True:
+            if process is None:
+                self.gave_up = True
+                self._log(ctx, f"giving up on {self.service_name}")
+                return
+            process = yield from self._monitor(ctx, process)
+            # _monitor returns the replacement process after a restart,
+            # or None when a restart could not be accomplished.
+
+    # ------------------------------------------------------------------
+    # Version-specific start-and-acquire
+    # ------------------------------------------------------------------
+    def _start_service(self, ctx):
+        if self.version == 1:
+            return (yield from self._start_v1(ctx))
+        if self.version == 2:
+            return (yield from self._start_v2(ctx))
+        return (yield from self._start_v3(ctx))
+
+    def _start_v1(self, ctx):
+        """startService(); ...bookkeeping...; getServiceInfo()."""
+        scm = ctx.machine.scm
+        error = scm.start_service(self.service_name)
+        if error not in (ERROR_SUCCESS, ERROR_SERVICE_ALREADY_RUNNING):
+            self._log(ctx, f"startService failed: {error}")
+            return None
+        yield Sleep(V1_BOOKKEEPING_DELAY)
+        process = scm.service_process(self.service_name)  # getServiceInfo()
+        if process is None:
+            # The race: the process died inside the window.
+            self._log(ctx, "getServiceInfo failed: no process handle")
+            return None
+        self._log(ctx, f"monitoring {self.service_name} pid={process.pid}")
+        return process
+
+    def _start_v2(self, ctx):
+        """Merged startService(): handle captured at spawn, but the call
+        itself waits (briefly) for RUNNING and fails hard on timeout."""
+        scm = ctx.machine.scm
+        error = scm.start_service(self.service_name)
+        if error not in (ERROR_SUCCESS, ERROR_SERVICE_ALREADY_RUNNING):
+            self._log(ctx, f"startService failed: {error}")
+            return None
+        service = scm.get_service(self.service_name)
+        process = service.process  # captured atomically: no race window
+        waited = 0.0
+        while waited < V2_RUNNING_WAIT:
+            if service.state is ServiceState.RUNNING and \
+                    process is not None and process.alive:
+                self._log(ctx,
+                          f"monitoring {self.service_name} pid={process.pid}")
+                return process
+            if process is not None and not process.alive:
+                if service.running_since is not None:
+                    # startService had effectively completed: the death
+                    # is a monitoring event, not a start failure.  The
+                    # captured handle is exactly what v1's race lost.
+                    self._log(ctx, f"{self.service_name} died right "
+                                   f"after start; handle retained")
+                    return process
+                if service.state is ServiceState.STOPPED:
+                    self._log(ctx, "service died before running")
+                    return None
+            yield Sleep(0.5)
+            waited += 0.5
+        # Internal timeout: declare the start failed and clean up —
+        # even if a slow starter would have made it eventually.
+        self._log(ctx, f"{self.service_name} did not reach RUNNING "
+                       f"within {V2_RUNNING_WAIT:.0f}s; marking failed")
+        if process is not None and process.alive:
+            process.terminate(exit_code=1)
+        return None
+
+    def _start_v3(self, ctx):
+        """Merged start + handle validation + SCM verification + retry."""
+        scm = ctx.machine.scm
+        spawns = 0
+        for _attempt in range(V3_MAX_START_ATTEMPTS):
+            error = scm.start_service(self.service_name)
+            if error == ERROR_SERVICE_DATABASE_LOCKED:
+                # Wait out the pending-state lock and try again.
+                yield Sleep(V3_RETRY_DELAY)
+                continue
+            if error not in (ERROR_SUCCESS, ERROR_SERVICE_ALREADY_RUNNING):
+                yield Sleep(V3_RETRY_DELAY)
+                continue
+            spawns += 1
+            if spawns > 1 or error == ERROR_SERVICE_ALREADY_RUNNING or \
+                    scm.get_service(self.service_name).start_count > 1:
+                # A second spawn within one acquisition is a restart of
+                # the server program and is logged as such.
+                self.restart_count += 1
+                self._log(ctx, f"restarting {self.service_name} "
+                               f"(validated start, restart "
+                               f"#{self.restart_count})")
+            service = scm.get_service(self.service_name)
+            process = service.process
+            waited = 0.0
+            while waited < V3_RUNNING_WAIT:
+                # Explicit handle validation before trusting it.
+                if process is None or not process.alive:
+                    break
+                if service.state is ServiceState.RUNNING and \
+                        scm.service_process(self.service_name) is process:
+                    self._log(ctx, f"monitoring {self.service_name} "
+                                   f"pid={process.pid} (verified)")
+                    return process
+                yield Sleep(0.5)
+                waited += 0.5
+            # Not verifiably running: reap any leftover and retry.
+            if process is not None and process.alive and \
+                    service.state is not ServiceState.RUNNING:
+                process.terminate(exit_code=1)
+            yield Sleep(V3_RETRY_DELAY)
+        self._log(ctx, f"exhausted start attempts for {self.service_name}")
+        return None
+
+    # ------------------------------------------------------------------
+    # Monitoring loop (shared by all versions)
+    # ------------------------------------------------------------------
+    def _monitor(self, ctx, process):
+        probe_failures = 0
+        time_to_probe = PROBE_INTERVAL
+        while True:
+            died = yield from wait_for_exit(process, DEATH_WATCH_INTERVAL)
+            if died:
+                self._log(ctx, f"{self.service_name} pid={process.pid} died "
+                               f"(exit={process.exit_code})")
+                return (yield from self._restart(ctx))
+            if self.probe_port is None:
+                continue
+            time_to_probe -= DEATH_WATCH_INTERVAL
+            if time_to_probe > 0:
+                continue
+            time_to_probe = PROBE_INTERVAL
+            healthy = yield from probe_service(ctx, self.probe_port)
+            if healthy:
+                probe_failures = 0
+                continue
+            probe_failures += 1
+            self._log(ctx, f"probe failure {probe_failures} "
+                           f"for {self.service_name}")
+            if probe_failures >= PROBE_FAILURES_TO_RESTART:
+                self._log(ctx, f"{self.service_name} unresponsive; "
+                               f"forcing restart")
+                if process.alive:
+                    process.terminate(exit_code=1)
+                yield Sleep(0.5)  # let the SCM observe the death
+                return (yield from self._restart(ctx))
+
+    def _restart(self, ctx):
+        # Let the SCM finish observing the failure before restarting
+        # (also guarantees this loop always consumes simulated time).
+        yield Sleep(0.25)
+        if self.version in (1, 2):
+            self.restart_count += 1
+            self._log(ctx, f"restarting {self.service_name} "
+                           f"(restart #{self.restart_count})")
+        # (v3 logs its restarts inside the validated start loop, which
+        # is the only place it ever respawns the server.)
+        if self.version in (1, 2):
+            # Limited patience: a few quick attempts, then give up —
+            # a Start-Pending database lock outlasts them.
+            for _attempt in range(3):
+                process = yield from self._start_service(ctx)
+                if process is not None:
+                    return process
+                yield Sleep(2.0)
+            return None
+        return (yield from self._start_service(ctx))
+
+    # ------------------------------------------------------------------
+    def _log(self, ctx, message: str) -> None:
+        entry = MiddlewareLogEntry(ctx.machine.engine.now, LOG_SOURCE, message)
+        ctx.machine.watchd_log.append(entry)

@@ -1,0 +1,33 @@
+"""Simulated networking: transport fabric and application messages."""
+
+from .http import (
+    HTTP_NOT_FOUND,
+    HTTP_OK,
+    HTTP_SERVER_ERROR,
+    HttpRequest,
+    HttpResponse,
+    ProbePing,
+    ProbePong,
+    SqlRequest,
+    SqlResponse,
+    content_checksum,
+)
+from .transport import RESET, Connection, Listener, Side, Transport
+
+__all__ = [
+    "Transport",
+    "Connection",
+    "Listener",
+    "Side",
+    "RESET",
+    "HttpRequest",
+    "HttpResponse",
+    "ProbePing",
+    "ProbePong",
+    "SqlRequest",
+    "SqlResponse",
+    "content_checksum",
+    "HTTP_OK",
+    "HTTP_NOT_FOUND",
+    "HTTP_SERVER_ERROR",
+]

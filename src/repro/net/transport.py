@@ -1,0 +1,226 @@
+"""Simulated TCP-like transport.
+
+Ports, listeners, bidirectional connections, per-message latency, and
+— crucially for fault injection — *connection reset on process death*:
+when the process owning one end of a connection dies, the other end's
+pending and future receives complete with :data:`RESET`.  A hung server
+produces the other client-visible symptom: receives that time out.
+
+The API is generator-based like everything above the simulation kernel:
+
+    conn = yield from transport.connect(80, timeout=5.0)
+    transport.send(conn, Side.CLIENT, request)
+    reply = yield from transport.recv(conn, Side.CLIENT, timeout=15.0)
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from typing import TYPE_CHECKING, Any, Optional
+
+from ..sim import TIMED_OUT, FifoQueue, Wait
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..nt.machine import Machine
+    from ..nt.process_manager import NTProcess
+
+
+class _Reset:
+    """Singleton sentinel delivered on a reset connection."""
+
+    _instance: Optional["_Reset"] = None
+
+    def __new__(cls) -> "_Reset":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "RESET"
+
+    def __bool__(self) -> bool:
+        return False
+
+
+RESET = _Reset()
+
+
+class Side(enum.Enum):
+    CLIENT = "client"
+    SERVER = "server"
+
+    @property
+    def peer(self) -> "Side":
+        return Side.SERVER if self is Side.CLIENT else Side.CLIENT
+
+
+class Connection:
+    """One established connection; each side has an inbox."""
+
+    _ids = itertools.count(1)
+
+    def __init__(self, port: int):
+        self.conn_id = next(self._ids)
+        self.port = port
+        self.open = True
+        self._inboxes = {Side.CLIENT: FifoQueue(f"c{self.conn_id}.client"),
+                         Side.SERVER: FifoQueue(f"c{self.conn_id}.server")}
+        self._owners: dict[Side, Optional["NTProcess"]] = {
+            Side.CLIENT: None, Side.SERVER: None,
+        }
+
+    def inbox(self, side: Side) -> FifoQueue:
+        return self._inboxes[side]
+
+    def bind(self, side: Side, process: Optional["NTProcess"]) -> None:
+        self._owners[side] = process
+
+    def owner(self, side: Side) -> Optional["NTProcess"]:
+        return self._owners[side]
+
+    def reset(self) -> None:
+        """Tear the connection down; both inboxes drain as RESET."""
+        if not self.open:
+            return
+        self.open = False
+        for inbox in self._inboxes.values():
+            inbox.put(RESET)
+
+    def __repr__(self) -> str:
+        state = "open" if self.open else "reset"
+        return f"<Connection #{self.conn_id} :{self.port} {state}>"
+
+
+class Listener:
+    """A passive socket bound to a port."""
+
+    def __init__(self, port: int, owner: "NTProcess"):
+        self.port = port
+        self.owner = owner
+        self.open = True
+        self.backlog = FifoQueue(f"listen:{port}")
+
+    def close(self) -> None:
+        self.open = False
+
+    def __repr__(self) -> str:
+        return f"<Listener :{self.port} {'open' if self.open else 'closed'}>"
+
+
+class Transport:
+    """Machine-wide network fabric."""
+
+    def __init__(self, machine: "Machine", latency: float = 0.05):
+        self.machine = machine
+        self.latency = latency
+        self._listeners: dict[int, Listener] = {}
+        self._connections: list[Connection] = []
+
+    # ------------------------------------------------------------------
+    # Server side
+    # ------------------------------------------------------------------
+    def listen(self, port: int, owner: "NTProcess") -> Optional[Listener]:
+        """Bind a port; rebinding replaces a dead owner's listener.
+
+        Returns None when the port is held by a live process (the
+        bind-failure a restarted server hits while its predecessor
+        still lingers).
+        """
+        existing = self._listeners.get(port)
+        if existing is not None and existing.open and existing.owner.alive:
+            return None
+        listener = Listener(port, owner)
+        self._listeners[port] = listener
+        return listener
+
+    def is_listening(self, port: int) -> bool:
+        listener = self._listeners.get(port)
+        return listener is not None and listener.open and listener.owner.alive
+
+    def accept(self, listener: Listener, timeout: Optional[float] = None):
+        """Wait for an inbound connection; TIMED_OUT or RESET on failure."""
+        if not listener.open:
+            return RESET
+        event = listener.backlog.get_event()
+        result = yield Wait(event, timeout=timeout)
+        if result is TIMED_OUT:
+            event.succeed(TIMED_OUT)  # poison so a later put skips it
+            return TIMED_OUT
+        return result
+
+    # ------------------------------------------------------------------
+    # Client side
+    # ------------------------------------------------------------------
+    def connect(self, port: int, client: "NTProcess",
+                timeout: Optional[float] = None):
+        """Dial a port.  Returns a Connection, or None when refused."""
+        yield from self._delay()
+        listener = self._listeners.get(port)
+        if listener is None or not listener.open or not listener.owner.alive:
+            return None  # connection refused
+        connection = Connection(port)
+        connection.bind(Side.CLIENT, client)
+        connection.bind(Side.SERVER, listener.owner)
+        self._connections.append(connection)
+        listener.backlog.put(connection)
+        return connection
+
+    # ------------------------------------------------------------------
+    # Data exchange
+    # ------------------------------------------------------------------
+    def send(self, connection: Connection, sender: Side, message: Any) -> bool:
+        """Queue a message for the peer; delivered after the latency."""
+        if not connection.open:
+            return False
+        self.machine.engine.schedule(
+            self.latency, self._deliver, connection, sender.peer, message,
+        )
+        return True
+
+    def _deliver(self, connection: Connection, to: Side, message: Any) -> None:
+        if connection.open:
+            connection.inbox(to).put(message)
+
+    def recv(self, connection: Connection, side: Side,
+             timeout: Optional[float] = None):
+        """Wait for the next message; TIMED_OUT or RESET on failure."""
+        if not connection.open:
+            ok, item = connection.inbox(side).try_get()
+            return item if ok else RESET
+        event = connection.inbox(side).get_event()
+        result = yield Wait(event, timeout=timeout)
+        if result is TIMED_OUT:
+            event.succeed(TIMED_OUT)  # poison: a later put must skip it
+            return TIMED_OUT
+        return result
+
+    def _delay(self):
+        from ..sim import Sleep
+
+        yield Sleep(self.latency)
+
+    # ------------------------------------------------------------------
+    # Process-death integration
+    # ------------------------------------------------------------------
+    def on_process_exit(self, process: "NTProcess") -> None:
+        """Close listeners and reset connections owned by a dead process."""
+        for listener in self._listeners.values():
+            if listener.owner is process:
+                listener.close()
+        for connection in self._connections:
+            if connection.open and (
+                connection.owner(Side.CLIENT) is process
+                or connection.owner(Side.SERVER) is process
+            ):
+                connection.reset()
+
+    def handoff(self, connection: Connection, side: Side,
+                process: "NTProcess") -> None:
+        """Rebind one side of a connection to another process (a master
+        handing an accepted connection to its worker)."""
+        connection.bind(side, process)
+
+    @property
+    def open_connections(self) -> int:
+        return sum(1 for c in self._connections if c.open)

@@ -1,0 +1,116 @@
+"""The Win32 view a simulated program gets of its machine.
+
+A program's ``main(ctx)`` generator receives a :class:`Win32Context`.
+Library calls go through ``ctx.k32`` and **must** be delegated with
+``yield from`` so that blocking calls (waits, sleeps) can suspend the
+calling thread::
+
+    handle = yield from ctx.k32.CreateFileA("c:\\conf\\httpd.conf",
+                                            GENERIC_READ, 0, None,
+                                            OPEN_EXISTING, 0, None)
+    status = yield from ctx.k32.WaitForSingleObject(child, 5000)
+
+Every call funnels through :meth:`Win32Context._invoke`:
+
+1. semantic arguments are lowered to raw 32-bit words,
+2. the interception layer lets hooks (the fault injector) rewrite them,
+3. the raw words are decoded back against the declared signature,
+4. the implementation (specific or generic) runs on the decoded frame.
+
+Step 2/3 is exactly where a corrupted word changes meaning: a zeroed
+string pointer decodes as NULL, a flipped handle stops resolving, an
+all-ones size means four gigabytes.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from ..sim import Sleep
+from .kernel32 import runtime
+from .kernel32.signatures import REGISTRY, FunctionSig
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .machine import Machine
+    from .process_manager import NTProcess
+
+
+class UnknownExportError(AttributeError):
+    """A program referenced a function kernel32 does not export."""
+
+
+class _K32Proxy:
+    """Attribute-style access to the export table: ``ctx.k32.ReadFile``."""
+
+    __slots__ = ("_ctx",)
+
+    def __init__(self, ctx: "Win32Context"):
+        self._ctx = ctx
+
+    def __getattr__(self, name: str):
+        sig = REGISTRY.get(name)
+        if sig is None:
+            raise UnknownExportError(f"KERNEL32.dll has no export {name!r}")
+        ctx = self._ctx
+
+        def call(*args: Any):
+            return ctx._invoke(sig, args)
+
+        call.__name__ = name
+        return call
+
+
+class Win32Context:
+    """Per-process gateway to the simulated NT machine."""
+
+    def __init__(self, machine: "Machine", process: "NTProcess"):
+        self.machine = machine
+        self.process = process
+        self.k32 = _K32Proxy(self)
+
+    # ------------------------------------------------------------------
+    # Conveniences for program code (not part of the Win32 surface)
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        return self.machine.engine.now
+
+    def compute(self, seconds: float):
+        """Model CPU-bound work; scales with the machine's clock speed."""
+        yield Sleep(seconds * self.machine.cpu_scale)
+
+    def log_debug(self, message: str) -> None:
+        """Program-side diagnostics kept on the machine for tests."""
+        self.machine.debug_log.append((self.now, self.process.pid, message))
+
+    def memory(self, address: int):
+        """Resolve a raw pointer (e.g. a HeapAlloc result) back to its
+        buffer — the program-side equivalent of dereferencing it."""
+        return self.machine.address_space.resolve(address)
+
+    # ------------------------------------------------------------------
+    # Call dispatch
+    # ------------------------------------------------------------------
+    def _invoke(self, sig: FunctionSig, sem_args: tuple[Any, ...]):
+        if len(sem_args) != len(sig.params):
+            raise TypeError(
+                f"{sig.name} takes {len(sig.params)} arguments,"
+                f" got {len(sem_args)}"
+            )
+        space = self.machine.address_space
+        raw_args = tuple(space.encode(value) for value in sem_args)
+        raw_args = self.machine.interception.dispatch(self.process, sig, raw_args)
+        decoded = [
+            space.decode(raw, spec.ptype.pointer_like)
+            for raw, spec in zip(raw_args, sig.params)
+        ]
+        frame = runtime.Frame(self.machine, self.process, sig, decoded)
+        impl = runtime.lookup(sig.name)
+        if impl is None:
+            result = runtime.generic_implementation(frame)
+        elif runtime.is_blocking(sig.name):
+            result = yield from impl(frame)
+        else:
+            result = impl(frame)
+        return self.machine.interception.dispatch_return(
+            self.process, sig, result)

@@ -1,0 +1,149 @@
+"""Win32 error codes, NT status codes and structured exceptions.
+
+Only the codes the simulated substrate actually produces are defined,
+with the real Windows NT 4.0 numeric values so logs and reports read
+like the originals.
+
+Two error-reporting conventions coexist, as on real NT:
+
+- **Win32 last-error**: API functions return a failure sentinel (0,
+  ``FALSE``, ``INVALID_HANDLE_VALUE``) and record a code retrievable via
+  ``GetLastError`` — modelled by :meth:`Win32Context.set_last_error`.
+- **Structured exceptions**: hardware-level faults (an access violation
+  from dereferencing a corrupted pointer) unwind the whole process —
+  modelled by :class:`StructuredException` propagating out of the
+  program generator, which the process manager turns into a crashed
+  process with the corresponding NTSTATUS exit code.
+"""
+
+from __future__ import annotations
+
+# ----------------------------------------------------------------------
+# Win32 error codes (winerror.h values)
+# ----------------------------------------------------------------------
+ERROR_SUCCESS = 0
+ERROR_FILE_NOT_FOUND = 2
+ERROR_PATH_NOT_FOUND = 3
+ERROR_ACCESS_DENIED = 5
+ERROR_INVALID_HANDLE = 6
+ERROR_NOT_ENOUGH_MEMORY = 8
+ERROR_INVALID_DATA = 13
+ERROR_OUTOFMEMORY = 14
+ERROR_INVALID_PARAMETER = 87
+ERROR_INSUFFICIENT_BUFFER = 122
+ERROR_INVALID_NAME = 123
+ERROR_MOD_NOT_FOUND = 126
+ERROR_ALREADY_EXISTS = 183
+ERROR_ENVVAR_NOT_FOUND = 203
+ERROR_PIPE_BUSY = 231
+ERROR_NO_DATA = 232
+ERROR_INVALID_ADDRESS = 487
+ERROR_INVALID_FLAGS = 1004
+ERROR_SERVICE_REQUEST_TIMEOUT = 1053
+ERROR_SERVICE_NO_THREAD = 1054
+ERROR_SERVICE_DATABASE_LOCKED = 1055
+ERROR_SERVICE_ALREADY_RUNNING = 1056
+ERROR_INVALID_SERVICE_CONTROL = 1052
+ERROR_SERVICE_CANNOT_ACCEPT_CTRL = 1061
+ERROR_SERVICE_NOT_ACTIVE = 1062
+ERROR_EXCEPTION_IN_SERVICE = 1064
+ERROR_SERVICE_SPECIFIC_ERROR = 1066
+ERROR_SERVICE_DOES_NOT_EXIST = 1060
+ERROR_TIMEOUT = 1460
+
+# Wait function return values (not errors, but the same numeric space).
+WAIT_OBJECT_0 = 0x00000000
+WAIT_ABANDONED = 0x00000080
+WAIT_TIMEOUT = 0x00000102
+WAIT_FAILED = 0xFFFFFFFF
+
+INFINITE = 0xFFFFFFFF
+INVALID_HANDLE_VALUE = 0xFFFFFFFF
+
+# ----------------------------------------------------------------------
+# NTSTATUS codes (process exit codes for crashes)
+# ----------------------------------------------------------------------
+STATUS_SUCCESS = 0x00000000
+STATUS_ACCESS_VIOLATION = 0xC0000005
+STATUS_IN_PAGE_ERROR = 0xC0000006
+STATUS_INVALID_HANDLE = 0xC0000008
+STATUS_NO_MEMORY = 0xC0000017
+STATUS_ILLEGAL_INSTRUCTION = 0xC000001D
+STATUS_STACK_OVERFLOW = 0xC00000FD
+STATUS_CONTROL_C_EXIT = 0xC000013A
+STATUS_DLL_INIT_FAILED = 0xC0000142
+STATUS_HEAP_CORRUPTION = 0xC0000374
+
+_ERROR_NAMES = {
+    value: name
+    for name, value in list(globals().items())
+    if name.startswith(("ERROR_", "STATUS_", "WAIT_")) and isinstance(value, int)
+}
+
+
+def error_name(code: int) -> str:
+    """Symbolic name for a code, or its hex representation if unknown."""
+    return _ERROR_NAMES.get(code, f"0x{code:08X}")
+
+
+class StructuredException(Exception):
+    """An NT structured exception.
+
+    Raised by simulated kernel32 implementations; if no simulated
+    handler intervenes it unwinds the program generator and the process
+    manager records a crash with ``status`` as the exit code.
+    """
+
+    status = STATUS_ACCESS_VIOLATION
+
+    def __init__(self, message: str = "", status: int | None = None):
+        super().__init__(message)
+        if status is not None:
+            self.status = status
+
+    def __str__(self) -> str:
+        base = super().__str__()
+        return f"{error_name(self.status)}: {base}" if base else error_name(self.status)
+
+
+class AccessViolation(StructuredException):
+    """Dereference of an invalid address (NULL or wild pointer)."""
+
+    status = STATUS_ACCESS_VIOLATION
+
+    def __init__(self, address: int, operation: str = "read"):
+        super().__init__(f"{operation} of address 0x{address:08X}")
+        self.address = address
+        self.operation = operation
+
+
+class HeapCorruption(StructuredException):
+    """Detected corruption of a heap structure (e.g. freeing a wild block)."""
+
+    status = STATUS_HEAP_CORRUPTION
+
+
+class ThreadExit(BaseException):
+    """Internal control-flow signal used by ``ExitThread``.
+
+    Ends only the calling thread; on the main thread it ends the
+    process (a simplification of NT's last-thread rule that matches the
+    workloads, whose main threads never call ``ExitThread`` mid-life).
+    """
+
+    def __init__(self, code: int):
+        super().__init__(f"ExitThread({code})")
+        self.code = code
+
+
+class ProcessExit(BaseException):
+    """Internal control-flow signal used by ``ExitProcess``.
+
+    Derives from ``BaseException`` so simulated application code that
+    catches ``Exception`` does not accidentally survive its own
+    ``ExitProcess`` call.
+    """
+
+    def __init__(self, code: int):
+        super().__init__(f"ExitProcess({code})")
+        self.code = code

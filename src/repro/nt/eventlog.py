@@ -1,0 +1,68 @@
+"""The NT event log.
+
+MSCS writes its restart actions here, and the DTS data collector reads
+it back to decide whether a "server restart" happened during a run —
+the same detection path the paper describes ("Some middleware, such as
+Microsoft Cluster Server, write output to the Windows NT event log").
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterable, Optional
+
+
+class EventType(enum.Enum):
+    INFORMATION = "information"
+    WARNING = "warning"
+    ERROR = "error"
+
+
+class EventRecord:
+    """One event-log entry."""
+
+    __slots__ = ("time", "source", "event_type", "event_id", "message")
+
+    def __init__(self, time: float, source: str, event_type: EventType,
+                 event_id: int, message: str):
+        self.time = time
+        self.source = source
+        self.event_type = event_type
+        self.event_id = event_id
+        self.message = message
+
+    def __repr__(self) -> str:
+        return (f"<Event t={self.time:.3f} {self.source} "
+                f"{self.event_type.value} #{self.event_id} {self.message!r}>")
+
+
+class EventLog:
+    """Append-only system event log."""
+
+    def __init__(self) -> None:
+        self.records: list[EventRecord] = []
+
+    def write(self, time: float, source: str, event_type: EventType,
+              event_id: int, message: str) -> EventRecord:
+        record = EventRecord(time, source, event_type, event_id, message)
+        self.records.append(record)
+        return record
+
+    def query(self, source: Optional[str] = None,
+              event_type: Optional[EventType] = None,
+              since: float = 0.0) -> Iterable[EventRecord]:
+        """Records filtered by source/type/time, oldest first."""
+        for record in self.records:
+            if record.time < since:
+                continue
+            if source is not None and record.source != source:
+                continue
+            if event_type is not None and record.event_type != event_type:
+                continue
+            yield record
+
+    def count(self, source: Optional[str] = None) -> int:
+        return sum(1 for _ in self.query(source=source))
+
+    def clear(self) -> None:
+        self.records.clear()

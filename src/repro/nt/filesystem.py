@@ -1,0 +1,49 @@
+"""In-memory filesystem for the simulated machine.
+
+Holds the workload's document roots (HTML files, CGI scripts, server
+configuration files, database files).  Paths are case-insensitive with
+backslash separators, like NT filesystems.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+
+def normalize(path: str) -> str:
+    """Canonical form: lower-case, backslash-separated, no drive games."""
+    return path.replace("/", "\\").lower()
+
+
+class FileSystem:
+    """A flat path → bytes store with enough semantics for the servers."""
+
+    def __init__(self) -> None:
+        self._files: dict[str, bytes] = {}
+
+    def write_file(self, path: str, data: bytes | str) -> None:
+        if isinstance(data, str):
+            data = data.encode("latin-1")
+        self._files[normalize(path)] = bytes(data)
+
+    def read_file(self, path: str) -> Optional[bytes]:
+        """File contents, or None if the path does not exist."""
+        return self._files.get(normalize(path))
+
+    def exists(self, path: str) -> bool:
+        return normalize(path) in self._files
+
+    def delete(self, path: str) -> bool:
+        return self._files.pop(normalize(path), None) is not None
+
+    def size(self, path: str) -> Optional[int]:
+        data = self._files.get(normalize(path))
+        return None if data is None else len(data)
+
+    def list_dir(self, prefix: str) -> Iterable[str]:
+        """All stored paths under a directory prefix."""
+        prefix = normalize(prefix).rstrip("\\") + "\\"
+        return sorted(p for p in self._files if p.startswith(prefix))
+
+    def __len__(self) -> int:
+        return len(self._files)

@@ -1,0 +1,82 @@
+"""NT object handles.
+
+Handles are small integers referring to kernel objects (processes,
+events, files, ...).  The table hands out values that look like real NT
+handles (multiples of 4) and never reuses them, so a bit-flipped handle
+value is overwhelmingly likely to be *invalid* rather than to alias a
+different live object — matching what the paper's fault type does on a
+real system.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from .errors import INVALID_HANDLE_VALUE
+
+
+class KernelObject:
+    """Base class for everything a handle can refer to."""
+
+    kind = "object"
+
+    def __init__(self, name: str = ""):
+        self.name = name
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name or hex(id(self))}>"
+
+
+class HandleTable:
+    """Machine-wide handle table.
+
+    Real NT tables are per-process; a machine-wide table is an
+    acceptable simplification because the simulation never relies on
+    handle-value collisions between processes, only on valid/invalid
+    resolution — which behaves identically.
+    """
+
+    _FIRST = 0x24
+    _STRIDE = 4
+
+    def __init__(self) -> None:
+        self._next = self._FIRST
+        self._objects: dict[int, KernelObject] = {}
+
+    def allocate(self, obj: KernelObject) -> int:
+        """Insert ``obj`` and return its new handle value."""
+        handle = self._next
+        self._next += self._STRIDE
+        self._objects[handle] = obj
+        return handle
+
+    def resolve(self, handle: int, kind: Optional[type] = None) -> Optional[KernelObject]:
+        """The object behind ``handle`` or None if invalid/closed.
+
+        ``kind`` optionally narrows acceptance to one object class;
+        a live handle of the wrong kind resolves to None (the caller
+        reports ``ERROR_INVALID_HANDLE``, as NT does for type mismatches).
+        """
+        if handle in (0, INVALID_HANDLE_VALUE):
+            return None
+        obj = self._objects.get(handle)
+        if obj is None:
+            return None
+        if kind is not None and not isinstance(obj, kind):
+            return None
+        return obj
+
+    def close(self, handle: int) -> bool:
+        """Remove the table entry; later resolutions fail."""
+        return self._objects.pop(handle, None) is not None
+
+    def is_valid(self, handle: int) -> bool:
+        return handle in self._objects
+
+    def handles_for(self, obj: Any) -> list[int]:
+        """All live handles referring to ``obj`` (diagnostics only)."""
+        return [h for h, o in self._objects.items() if o is obj]
+
+    @property
+    def live_count(self) -> int:
+        return len(self._objects)

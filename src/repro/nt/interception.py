@@ -1,0 +1,164 @@
+"""Library-call interception — the SWIFI mechanism.
+
+On the paper's real system DTS rewrites a process's import address
+table so that every ``KERNEL32.dll`` call passes through a thunk that
+may corrupt parameter values.  Here every simulated kernel32 call is
+dispatched through this layer, which gives registered hooks the same
+power: observe the call, and rewrite its raw argument words before the
+implementation sees them.
+
+The layer also keeps the *call trace* the rest of DTS relies on:
+
+- which functions each process role has called (Table 1 counts and the
+  fault-activation skip heuristic), and
+- per-(process, function) invocation indices (the paper injects only
+  the first invocation of each function).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional, Protocol
+
+from .kernel32.signatures import FunctionSig
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from .process_manager import NTProcess
+
+
+class CallHook(Protocol):
+    """Interface for interception hooks (the fault injector)."""
+
+    def on_call(self, process: "NTProcess", sig: FunctionSig,
+                invocation: int, raw_args: tuple[int, ...]) -> Optional[tuple[int, ...]]:
+        """Observe/rewrite one call.
+
+        ``invocation`` is 1-based and counted per (process, function).
+        Return replacement raw args, or None to leave them unchanged.
+        """
+
+
+class ReturnHook(Protocol):
+    """Interface for hooks that rewrite a call's *return value* — the
+    alternative fault-injection mechanism the DTS architecture was
+    designed to accommodate ("the basic DTS architecture is not
+    dependent on a particular fault injection mechanism")."""
+
+    def on_return(self, process: "NTProcess", sig: FunctionSig,
+                  invocation: int, result: int) -> Optional[int]:
+        """Observe/rewrite the integer result of one completed call.
+
+        Return the replacement value, or None to leave it unchanged.
+        """
+
+
+class CallRecord:
+    """One intercepted call, as kept in the machine-wide trace."""
+
+    __slots__ = ("time", "pid", "role", "func", "invocation", "injected")
+
+    def __init__(self, time: float, pid: int, role: str, func: str,
+                 invocation: int, injected: bool):
+        self.time = time
+        self.pid = pid
+        self.role = role
+        self.func = func
+        self.invocation = invocation
+        self.injected = injected
+
+    def __repr__(self) -> str:
+        mark = " INJ" if self.injected else ""
+        return f"<Call t={self.time:.3f} {self.role}/{self.pid} {self.func}#{self.invocation}{mark}>"
+
+
+class InterceptionLayer:
+    """Dispatch point between program code and kernel32 implementations."""
+
+    def __init__(self, keep_full_trace: bool = True):
+        self.hooks: list[CallHook] = []
+        self.return_hooks: list[ReturnHook] = []
+        self.keep_full_trace = keep_full_trace
+        self.trace: list[CallRecord] = []
+        self._invocations: dict[tuple[int, str], int] = {}
+        self._called_by_role: dict[str, set[str]] = {}
+        self._call_counts: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # Hook management
+    # ------------------------------------------------------------------
+    def add_hook(self, hook: CallHook) -> None:
+        self.hooks.append(hook)
+
+    def remove_hook(self, hook: CallHook) -> None:
+        try:
+            self.hooks.remove(hook)
+        except ValueError:
+            pass
+
+    def add_return_hook(self, hook: ReturnHook) -> None:
+        self.return_hooks.append(hook)
+
+    def remove_return_hook(self, hook: ReturnHook) -> None:
+        try:
+            self.return_hooks.remove(hook)
+        except ValueError:
+            pass
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    def dispatch(self, process: "NTProcess", sig: FunctionSig,
+                 raw_args: tuple[int, ...]) -> tuple[int, ...]:
+        """Run hooks over one call; returns the (possibly corrupted) args."""
+        key = (process.pid, sig.name)
+        invocation = self._invocations.get(key, 0) + 1
+        self._invocations[key] = invocation
+
+        injected = False
+        for hook in self.hooks:
+            replacement = hook.on_call(process, sig, invocation, raw_args)
+            if replacement is not None:
+                raw_args = replacement
+                injected = True
+
+        self._called_by_role.setdefault(process.role, set()).add(sig.name)
+        self._call_counts[sig.name] = self._call_counts.get(sig.name, 0) + 1
+        if self.keep_full_trace:
+            self.trace.append(CallRecord(
+                process.machine.engine.now, process.pid, process.role,
+                sig.name, invocation, injected,
+            ))
+        return raw_args
+
+    def dispatch_return(self, process: "NTProcess", sig: FunctionSig,
+                        result):
+        """Run return hooks over one completed call's result."""
+        if not self.return_hooks or not isinstance(result, int):
+            return result
+        invocation = self._invocations.get((process.pid, sig.name), 0)
+        for hook in self.return_hooks:
+            replacement = hook.on_return(process, sig, invocation, result)
+            if replacement is not None:
+                result = replacement
+        return result
+
+    # ------------------------------------------------------------------
+    # Trace queries
+    # ------------------------------------------------------------------
+    def called_functions(self, role: Optional[str] = None) -> set[str]:
+        """Distinct function names called, optionally for one role."""
+        if role is not None:
+            return set(self._called_by_role.get(role, set()))
+        merged: set[str] = set()
+        for names in self._called_by_role.values():
+            merged |= names
+        return merged
+
+    def roles_seen(self) -> set[str]:
+        return set(self._called_by_role)
+
+    def call_count(self, func: str) -> int:
+        """Total calls of ``func`` across all processes."""
+        return self._call_counts.get(func, 0)
+
+    def invocation_count(self, pid: int, func: str) -> int:
+        return self._invocations.get((pid, func), 0)

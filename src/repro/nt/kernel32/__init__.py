@@ -1,0 +1,53 @@
+"""Simulated KERNEL32.DLL.
+
+``signatures`` holds the export table (the fault space); ``runtime``
+holds the dispatch frame and implementation registry; the ``impl_*``
+modules register behaviour for every export the workloads call.
+Importing this package registers all implementations.
+"""
+
+from . import (  # noqa: F401  (imported for their registration side effects)
+    impl_console,
+    impl_env,
+    impl_files,
+    impl_memory,
+    impl_misc,
+    impl_module,
+    impl_process,
+    impl_profile,
+    impl_string,
+    impl_sync,
+    impl_time,
+)
+from . import constants
+from .runtime import IMPLEMENTATIONS, Frame, generic_implementation, k32impl
+from .signatures import (
+    REGISTRY,
+    TOTAL_EXPORTS,
+    TOTAL_INJECTABLE_EXPORTS,
+    TOTAL_ZERO_PARAM_EXPORTS,
+    FunctionSig,
+    ParamSpec,
+    ParamType,
+    get_signature,
+    injectable_signatures,
+    iter_signatures,
+)
+
+__all__ = [
+    "REGISTRY",
+    "FunctionSig",
+    "ParamSpec",
+    "ParamType",
+    "get_signature",
+    "iter_signatures",
+    "injectable_signatures",
+    "TOTAL_EXPORTS",
+    "TOTAL_ZERO_PARAM_EXPORTS",
+    "TOTAL_INJECTABLE_EXPORTS",
+    "IMPLEMENTATIONS",
+    "Frame",
+    "k32impl",
+    "generic_implementation",
+    "constants",
+]

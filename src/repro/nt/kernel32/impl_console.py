@@ -1,0 +1,104 @@
+"""Console and standard-handle API implementations."""
+
+from __future__ import annotations
+
+from ..errors import ERROR_INVALID_HANDLE, ERROR_INVALID_PARAMETER, INVALID_HANDLE_VALUE
+from ..memory import Buffer
+from ..objects import ConsoleObject
+from . import constants as k
+from .runtime import Frame, k32impl
+
+_STD_SLOTS = {
+    k.STD_INPUT_HANDLE: "stdin",
+    k.STD_OUTPUT_HANDLE: "stdout",
+    k.STD_ERROR_HANDLE: "stderr",
+}
+
+
+def _std_handles(frame: Frame) -> dict:
+    process = frame.process
+    table = getattr(process, "_std_handles", None)
+    if table is None:
+        table = {}
+        for slot, name in _STD_SLOTS.items():
+            table[slot] = frame.new_handle(ConsoleObject(name))
+        process._std_handles = table
+    return table
+
+
+@k32impl("GetStdHandle")
+def get_std_handle(frame: Frame) -> int:
+    slot = frame.uint(0)
+    table = _std_handles(frame)
+    handle = table.get(slot)
+    if handle is None:
+        return frame.fail(ERROR_INVALID_PARAMETER, INVALID_HANDLE_VALUE)
+    return frame.succeed(handle)
+
+
+@k32impl("SetStdHandle")
+def set_std_handle(frame: Frame) -> int:
+    slot = frame.uint(0)
+    if slot not in _STD_SLOTS:
+        return frame.fail(ERROR_INVALID_PARAMETER)
+    if not frame.machine.handles.is_valid(frame.args[1].raw):
+        return frame.fail(ERROR_INVALID_HANDLE)
+    _std_handles(frame)[slot] = frame.args[1].raw
+    return frame.succeed(1)
+
+
+@k32impl("WriteConsoleA")
+def write_console_a(frame: Frame) -> int:
+    console = frame.handle_object(0, ConsoleObject)
+    payload = frame.pointer(1)
+    count = frame.uint(2)
+    if console is None:
+        return frame.fail(ERROR_INVALID_HANDLE)
+    if isinstance(payload, Buffer):
+        console.written.append(bytes(payload.data[:count]))
+    else:
+        console.written.append(str(payload).encode("latin-1", "replace")[:count])
+    cell = frame.opt_out_cell(3)
+    if cell is not None:
+        cell.value = count
+    frame.opt_pointer(4)
+    return frame.succeed(1)
+
+
+@k32impl("SetConsoleCtrlHandler")
+def set_console_ctrl_handler(frame: Frame) -> int:
+    frame.opt_pointer(0)
+    frame.boolean(1)
+    return frame.succeed(1)
+
+
+@k32impl("AllocConsole")
+def alloc_console(frame: Frame) -> int:
+    return frame.succeed(1)
+
+
+@k32impl("FreeConsole")
+def free_console(frame: Frame) -> int:
+    return frame.succeed(1)
+
+
+@k32impl("SetConsoleTitleA")
+def set_console_title_a(frame: Frame) -> int:
+    frame.string(0)
+    return frame.succeed(1)
+
+
+@k32impl("GetConsoleMode")
+def get_console_mode(frame: Frame) -> int:
+    if frame.handle_object(0, ConsoleObject) is None:
+        return frame.fail(ERROR_INVALID_HANDLE)
+    frame.out_cell(1).value = k.ENABLE_PROCESSED_INPUT | k.ENABLE_LINE_INPUT
+    return frame.succeed(1)
+
+
+@k32impl("SetConsoleMode")
+def set_console_mode(frame: Frame) -> int:
+    if frame.handle_object(0, ConsoleObject) is None:
+        return frame.fail(ERROR_INVALID_HANDLE)
+    frame.uint(1)
+    return frame.succeed(1)

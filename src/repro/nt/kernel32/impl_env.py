@@ -1,0 +1,130 @@
+"""Environment, computer-identity and version API implementations."""
+
+from __future__ import annotations
+
+from ..errors import ERROR_ENVVAR_NOT_FOUND
+from ..memory import CString, OutCell
+from .impl_files import _write_string
+from .runtime import Frame, k32impl
+
+
+@k32impl("GetEnvironmentVariableA")
+def get_environment_variable_a(frame: Frame) -> int:
+    if frame.args[0].is_null:
+        # NT validates the name pointer: NULL is a plain error, not a
+        # crash (wild pointers still fault below).
+        return frame.fail(ERROR_ENVVAR_NOT_FOUND, 0)
+    name = frame.string(0)
+    value = frame.process.environment.get(name)
+    if value is None:
+        return frame.fail(ERROR_ENVVAR_NOT_FOUND, 0)
+    buffer = frame.opt_buffer(1)
+    capacity = frame.uint(2)
+    if buffer is None or capacity <= len(value):
+        return frame.succeed(len(value) + 1)
+    return frame.succeed(_write_string(buffer, value, capacity))
+
+
+@k32impl("SetEnvironmentVariableA")
+def set_environment_variable_a(frame: Frame) -> int:
+    name = frame.string(0)
+    value = frame.opt_string(1)
+    if value is None:
+        frame.process.environment.pop(name, None)
+    else:
+        frame.process.environment[name] = value
+    return frame.succeed(1)
+
+
+@k32impl("ExpandEnvironmentStringsA")
+def expand_environment_strings_a(frame: Frame) -> int:
+    source = frame.string(0)
+    expanded = source
+    for key, value in frame.process.environment.items():
+        expanded = expanded.replace(f"%{key}%", value)
+    buffer = frame.opt_buffer(1)
+    capacity = frame.uint(2)
+    if buffer is None or capacity <= len(expanded):
+        return frame.succeed(len(expanded) + 1)
+    _write_string(buffer, expanded, capacity)
+    return frame.succeed(len(expanded) + 1)
+
+
+@k32impl("GetEnvironmentStrings")
+def get_environment_strings(frame: Frame) -> int:
+    block = "\0".join(f"{k}={v}" for k, v in
+                      sorted(frame.process.environment.items()))
+    return frame.machine.address_space.intern(CString(block))
+
+
+@k32impl("GetEnvironmentStringsA")
+def get_environment_strings_a(frame: Frame) -> int:
+    return get_environment_strings(frame)
+
+
+@k32impl("FreeEnvironmentStringsA")
+def free_environment_strings_a(frame: Frame) -> int:
+    frame.pointer(0)
+    return frame.succeed(1)
+
+
+@k32impl("GetComputerNameA")
+def get_computer_name_a(frame: Frame) -> int:
+    buffer = frame.buffer(0)
+    size_cell = frame.pointer(1, OutCell)
+    name = frame.process.environment.get("COMPUTERNAME", "DTSTARGET")
+    _write_string(buffer, name, len(buffer.data) or len(name) + 1)
+    size_cell.value = len(name)
+    return frame.succeed(1)
+
+
+@k32impl("GetSystemDirectoryA")
+def get_system_directory_a(frame: Frame) -> int:
+    buffer = frame.buffer(0)
+    capacity = frame.uint(1)
+    path = "C:\\WINNT\\system32"
+    if capacity <= len(path):
+        return frame.succeed(len(path) + 1)
+    return frame.succeed(_write_string(buffer, path, capacity))
+
+
+@k32impl("GetWindowsDirectoryA")
+def get_windows_directory_a(frame: Frame) -> int:
+    buffer = frame.buffer(0)
+    capacity = frame.uint(1)
+    path = "C:\\WINNT"
+    if capacity <= len(path):
+        return frame.succeed(len(path) + 1)
+    return frame.succeed(_write_string(buffer, path, capacity))
+
+
+@k32impl("GetSystemInfo")
+def get_system_info(frame: Frame) -> int:
+    cell = frame.pointer(0)
+    if isinstance(cell, OutCell):
+        cell.value = {
+            "dwNumberOfProcessors": 1,
+            "dwPageSize": 4096,
+            "wProcessorArchitecture": 0,  # PROCESSOR_ARCHITECTURE_INTEL
+            "dwProcessorType": 586,
+        }
+    return 0
+
+
+@k32impl("GetVersion")
+def get_version(frame: Frame) -> int:
+    # NT 4.0 build 1381: major 4, minor 0, high bit clear (NT platform).
+    return (1381 << 16) | (0 << 8) | 4
+
+
+@k32impl("GetVersionExA")
+def get_version_ex_a(frame: Frame) -> int:
+    cell = frame.pointer(0)
+    if isinstance(cell, OutCell):
+        cell.value = {
+            "dwMajorVersion": 4,
+            "dwMinorVersion": 0,
+            "dwBuildNumber": 1381,
+            "szCSDVersion": "Service Pack 4",
+        }
+    return frame.succeed(1)

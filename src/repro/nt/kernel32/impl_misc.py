@@ -1,0 +1,192 @@
+"""Error-mode, debugging, pipe and miscellaneous API implementations."""
+
+from __future__ import annotations
+
+from ..errors import (
+    ERROR_INVALID_HANDLE,
+    ERROR_INVALID_PARAMETER,
+    ProcessExit,
+    StructuredException,
+)
+from ..memory import ArgKind
+from ..objects import PipeObject
+from . import constants as k
+from .runtime import Frame, k32impl
+
+
+@k32impl("GetLastError")
+def get_last_error(frame: Frame) -> int:
+    return frame.process.last_error
+
+
+@k32impl("SetLastError")
+def set_last_error(frame: Frame) -> int:
+    frame.process.last_error = frame.uint(0)
+    return 0
+
+
+@k32impl("SetErrorMode")
+def set_error_mode(frame: Frame) -> int:
+    previous = getattr(frame.process, "_error_mode", 0)
+    frame.process._error_mode = frame.uint(0)
+    return previous
+
+
+@k32impl("SetUnhandledExceptionFilter")
+def set_unhandled_exception_filter(frame: Frame) -> int:
+    arg = frame.args[0]
+    if arg.kind is ArgKind.WILD:
+        # Installing a wild filter is silent now; the process would
+        # only discover it during a crash.  We keep the simple model:
+        # the installation itself succeeds.
+        pass
+    previous = getattr(frame.process, "_exception_filter", 0)
+    frame.process._exception_filter = arg.raw
+    return previous
+
+
+@k32impl("UnhandledExceptionFilter")
+def unhandled_exception_filter(frame: Frame) -> int:
+    frame.pointer(0)
+    return 1  # EXCEPTION_EXECUTE_HANDLER
+
+
+@k32impl("OutputDebugStringA")
+def output_debug_string_a(frame: Frame) -> int:
+    # Real OutputDebugString is SEH-guarded: bad pointers are absorbed.
+    arg = frame.args[0]
+    if arg.kind is ArgKind.OBJECT:
+        try:
+            text = frame.string(0)
+        except StructuredException:  # pragma: no cover - defensive
+            return 0
+        frame.machine.debug_log.append(
+            (frame.machine.engine.now, frame.process.pid, text)
+        )
+    return 0
+
+
+@k32impl("DebugBreak")
+def debug_break(frame: Frame) -> int:
+    # No debugger is attached: the breakpoint exception is unhandled.
+    raise StructuredException("DebugBreak", status=k.STATUS_BREAKPOINT)
+
+
+@k32impl("IsDebuggerPresent")
+def is_debugger_present(frame: Frame) -> int:
+    return 0
+
+
+@k32impl("Beep")
+def beep(frame: Frame) -> int:
+    frame.uint(0)
+    frame.uint(1)
+    return frame.succeed(1)
+
+
+@k32impl("MulDiv")
+def mul_div(frame: Frame) -> int:
+    number = frame.uint(0)
+    numerator = frame.uint(1)
+    denominator = frame.uint(2)
+    if denominator == 0:
+        return 0xFFFFFFFF
+    return (number * numerator // denominator) & 0xFFFFFFFF
+
+
+@k32impl("FatalAppExitA")
+def fatal_app_exit_a(frame: Frame) -> int:
+    frame.uint(0)
+    frame.string(1)
+    raise ProcessExit(255)
+
+
+@k32impl("FatalExit")
+def fatal_exit(frame: Frame) -> int:
+    raise ProcessExit(frame.uint(0))
+
+
+@k32impl("CreatePipe")
+def create_pipe(frame: Frame) -> int:
+    read_cell = frame.out_cell(0)
+    write_cell = frame.out_cell(1)
+    frame.opt_pointer(2)
+    frame.uint(3)
+    pipe = PipeObject()
+    read_cell.value = frame.new_handle(pipe)
+    write_cell.value = frame.new_handle(pipe)
+    return frame.succeed(1)
+
+
+@k32impl("PeekNamedPipe")
+def peek_named_pipe(frame: Frame) -> int:
+    pipe = frame.handle_object(0, PipeObject)
+    if pipe is None:
+        return frame.fail(ERROR_INVALID_HANDLE)
+    frame.opt_buffer(1)
+    frame.uint(2)
+    for index in (3, 4, 5):
+        cell = frame.opt_out_cell(index)
+        if cell is not None:
+            cell.value = len(pipe.buffer)
+    return frame.succeed(1)
+
+
+@k32impl("GetLogicalDrives")
+def get_logical_drives(frame: Frame) -> int:
+    return 0b101  # A: and C:
+
+
+@k32impl("GetHandleInformation")
+def get_handle_information(frame: Frame) -> int:
+    if frame.handle_object(0) is None:
+        return frame.fail(ERROR_INVALID_HANDLE)
+    frame.out_cell(1).value = 0
+    return frame.succeed(1)
+
+
+@k32impl("SetHandleInformation")
+def set_handle_information(frame: Frame) -> int:
+    if frame.handle_object(0) is None:
+        return frame.fail(ERROR_INVALID_HANDLE)
+    frame.uint(1)
+    frame.uint(2)
+    return frame.succeed(1)
+
+
+@k32impl("SetHandleCount")
+def set_handle_count(frame: Frame) -> int:
+    return frame.uint(0)
+
+
+@k32impl("GetSystemDefaultLCID")
+def get_system_default_lcid(frame: Frame) -> int:
+    return 0x0409
+
+
+@k32impl("GetUserDefaultLCID")
+def get_user_default_lcid(frame: Frame) -> int:
+    return 0x0409
+
+
+@k32impl("GetSystemDefaultLangID")
+def get_system_default_lang_id(frame: Frame) -> int:
+    return 0x0409
+
+
+@k32impl("GetUserDefaultLangID")
+def get_user_default_lang_id(frame: Frame) -> int:
+    return 0x0409
+
+
+@k32impl("GetThreadLocale")
+def get_thread_locale(frame: Frame) -> int:
+    return 0x0409
+
+
+@k32impl("SetThreadLocale")
+def set_thread_locale(frame: Frame) -> int:
+    locale = frame.uint(0)
+    if locale > 0xFFFF:
+        return frame.fail(ERROR_INVALID_PARAMETER)
+    return frame.succeed(1)

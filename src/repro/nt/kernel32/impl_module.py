@@ -1,0 +1,90 @@
+"""Module (DLL) API implementations."""
+
+from __future__ import annotations
+
+from ..errors import (
+    ERROR_INSUFFICIENT_BUFFER,
+    ERROR_INVALID_HANDLE,
+    ERROR_MOD_NOT_FOUND,
+    ERROR_PATH_NOT_FOUND,
+)
+from ..objects import ModuleObject, ProcStub
+from .runtime import Frame, k32impl
+from .impl_files import _write_string
+
+ERROR_PROC_NOT_FOUND = 127
+
+
+def _load(frame: Frame, name: str) -> int:
+    key = name.lower()
+    if not (key.endswith(".dll") or key.endswith(".drv") or "." not in key):
+        return frame.fail(ERROR_MOD_NOT_FOUND, 0)
+    module = frame.machine.loaded_modules.get(key)
+    if module is None:
+        module = ModuleObject(name)
+        frame.machine.loaded_modules[key] = module
+    return frame.succeed(frame.new_handle(module))
+
+
+@k32impl("LoadLibraryA")
+def load_library_a(frame: Frame) -> int:
+    return _load(frame, frame.string(0))
+
+
+@k32impl("LoadLibraryExA")
+def load_library_ex_a(frame: Frame) -> int:
+    name = frame.string(0)
+    raw_file = frame.args[1].raw
+    if raw_file not in (0, 0xFFFFFFFF) and not frame.machine.handles.is_valid(raw_file):
+        return frame.fail(ERROR_INVALID_HANDLE, 0)
+    frame.uint(2)
+    return _load(frame, name)
+
+
+@k32impl("FreeLibrary")
+def free_library(frame: Frame) -> int:
+    module = frame.handle_object(0, ModuleObject)
+    if module is None:
+        return frame.fail(ERROR_INVALID_HANDLE)
+    frame.machine.handles.close(frame.args[0].raw)
+    return frame.succeed(1)
+
+
+@k32impl("GetModuleHandleA")
+def get_module_handle_a(frame: Frame) -> int:
+    name = frame.opt_string(0)
+    if name is None:
+        name = frame.process.image_name
+    return _load(frame, name if "." in name else f"{name}.dll")
+
+
+@k32impl("GetModuleFileNameA")
+def get_module_file_name_a(frame: Frame) -> int:
+    raw_module = frame.args[0].raw
+    if raw_module != 0 and frame.handle_object(0, ModuleObject) is None:
+        return frame.fail(ERROR_INVALID_HANDLE, 0)
+    buffer = frame.buffer(1)
+    capacity = frame.uint(2)
+    path = f"C:\\Program Files\\{frame.process.image_name}"
+    if capacity == 0:
+        return frame.fail(ERROR_INSUFFICIENT_BUFFER, 0)
+    return frame.succeed(_write_string(buffer, path[:capacity - 1], capacity))
+
+
+@k32impl("GetProcAddress")
+def get_proc_address(frame: Frame) -> int:
+    module = frame.handle_object(0, ModuleObject)
+    proc_name = frame.string(1)
+    if module is None:
+        return frame.fail(ERROR_INVALID_HANDLE, 0)
+    if not proc_name:
+        return frame.fail(ERROR_PROC_NOT_FOUND, 0)
+    stub = ProcStub(module.path, proc_name)
+    return frame.succeed(frame.machine.address_space.intern(stub))
+
+
+@k32impl("DisableThreadLibraryCalls")
+def disable_thread_library_calls(frame: Frame) -> int:
+    if frame.handle_object(0, ModuleObject) is None:
+        return frame.fail(ERROR_INVALID_HANDLE)
+    return frame.succeed(1)

@@ -1,0 +1,366 @@
+"""Synchronisation API implementations.
+
+The wait functions are where timeout corruption bites: an all-ones
+``dwMilliseconds`` is ``INFINITE``, so a poll that was supposed to time
+out and make progress instead blocks forever — one of the hang classes
+only ``watchd``'s liveness probing (and no generic resource monitor)
+recovers from.
+"""
+
+from __future__ import annotations
+
+from ...sim import TIMED_OUT, Hang, Sleep, Wait, WaitAny
+from ..errors import (
+    ERROR_ALREADY_EXISTS,
+    ERROR_INVALID_HANDLE,
+    ERROR_INVALID_PARAMETER,
+    ERROR_TIMEOUT,
+    INVALID_HANDLE_VALUE,
+    WAIT_FAILED,
+    WAIT_OBJECT_0,
+    WAIT_TIMEOUT,
+)
+from ..memory import AccessViolation, OutCell, WordArray
+from ..objects import (
+    EventObject,
+    MutexObject,
+    SemaphoreObject,
+    ThreadObject,
+    Waitable,
+)
+from ..process_manager import ProcessObject
+from .constants import CURRENT_PROCESS_PSEUDO_HANDLE
+from .runtime import Frame, k32impl
+
+
+def _named_objects(frame: Frame) -> dict:
+    """Machine-wide named kernel object namespace."""
+    return frame.machine.named_objects
+
+
+def _create_named(frame: Frame, name, obj) -> int:
+    if name:
+        namespace = _named_objects(frame)
+        existing = namespace.get(name)
+        if existing is not None:
+            handle = frame.new_handle(existing)
+            return frame.fail(ERROR_ALREADY_EXISTS, handle)
+        namespace[name] = obj
+    return frame.succeed(frame.new_handle(obj))
+
+
+@k32impl("CreateEventA")
+def create_event_a(frame: Frame) -> int:
+    frame.opt_pointer(0)
+    manual = frame.boolean(1)
+    initial = frame.boolean(2)
+    name = frame.opt_string(3)
+    return _create_named(frame, name, EventObject(manual, initial, name or ""))
+
+
+@k32impl("CreateEventW")
+def create_event_w(frame: Frame) -> int:
+    return create_event_a(frame)
+
+
+@k32impl("OpenEventA")
+def open_event_a(frame: Frame) -> int:
+    frame.uint(0)
+    frame.boolean(1)
+    name = frame.string(2)
+    obj = _named_objects(frame).get(name)
+    if not isinstance(obj, EventObject):
+        return frame.fail(ERROR_INVALID_PARAMETER, 0)
+    return frame.succeed(frame.new_handle(obj))
+
+
+@k32impl("SetEvent")
+def set_event(frame: Frame) -> int:
+    event = frame.handle_object(0, EventObject)
+    if event is None:
+        return frame.fail(ERROR_INVALID_HANDLE)
+    event.set()
+    return frame.succeed(1)
+
+
+@k32impl("ResetEvent")
+def reset_event(frame: Frame) -> int:
+    event = frame.handle_object(0, EventObject)
+    if event is None:
+        return frame.fail(ERROR_INVALID_HANDLE)
+    event.reset()
+    return frame.succeed(1)
+
+
+@k32impl("PulseEvent")
+def pulse_event(frame: Frame) -> int:
+    event = frame.handle_object(0, EventObject)
+    if event is None:
+        return frame.fail(ERROR_INVALID_HANDLE)
+    event.pulse()
+    return frame.succeed(1)
+
+
+@k32impl("CreateMutexA")
+def create_mutex_a(frame: Frame) -> int:
+    frame.opt_pointer(0)
+    owned = frame.boolean(1)
+    name = frame.opt_string(2)
+    mutex = MutexObject(owned, frame.process.pid, name or "")
+    return _create_named(frame, name, mutex)
+
+
+@k32impl("ReleaseMutex")
+def release_mutex(frame: Frame) -> int:
+    mutex = frame.handle_object(0, MutexObject)
+    if mutex is None:
+        return frame.fail(ERROR_INVALID_HANDLE)
+    if not mutex.release(frame.process.pid):
+        return frame.fail(ERROR_INVALID_PARAMETER)
+    return frame.succeed(1)
+
+
+@k32impl("CreateSemaphoreA")
+def create_semaphore_a(frame: Frame) -> int:
+    frame.opt_pointer(0)
+    initial = frame.uint(1)
+    maximum = frame.uint(2)
+    name = frame.opt_string(3)
+    if maximum == 0 or initial > maximum:
+        return frame.fail(ERROR_INVALID_PARAMETER, 0)
+    return _create_named(frame, name, SemaphoreObject(initial, maximum, name or ""))
+
+
+@k32impl("ReleaseSemaphore")
+def release_semaphore(frame: Frame) -> int:
+    sem = frame.handle_object(0, SemaphoreObject)
+    if sem is None:
+        return frame.fail(ERROR_INVALID_HANDLE)
+    previous = sem.release(frame.uint(1))
+    if previous is None:
+        return frame.fail(ERROR_INVALID_PARAMETER)
+    cell = frame.opt_out_cell(2)
+    if cell is not None:
+        cell.value = previous
+    return frame.succeed(1)
+
+
+def _resolve_waitable(frame: Frame, index: int):
+    """Resolve a handle argument to something waitable, or None."""
+    raw = frame.args[index].raw
+    if raw == CURRENT_PROCESS_PSEUDO_HANDLE:
+        # Waiting on (HANDLE)-1 waits on the calling process itself —
+        # it never becomes signaled while the caller runs.  A real and
+        # nasty consequence of all-ones handle corruption.
+        return frame.process.kernel_object
+    obj = frame.machine.handles.resolve(raw)
+    if obj is None:
+        return None
+    if isinstance(obj, (Waitable, ProcessObject, ThreadObject)):
+        return obj
+    return None
+
+
+def _wait_one(frame: Frame, obj, timeout):
+    if isinstance(obj, MutexObject):
+        event = obj.acquire_event(frame.process.pid)
+    else:
+        event = obj.wait_event()
+    result = yield Wait(event, timeout=timeout)
+    if result is TIMED_OUT:
+        event.succeed(TIMED_OUT)  # withdraw from the object's waiter list
+        return WAIT_TIMEOUT
+    return WAIT_OBJECT_0
+
+
+@k32impl("WaitForSingleObject")
+def wait_for_single_object(frame: Frame):
+    obj = _resolve_waitable(frame, 0)
+    if obj is None:
+        return frame.fail(ERROR_INVALID_HANDLE, WAIT_FAILED)
+    timeout = frame.timeout_seconds(1)
+    result = yield from _wait_one(frame, obj, timeout)
+    return frame.succeed(result)
+
+
+@k32impl("WaitForSingleObjectEx")
+def wait_for_single_object_ex(frame: Frame):
+    obj = _resolve_waitable(frame, 0)
+    if obj is None:
+        return frame.fail(ERROR_INVALID_HANDLE, WAIT_FAILED)
+    timeout = frame.timeout_seconds(1)
+    frame.boolean(2)
+    result = yield from _wait_one(frame, obj, timeout)
+    return frame.succeed(result)
+
+
+@k32impl("WaitForMultipleObjects")
+def wait_for_multiple_objects(frame: Frame):
+    count = frame.uint(0)
+    array = frame.pointer(1, WordArray)
+    wait_all = frame.boolean(2)
+    timeout = frame.timeout_seconds(3)
+    if count == 0 or count > 64:
+        return frame.fail(ERROR_INVALID_PARAMETER, WAIT_FAILED)
+    if count > len(array.values):
+        raise AccessViolation(frame.args[1].raw + 4 * len(array.values), "read")
+
+    objs = []
+    for raw in array.values[:count]:
+        obj = frame.machine.handles.resolve(raw)
+        if obj is None or not isinstance(obj, (Waitable, ProcessObject, ThreadObject)):
+            return frame.fail(ERROR_INVALID_HANDLE, WAIT_FAILED)
+        objs.append(obj)
+
+    if wait_all:
+        # Sequential waiting is equivalent for our workloads (no
+        # all-or-nothing atomicity is observable through them).
+        for obj in objs:
+            result = yield from _wait_one(frame, obj, timeout)
+            if result == WAIT_TIMEOUT:
+                return frame.succeed(WAIT_TIMEOUT)
+        return frame.succeed(WAIT_OBJECT_0)
+
+    events = [obj.wait_event() if not isinstance(obj, MutexObject)
+              else obj.acquire_event(frame.process.pid) for obj in objs]
+    result = yield WaitAny(events, timeout=timeout)
+    if result is TIMED_OUT:
+        for event in events:
+            event.succeed(TIMED_OUT)
+        return frame.succeed(WAIT_TIMEOUT)
+    index, _value = result
+    for position, event in enumerate(events):
+        if position != index and not event.fired:
+            event.succeed(TIMED_OUT)
+    return frame.succeed(WAIT_OBJECT_0 + index)
+
+
+@k32impl("SignalObjectAndWait")
+def signal_object_and_wait(frame: Frame):
+    to_signal = frame.handle_object(0)
+    if isinstance(to_signal, EventObject):
+        to_signal.set()
+    elif isinstance(to_signal, SemaphoreObject):
+        to_signal.release(1)
+    elif isinstance(to_signal, MutexObject):
+        to_signal.release(frame.process.pid)
+    else:
+        return frame.fail(ERROR_INVALID_HANDLE, WAIT_FAILED)
+    obj = _resolve_waitable(frame, 1)
+    if obj is None:
+        return frame.fail(ERROR_INVALID_HANDLE, WAIT_FAILED)
+    timeout = frame.timeout_seconds(2)
+    frame.boolean(3)
+    result = yield from _wait_one(frame, obj, timeout)
+    return frame.succeed(result)
+
+
+@k32impl("Sleep")
+def sleep(frame: Frame):
+    timeout = frame.timeout_seconds(0)
+    if timeout is None:
+        # Sleep(INFINITE): the thread never runs again.
+        yield Hang()
+        return 0
+    yield Sleep(timeout)
+    return 0
+
+
+@k32impl("SleepEx")
+def sleep_ex(frame: Frame):
+    timeout = frame.timeout_seconds(0)
+    frame.boolean(1)
+    if timeout is None:
+        yield Hang()
+        return 0
+    yield Sleep(timeout)
+    return frame.succeed(0)
+
+
+@k32impl("WaitNamedPipeA")
+def wait_named_pipe_a(frame: Frame):
+    frame.string(0)
+    timeout = frame.timeout_seconds(1)
+    if timeout is None:
+        yield Hang()
+        return 0
+    yield Sleep(min(timeout, 0.01))
+    return frame.fail(ERROR_TIMEOUT)
+
+
+# ----------------------------------------------------------------------
+# Critical sections and interlocked operations (process-local)
+# ----------------------------------------------------------------------
+@k32impl("InitializeCriticalSection")
+def initialize_critical_section(frame: Frame) -> int:
+    section = frame.pointer(0)
+    if isinstance(section, OutCell):
+        section.value = 0
+    return 0
+
+
+@k32impl("EnterCriticalSection")
+def enter_critical_section(frame: Frame) -> int:
+    frame.pointer(0)  # wild/NULL faults — the classic CS crash
+    return 0
+
+
+@k32impl("LeaveCriticalSection")
+def leave_critical_section(frame: Frame) -> int:
+    frame.pointer(0)
+    return 0
+
+
+@k32impl("DeleteCriticalSection")
+def delete_critical_section(frame: Frame) -> int:
+    frame.pointer(0)
+    return 0
+
+
+@k32impl("TryEnterCriticalSection")
+def try_enter_critical_section(frame: Frame) -> int:
+    frame.pointer(0)
+    return 1
+
+
+def _interlocked_cell(frame: Frame) -> OutCell:
+    return frame.pointer(0, OutCell)
+
+
+@k32impl("InterlockedIncrement")
+def interlocked_increment(frame: Frame) -> int:
+    cell = _interlocked_cell(frame)
+    cell.value = (cell.value + 1) & 0xFFFFFFFF
+    return cell.value
+
+
+@k32impl("InterlockedDecrement")
+def interlocked_decrement(frame: Frame) -> int:
+    cell = _interlocked_cell(frame)
+    cell.value = (cell.value - 1) & 0xFFFFFFFF
+    return cell.value
+
+
+@k32impl("InterlockedExchange")
+def interlocked_exchange(frame: Frame) -> int:
+    cell = _interlocked_cell(frame)
+    previous = cell.value
+    cell.value = frame.uint(1)
+    return previous
+
+
+@k32impl("InterlockedExchangeAdd")
+def interlocked_exchange_add(frame: Frame) -> int:
+    cell = _interlocked_cell(frame)
+    previous = cell.value
+    cell.value = (cell.value + frame.uint(1)) & 0xFFFFFFFF
+    return previous
+
+
+@k32impl("InterlockedCompareExchange")
+def interlocked_compare_exchange(frame: Frame) -> int:
+    cell = _interlocked_cell(frame)
+    previous = cell.value
+    if previous == frame.uint(2):
+        cell.value = frame.uint(1)
+    return previous

@@ -1,0 +1,86 @@
+"""Time and performance-counter API implementations.
+
+All values derive from the virtual clock, so time read through the API
+is consistent with the engine's notion of when things happen.
+"""
+
+from __future__ import annotations
+
+from ..memory import OutCell
+from .runtime import Frame, k32impl
+
+_QPC_FREQUENCY = 1_193_182  # the classic 8253 PIT frequency NT reports
+# Virtual time zero corresponds to this wall-clock instant (the paper's
+# experiments ran in 1999); only differences ever matter.
+_EPOCH_FILETIME = 125_000_000_000_000_000
+
+
+def _fill_systemtime(cell, now: float) -> None:
+    total_ms = int(now * 1000)
+    seconds, ms = divmod(total_ms, 1000)
+    minutes, sec = divmod(seconds, 60)
+    hours, minute = divmod(minutes, 60)
+    cell.value = {
+        "wYear": 1999, "wMonth": 5, "wDay": 17,
+        "wHour": hours % 24, "wMinute": minute,
+        "wSecond": sec, "wMilliseconds": ms,
+    }
+
+
+@k32impl("GetTickCount")
+def get_tick_count(frame: Frame) -> int:
+    return int(frame.machine.engine.now * 1000) & 0xFFFFFFFF
+
+
+@k32impl("GetSystemTime")
+def get_system_time(frame: Frame) -> int:
+    cell = frame.pointer(0)
+    if isinstance(cell, OutCell):
+        _fill_systemtime(cell, frame.machine.engine.now)
+    return 0
+
+
+@k32impl("GetLocalTime")
+def get_local_time(frame: Frame) -> int:
+    cell = frame.pointer(0)
+    if isinstance(cell, OutCell):
+        _fill_systemtime(cell, frame.machine.engine.now)
+    return 0
+
+
+@k32impl("QueryPerformanceCounter")
+def query_performance_counter(frame: Frame) -> int:
+    frame.out_cell(0).value = int(frame.machine.engine.now * _QPC_FREQUENCY)
+    return frame.succeed(1)
+
+
+@k32impl("QueryPerformanceFrequency")
+def query_performance_frequency(frame: Frame) -> int:
+    frame.out_cell(0).value = _QPC_FREQUENCY
+    return frame.succeed(1)
+
+
+@k32impl("GetTimeZoneInformation")
+def get_time_zone_information(frame: Frame) -> int:
+    cell = frame.pointer(0)
+    if isinstance(cell, OutCell):
+        cell.value = {"Bias": 300, "StandardName": "Eastern Standard Time"}
+    return frame.succeed(1)  # TIME_ZONE_ID_STANDARD
+
+
+@k32impl("FileTimeToSystemTime")
+def file_time_to_system_time(frame: Frame) -> int:
+    frame.pointer(0)
+    cell = frame.pointer(1)
+    if isinstance(cell, OutCell):
+        _fill_systemtime(cell, frame.machine.engine.now)
+    return frame.succeed(1)
+
+
+@k32impl("SystemTimeToFileTime")
+def system_time_to_file_time(frame: Frame) -> int:
+    frame.pointer(0)
+    cell = frame.pointer(1)
+    if isinstance(cell, OutCell):
+        cell.value = _EPOCH_FILETIME + int(frame.machine.engine.now * 10_000_000)
+    return frame.succeed(1)

@@ -1,0 +1,241 @@
+"""Service Control Manager.
+
+Models the NT 4.0 SCM behaviours the paper's results hinge on:
+
+- the service state machine (STOPPED / START_PENDING / RUNNING /
+  STOP_PENDING);
+- the **database lock**: while any service is in a pending state the
+  SCM denies state-change requests with
+  ``ERROR_SERVICE_DATABASE_LOCKED``.  The paper traces the slow Apache
+  restarts directly to this: *"the SCM assumes that the service is in
+  the 'Start Pending' state.  When any service is in a pending state,
+  the SCM locks its database, which causes any state change requests to
+  the SCM to be denied.  Thus, both MSCS and watchd must wait until the
+  'Start Pending' state times out before initiating a restart"*;
+- the pending timeout (*wait hint*): a service that dies — or hangs —
+  before reporting RUNNING stays START_PENDING until its wait hint
+  expires, at which point the SCM declares the start failed, reaps any
+  leftover process, and releases the lock;
+- queries (``QueryServiceStatus``) are read-only and always allowed.
+
+Service programs report readiness through
+:meth:`ServiceControlManager.notify_running`, the stand-in for
+``SetServiceStatus(SERVICE_RUNNING)`` (an ADVAPI32 entry point, hence
+outside the paper's KERNEL32-only injection surface).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import TYPE_CHECKING, Optional
+
+from ..sim import Timer
+from .errors import (
+    ERROR_SERVICE_ALREADY_RUNNING,
+    ERROR_SERVICE_DATABASE_LOCKED,
+    ERROR_SERVICE_DOES_NOT_EXIST,
+    ERROR_SERVICE_NOT_ACTIVE,
+    ERROR_SUCCESS,
+)
+from .eventlog import EventType
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .machine import Machine
+    from .process_manager import NTProcess
+
+EVENT_SOURCE = "Service Control Manager"
+EVENT_ID_START_FAILED = 7000
+EVENT_ID_UNEXPECTED_STOP = 7031
+EVENT_ID_STARTED = 7036
+
+
+class ServiceState(enum.Enum):
+    STOPPED = "stopped"
+    START_PENDING = "start-pending"
+    RUNNING = "running"
+    STOP_PENDING = "stop-pending"
+
+
+class Service:
+    """One registered service."""
+
+    def __init__(self, name: str, image_name: str, wait_hint: float):
+        self.name = name
+        self.image_name = image_name
+        self.wait_hint = wait_hint
+        self.state = ServiceState.STOPPED
+        self.process: Optional["NTProcess"] = None
+        # When the *current incarnation* reported RUNNING (None until
+        # it does); middleware uses this to distinguish a start failure
+        # from an immediate post-start death.
+        self.running_since: Optional[float] = None
+        self.start_count = 0
+        self.failed_start_count = 0
+        self.unexpected_stop_count = 0
+        self.pending_timer: Optional[Timer] = None
+        self.history: list[tuple[float, ServiceState]] = []
+
+    def __repr__(self) -> str:
+        return f"<Service {self.name} {self.state.value}>"
+
+
+class ServiceControlManager:
+    """The machine's SCM instance."""
+
+    def __init__(self, machine: "Machine", lock_enabled: bool = True):
+        self.machine = machine
+        self.services: dict[str, Service] = {}
+        # Ablation knob: with the lock disabled, pending services no
+        # longer block state-change requests (used to quantify how much
+        # of the slow-Apache-restart effect the lock is responsible for).
+        self.lock_enabled = lock_enabled
+
+    # ------------------------------------------------------------------
+    # Registration / queries
+    # ------------------------------------------------------------------
+    def create_service(self, name: str, image_name: str,
+                       wait_hint: float = 30.0) -> Service:
+        if name in self.services:
+            raise ValueError(f"service {name!r} already exists")
+        service = Service(name, image_name, wait_hint)
+        self.services[name] = service
+        return service
+
+    def get_service(self, name: str) -> Optional[Service]:
+        return self.services.get(name)
+
+    def query_service_state(self, name: str) -> Optional[ServiceState]:
+        """``QueryServiceStatus``: read-only, never blocked by the lock."""
+        service = self.services.get(name)
+        return None if service is None else service.state
+
+    def service_process(self, name: str) -> Optional["NTProcess"]:
+        """The live process of a service, if any (``watchd`` uses this
+        through its ``getServiceInfo`` helper)."""
+        service = self.services.get(name)
+        if service is None or service.process is None:
+            return None
+        return service.process if service.process.alive else None
+
+    @property
+    def database_locked(self) -> bool:
+        """True while any service is in a pending state."""
+        if not self.lock_enabled:
+            return False
+        return any(
+            s.state in (ServiceState.START_PENDING, ServiceState.STOP_PENDING)
+            for s in self.services.values()
+        )
+
+    # ------------------------------------------------------------------
+    # State changes
+    # ------------------------------------------------------------------
+    def start_service(self, name: str) -> int:
+        """Attempt to start a service; returns a Win32 error code."""
+        service = self.services.get(name)
+        if service is None:
+            return ERROR_SERVICE_DOES_NOT_EXIST
+        if self.database_locked:
+            return ERROR_SERVICE_DATABASE_LOCKED
+        if service.state in (ServiceState.START_PENDING,
+                             ServiceState.STOP_PENDING):
+            # Only reachable with the lock ablated: supersede the
+            # pending incarnation instead of denying the request.
+            self._cancel_pending_timer(service)
+            if service.process is not None and service.process.alive:
+                service.process.terminate(exit_code=1)
+            self._set_state(service, ServiceState.STOPPED)
+        if service.state is ServiceState.RUNNING:
+            return ERROR_SERVICE_ALREADY_RUNNING
+        process = self.machine.processes.create_from_image(
+            service.image_name, command_line=service.image_name,
+        )
+        if process is None:
+            self._log(EventType.ERROR, EVENT_ID_START_FAILED,
+                      f"The {name} service failed to start: image not found.")
+            return ERROR_SERVICE_DOES_NOT_EXIST
+        service.process = process
+        service.start_count += 1
+        service.running_since = None
+        self._set_state(service, ServiceState.START_PENDING)
+        service.pending_timer = self.machine.engine.schedule(
+            service.wait_hint, self._pending_timeout, service,
+        )
+        process.exit_event.add_waiter(
+            lambda _code, svc=service, proc=process: self._on_exit(svc, proc)
+        )
+        return ERROR_SUCCESS
+
+    def stop_service(self, name: str) -> int:
+        """Stop a service (used by middleware before a restart)."""
+        service = self.services.get(name)
+        if service is None:
+            return ERROR_SERVICE_DOES_NOT_EXIST
+        if self.database_locked and service.state is not ServiceState.START_PENDING:
+            return ERROR_SERVICE_DATABASE_LOCKED
+        if service.state is ServiceState.STOPPED:
+            return ERROR_SERVICE_NOT_ACTIVE
+        if service.state is ServiceState.START_PENDING:
+            # A stop during start-pending is itself denied by the lock.
+            return ERROR_SERVICE_DATABASE_LOCKED
+        self._cancel_pending_timer(service)
+        if service.process is not None and service.process.alive:
+            service.process.terminate(exit_code=0)
+        self._set_state(service, ServiceState.STOPPED)
+        return ERROR_SUCCESS
+
+    def notify_running(self, process: "NTProcess") -> bool:
+        """A service program reported ``SERVICE_RUNNING``."""
+        for service in self.services.values():
+            if service.process is process:
+                if not process.alive:
+                    return False
+                self._cancel_pending_timer(service)
+                service.running_since = self.machine.engine.now
+                self._set_state(service, ServiceState.RUNNING)
+                self._log(EventType.INFORMATION, EVENT_ID_STARTED,
+                          f"The {service.name} service entered the running state.")
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _pending_timeout(self, service: Service) -> None:
+        if service.state is not ServiceState.START_PENDING:
+            return
+        service.pending_timer = None
+        service.failed_start_count += 1
+        # Reap whatever is left of the failed start (a hung starter
+        # would otherwise hold the service's resources forever).
+        if service.process is not None and service.process.alive:
+            service.process.terminate(exit_code=1)
+        self._set_state(service, ServiceState.STOPPED)
+        self._log(EventType.ERROR, EVENT_ID_START_FAILED,
+                  f"The {service.name} service failed to start in a timely fashion.")
+
+    def _on_exit(self, service: Service, process: "NTProcess") -> None:
+        if service.process is not process:
+            return  # stale notification from a previous incarnation
+        if service.state is ServiceState.RUNNING:
+            service.unexpected_stop_count += 1
+            self._set_state(service, ServiceState.STOPPED)
+            self._log(EventType.ERROR, EVENT_ID_UNEXPECTED_STOP,
+                      f"The {service.name} service terminated unexpectedly.")
+        # Death while START_PENDING keeps the pending state (and the
+        # database lock) until the wait hint expires — the scenario the
+        # paper observed with Apache.
+
+    def _set_state(self, service: Service, state: ServiceState) -> None:
+        service.state = state
+        service.history.append((self.machine.engine.now, state))
+
+    def _cancel_pending_timer(self, service: Service) -> None:
+        if service.pending_timer is not None:
+            service.pending_timer.cancel()
+            service.pending_timer = None
+
+    def _log(self, event_type: EventType, event_id: int, message: str) -> None:
+        self.machine.eventlog.write(
+            self.machine.engine.now, EVENT_SOURCE, event_type, event_id, message,
+        )

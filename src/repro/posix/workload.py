@@ -1,0 +1,60 @@
+"""Linux workload specs — plugged into the unchanged DTS core.
+
+These subclasses replace the two genuinely system-dependent seams
+(service deployment and the export registry); fault lists, injection,
+the campaign flow and the collector all run as-is, which is the whole
+point of the paper's "ported with minimal effort" claim.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..clients import HttpClient
+from ..core.workload import MiddlewareKind, WorkloadSpec
+from ..servers import content
+from . import apache_linux
+from .initd import get_supervisor
+from .libc import LIBC_REGISTRY
+
+
+class LinuxWorkloadSpec(WorkloadSpec):
+    """A workload supervised by init(8) instead of the NT SCM."""
+
+    def setup(self, machine) -> None:
+        self._install_content(machine.fs)
+        self._register_images(machine)
+        get_supervisor(machine).register(self.service_name, self.image_name)
+
+    def deploy_middleware(self, machine, kind: MiddlewareKind,
+                          watchd_version: int = 3) -> Optional[object]:
+        if kind is MiddlewareKind.NONE:
+            get_supervisor(machine).start(self.service_name)
+            return None
+        if kind is MiddlewareKind.MSCS:
+            raise ValueError("MSCS does not exist on Linux; the paper "
+                             "compares Linux Apache stand-alone vs watchd")
+        if not hasattr(machine, "watchd_log"):
+            machine.watchd_log = []
+        daemon = apache_linux.LinuxWatchd(self.service_name, self.port)
+        machine.processes.spawn(daemon, role="watchd")
+        return daemon
+
+
+def _spec(name: str, target_role: str) -> LinuxWorkloadSpec:
+    return LinuxWorkloadSpec(
+        name=name,
+        service_name=apache_linux.SERVICE_NAME,
+        image_name=apache_linux.MASTER_IMAGE,
+        wait_hint=0.0,  # no SCM, no wait hint
+        port=content.HTTP_PORT,
+        target_role=target_role,
+        install_content=apache_linux.install_content,
+        register_images=apache_linux.register_images,
+        client_factory=HttpClient,
+        registry=LIBC_REGISTRY,
+    )
+
+
+APACHE1_LINUX = _spec("Apache1Linux", "apache1-linux")
+APACHE2_LINUX = _spec("Apache2Linux", "apache2-linux")

@@ -1,0 +1,26 @@
+"""The target server applications (the paper's workloads).
+
+- :mod:`apache` — Apache 1.3.3: master (Apache1) + one child (Apache2)
+  + CGI interpreter.
+- :mod:`iis` — Microsoft IIS 3.0 (HTTP only), single process.
+- :mod:`sqlserver` — Microsoft SQL Server 7, single process, on the
+  :mod:`repro.servers.sql` engine.
+- :mod:`content` — the documents, configs and databases they serve.
+"""
+
+from . import apache, content, iis, sqlserver
+from .base import (
+    CLUSTER_ENV_MARKER,
+    WATCHD_ENV_MARKER,
+    ServerBehavior,
+)
+
+__all__ = [
+    "apache",
+    "iis",
+    "sqlserver",
+    "content",
+    "ServerBehavior",
+    "CLUSTER_ENV_MARKER",
+    "WATCHD_ENV_MARKER",
+]

@@ -1,0 +1,150 @@
+"""Shared framework for the simulated server programs.
+
+Each target server (Apache master/child, IIS, SQL Server) is a
+:class:`~repro.nt.process_manager.Program` whose ``main`` generator
+performs a *realistic sequence of kernel32 calls*: C-runtime startup,
+configuration reads, object creation, then the serving loop.  Every
+call goes through the interception layer, so the distinct-function
+profile of each server is exactly what Table 1 of the paper counts —
+and every parameter of every call is corruptible.
+
+Error handling is written out explicitly, because it is the object of
+study: where a server checks a return code and aborts cleanly, where it
+ignores the failure and limps on (wrong responses), and where it never
+checks at all (crashes) determine the outcome distribution the paper
+measures.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..nt.errors import INVALID_HANDLE_VALUE
+from ..nt.kernel32 import constants as k
+from ..nt.memory import Buffer, OutCell
+
+# Environment markers the fault-tolerance middleware leaves behind; the
+# servers' conditional code paths on these produce the Table-1 deltas
+# (extra functions under MSCS, fewer under watchd).
+CLUSTER_ENV_MARKER = "CLUSTERLOG"
+WATCHD_ENV_MARKER = "SWIFT_WATCHD"
+
+
+class ServerBehavior:
+    """Tunable timing/behaviour knobs of a server program.
+
+    Times are CPU-seconds on the paper's 100 MHz reference machine and
+    are scaled by the machine's ``cpu_scale``.
+    """
+
+    def __init__(self, startup_time: float, static_service_time: float,
+                 cgi_service_time: float):
+        self.startup_time = startup_time
+        self.static_service_time = static_service_time
+        self.cgi_service_time = cgi_service_time
+
+
+def abort(ctx, code: int = 1):
+    """Clean abort: the program detected a fatal error and exits."""
+    yield from ctx.k32.ExitProcess(code)
+
+
+def env_flag(ctx, name: str):
+    """``GetEnvironmentVariableA`` probe used for the middleware markers."""
+    buffer = Buffer(b"\0" * 32)
+    length = yield from ctx.k32.GetEnvironmentVariableA(name, buffer, 32)
+    return length > 0
+
+
+def crt_init(ctx, heavy: bool):
+    """C-runtime process initialisation, as msvcrt performs it.
+
+    Returns the process heap handle.  ``heavy`` adds the locale and
+    stdio setup the larger servers link in.
+    """
+    yield from ctx.k32.GetVersion()
+    yield from ctx.k32.GetCommandLineA()
+    heap = yield from ctx.k32.GetProcessHeap()
+    scratch = yield from ctx.k32.HeapAlloc(heap, 0, 4096)
+    if scratch == 0:
+        yield from abort(ctx, 3)  # CRT cannot even allocate its state
+    if heavy:
+        info = OutCell()
+        yield from ctx.k32.GetStartupInfoA(info)
+        yield from ctx.k32.GetStdHandle(k.STD_OUTPUT_HANDLE)
+        yield from ctx.k32.SetHandleCount(32)
+        yield from ctx.k32.GetACP()
+        cp_info = OutCell()
+        yield from ctx.k32.GetCPInfo(1252, cp_info)
+        env_block = yield from ctx.k32.GetEnvironmentStrings()
+        yield from ctx.k32.FreeEnvironmentStringsA(env_block)
+    return heap
+
+
+def read_file_to_heap(ctx, heap: int, path: str, on_error: str):
+    """Open/size/allocate/read/close — the canonical config-file read.
+
+    Returns the bytes read (possibly short on corrupted lengths), or
+    None when ``on_error`` is "ignore" and the open failed.  With
+    ``on_error="abort"`` a failed open exits the process; unchecked
+    allocation failure is left to crash naturally at the NULL-buffer
+    ``ReadFile``, the way careless real code does.
+    """
+    handle = yield from ctx.k32.CreateFileA(
+        path, k.GENERIC_READ, k.FILE_SHARE_READ, None, k.OPEN_EXISTING,
+        k.FILE_ATTRIBUTE_NORMAL, None)
+    if handle in (0, INVALID_HANDLE_VALUE):
+        if on_error == "abort":
+            yield from abort(ctx)
+        return None
+    size = yield from ctx.k32.GetFileSize(handle, None)
+    if size == k.INVALID_FILE_SIZE:
+        size = 0
+    buffer_ptr = yield from ctx.k32.HeapAlloc(heap, 0, size)
+    read_count = OutCell()
+    ok = yield from ctx.k32.ReadFile(handle, buffer_ptr, size, read_count, None)
+    yield from ctx.k32.CloseHandle(handle)
+    if ok != 1:
+        if on_error == "abort":
+            yield from abort(ctx)
+        return None
+    block = ctx.memory(buffer_ptr)
+    if block is None:
+        return None
+    return bytes(block.data[:read_count.value])
+
+
+def parse_ini_int(data: Optional[bytes], section: str, key: str,
+                  default: int) -> int:
+    """INI lookup over bytes already read (a corrupted read loses keys)."""
+    if not data:
+        return default
+    current = None
+    for raw_line in data.decode("latin-1", "replace").splitlines():
+        line = raw_line.strip()
+        if line.startswith("[") and line.endswith("]"):
+            current = line[1:-1].strip().lower()
+        elif current == section.lower() and "=" in line:
+            name, _, value = line.partition("=")
+            if name.strip().lower() == key.lower():
+                try:
+                    return int(value.strip())
+                except ValueError:
+                    return default
+    return default
+
+
+def parse_ini_str(data: Optional[bytes], section: str, key: str,
+                  default: str) -> str:
+    if not data:
+        return default
+    current = None
+    for raw_line in data.decode("latin-1", "replace").splitlines():
+        line = raw_line.strip()
+        if line.startswith("[") and line.endswith("]"):
+            current = line[1:-1].strip().lower()
+        elif current == section.lower() and "=" in line:
+            name, _, value = line.partition("=")
+            if name.strip().lower() == key.lower():
+                return value.strip()
+    return default

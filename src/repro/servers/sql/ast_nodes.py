@@ -1,0 +1,126 @@
+"""AST nodes for the SQL subset."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class Statement:
+    """Base class for parsed statements."""
+
+
+class Expression:
+    """Base class for expressions."""
+
+
+class ColumnRef(Expression):
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def __repr__(self) -> str:
+        return f"Col({self.name})"
+
+
+class Literal(Expression):
+    __slots__ = ("value",)
+
+    def __init__(self, value):
+        self.value = value
+
+    def __repr__(self) -> str:
+        return f"Lit({self.value!r})"
+
+
+class Comparison(Expression):
+    __slots__ = ("op", "left", "right")
+
+    def __init__(self, op: str, left: Expression, right: Expression):
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} {self.op} {self.right!r})"
+
+
+class BoolOp(Expression):
+    __slots__ = ("op", "left", "right")
+
+    def __init__(self, op: str, left: Expression, right: Expression):
+        self.op = op  # "AND" | "OR"
+        self.left = left
+        self.right = right
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} {self.op} {self.right!r})"
+
+
+class NotOp(Expression):
+    __slots__ = ("operand",)
+
+    def __init__(self, operand: Expression):
+        self.operand = operand
+
+    def __repr__(self) -> str:
+        return f"NOT {self.operand!r}"
+
+
+class Aggregate(Expression):
+    __slots__ = ("func", "argument")
+
+    def __init__(self, func: str, argument: Optional[ColumnRef]):
+        self.func = func  # COUNT / SUM / AVG / MIN / MAX
+        self.argument = argument  # None means COUNT(*)
+
+    def __repr__(self) -> str:
+        inner = "*" if self.argument is None else self.argument.name
+        return f"{self.func}({inner})"
+
+
+class OrderItem:
+    __slots__ = ("column", "descending")
+
+    def __init__(self, column: str, descending: bool):
+        self.column = column
+        self.descending = descending
+
+
+class Select(Statement):
+    __slots__ = ("columns", "table", "where", "order_by", "limit", "distinct")
+
+    def __init__(self, columns, table: str, where: Optional[Expression],
+                 order_by: list[OrderItem], limit: Optional[int],
+                 distinct: bool = False):
+        self.columns = columns  # list of ColumnRef/Aggregate, or "*"
+        self.table = table
+        self.where = where
+        self.order_by = order_by
+        self.limit = limit
+        self.distinct = distinct
+
+
+class ColumnDef:
+    __slots__ = ("name", "type_name")
+
+    def __init__(self, name: str, type_name: str):
+        self.name = name
+        self.type_name = type_name  # INTEGER / TEXT / REAL
+
+
+class CreateTable(Statement):
+    __slots__ = ("name", "columns")
+
+    def __init__(self, name: str, columns: list[ColumnDef]):
+        self.name = name
+        self.columns = columns
+
+
+class Insert(Statement):
+    __slots__ = ("table", "columns", "values")
+
+    def __init__(self, table: str, columns: Optional[list[str]], values: list):
+        self.table = table
+        self.columns = columns
+        self.values = values

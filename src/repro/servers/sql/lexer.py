@@ -1,0 +1,102 @@
+"""SQL lexer.
+
+Tokenises the SQL subset the SqlClient workload and the database loader
+use: CREATE TABLE / INSERT / SELECT with WHERE, ORDER BY and LIMIT.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterator
+
+
+class TokenType(enum.Enum):
+    KEYWORD = "keyword"
+    IDENT = "ident"
+    NUMBER = "number"
+    STRING = "string"
+    OPERATOR = "operator"
+    PUNCT = "punct"
+    EOF = "eof"
+
+
+KEYWORDS = frozenset({
+    "SELECT", "FROM", "WHERE", "AND", "OR", "NOT", "ORDER", "BY", "ASC",
+    "DESC", "LIMIT", "INSERT", "INTO", "VALUES", "CREATE", "TABLE",
+    "INTEGER", "TEXT", "REAL", "COUNT", "SUM", "AVG", "MIN", "MAX",
+    "NULL", "AS", "DISTINCT",
+})
+
+_OPERATORS = ("<=", ">=", "<>", "!=", "=", "<", ">")
+_PUNCT = "(),*;."
+
+
+class Token:
+    __slots__ = ("type", "value", "position")
+
+    def __init__(self, type_: TokenType, value: str, position: int):
+        self.type = type_
+        self.value = value
+        self.position = position
+
+    def matches(self, type_: TokenType, value: str | None = None) -> bool:
+        return self.type is type_ and (value is None or self.value == value)
+
+    def __repr__(self) -> str:
+        return f"<{self.type.value} {self.value!r}@{self.position}>"
+
+
+class SqlSyntaxError(ValueError):
+    """Lexical or grammatical error in a SQL batch."""
+
+
+def tokenize(text: str) -> list[Token]:
+    """Full tokenisation; raises :class:`SqlSyntaxError` on bad input."""
+    return list(_scan(text))
+
+
+def _scan(text: str) -> Iterator[Token]:
+    index = 0
+    length = len(text)
+    while index < length:
+        char = text[index]
+        if char.isspace():
+            index += 1
+            continue
+        if char == "'":
+            end = text.find("'", index + 1)
+            if end < 0:
+                raise SqlSyntaxError(f"unterminated string at {index}")
+            yield Token(TokenType.STRING, text[index + 1:end], index)
+            index = end + 1
+            continue
+        if char.isdigit() or (char == "-" and index + 1 < length
+                              and text[index + 1].isdigit()):
+            start = index
+            index += 1
+            while index < length and (text[index].isdigit() or text[index] == "."):
+                index += 1
+            yield Token(TokenType.NUMBER, text[start:index], start)
+            continue
+        if char.isalpha() or char == "_":
+            start = index
+            while index < length and (text[index].isalnum() or text[index] == "_"):
+                index += 1
+            word = text[start:index]
+            if word.upper() in KEYWORDS:
+                yield Token(TokenType.KEYWORD, word.upper(), start)
+            else:
+                yield Token(TokenType.IDENT, word, start)
+            continue
+        matched_operator = next(
+            (op for op in _OPERATORS if text.startswith(op, index)), None)
+        if matched_operator is not None:
+            yield Token(TokenType.OPERATOR, matched_operator, index)
+            index += len(matched_operator)
+            continue
+        if char in _PUNCT:
+            yield Token(TokenType.PUNCT, char, index)
+            index += 1
+            continue
+        raise SqlSyntaxError(f"unexpected character {char!r} at {index}")
+    yield Token(TokenType.EOF, "", length)

@@ -1,0 +1,219 @@
+"""Recursive-descent parser for the SQL subset."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .ast_nodes import (
+    Aggregate,
+    BoolOp,
+    ColumnDef,
+    ColumnRef,
+    Comparison,
+    CreateTable,
+    Insert,
+    Literal,
+    NotOp,
+    OrderItem,
+    Select,
+    Statement,
+)
+from .lexer import SqlSyntaxError, Token, TokenType, tokenize
+
+_AGGREGATES = {"COUNT", "SUM", "AVG", "MIN", "MAX"}
+
+
+class Parser:
+    def __init__(self, text: str):
+        self.tokens = tokenize(text)
+        self.position = 0
+
+    # ------------------------------------------------------------------
+    # Token plumbing
+    # ------------------------------------------------------------------
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.position]
+
+    def advance(self) -> Token:
+        token = self.current
+        if token.type is not TokenType.EOF:
+            self.position += 1
+        return token
+
+    def expect(self, type_: TokenType, value: Optional[str] = None) -> Token:
+        token = self.current
+        if not token.matches(type_, value):
+            wanted = value or type_.value
+            raise SqlSyntaxError(
+                f"expected {wanted} but found {token.value!r} at {token.position}")
+        return self.advance()
+
+    def accept(self, type_: TokenType, value: Optional[str] = None) -> bool:
+        if self.current.matches(type_, value):
+            self.advance()
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+    def parse_statement(self) -> Statement:
+        token = self.current
+        if token.matches(TokenType.KEYWORD, "SELECT"):
+            statement = self._select()
+        elif token.matches(TokenType.KEYWORD, "CREATE"):
+            statement = self._create_table()
+        elif token.matches(TokenType.KEYWORD, "INSERT"):
+            statement = self._insert()
+        else:
+            raise SqlSyntaxError(f"unsupported statement at {token.value!r}")
+        self.accept(TokenType.PUNCT, ";")
+        self.expect(TokenType.EOF)
+        return statement
+
+    def _select(self) -> Select:
+        self.expect(TokenType.KEYWORD, "SELECT")
+        distinct = self.accept(TokenType.KEYWORD, "DISTINCT")
+        columns = self._select_list()
+        self.expect(TokenType.KEYWORD, "FROM")
+        table = self.expect(TokenType.IDENT).value
+        where = None
+        if self.accept(TokenType.KEYWORD, "WHERE"):
+            where = self._or_expr()
+        order_by: list[OrderItem] = []
+        if self.accept(TokenType.KEYWORD, "ORDER"):
+            self.expect(TokenType.KEYWORD, "BY")
+            order_by.append(self._order_item())
+            while self.accept(TokenType.PUNCT, ","):
+                order_by.append(self._order_item())
+        limit = None
+        if self.accept(TokenType.KEYWORD, "LIMIT"):
+            limit = int(self.expect(TokenType.NUMBER).value)
+        return Select(columns, table, where, order_by, limit, distinct)
+
+    def _select_list(self):
+        if self.accept(TokenType.PUNCT, "*"):
+            return "*"
+        items = [self._select_item()]
+        while self.accept(TokenType.PUNCT, ","):
+            items.append(self._select_item())
+        return items
+
+    def _select_item(self):
+        token = self.current
+        if token.type is TokenType.KEYWORD and token.value in _AGGREGATES:
+            func = self.advance().value
+            self.expect(TokenType.PUNCT, "(")
+            if self.accept(TokenType.PUNCT, "*"):
+                argument = None
+                if func != "COUNT":
+                    raise SqlSyntaxError(f"{func}(*) is not valid")
+            else:
+                argument = ColumnRef(self.expect(TokenType.IDENT).value)
+            self.expect(TokenType.PUNCT, ")")
+            return Aggregate(func, argument)
+        return ColumnRef(self.expect(TokenType.IDENT).value)
+
+    def _order_item(self) -> OrderItem:
+        column = self.expect(TokenType.IDENT).value
+        descending = False
+        if self.accept(TokenType.KEYWORD, "DESC"):
+            descending = True
+        else:
+            self.accept(TokenType.KEYWORD, "ASC")
+        return OrderItem(column, descending)
+
+    def _create_table(self) -> CreateTable:
+        self.expect(TokenType.KEYWORD, "CREATE")
+        self.expect(TokenType.KEYWORD, "TABLE")
+        name = self.expect(TokenType.IDENT).value
+        self.expect(TokenType.PUNCT, "(")
+        columns = [self._column_def()]
+        while self.accept(TokenType.PUNCT, ","):
+            columns.append(self._column_def())
+        self.expect(TokenType.PUNCT, ")")
+        return CreateTable(name, columns)
+
+    def _column_def(self) -> ColumnDef:
+        name = self.expect(TokenType.IDENT).value
+        type_token = self.current
+        if type_token.type is TokenType.KEYWORD and \
+                type_token.value in ("INTEGER", "TEXT", "REAL"):
+            self.advance()
+            return ColumnDef(name, type_token.value)
+        raise SqlSyntaxError(f"bad column type {type_token.value!r}")
+
+    def _insert(self) -> Insert:
+        self.expect(TokenType.KEYWORD, "INSERT")
+        self.expect(TokenType.KEYWORD, "INTO")
+        table = self.expect(TokenType.IDENT).value
+        columns = None
+        if self.accept(TokenType.PUNCT, "("):
+            columns = [self.expect(TokenType.IDENT).value]
+            while self.accept(TokenType.PUNCT, ","):
+                columns.append(self.expect(TokenType.IDENT).value)
+            self.expect(TokenType.PUNCT, ")")
+        self.expect(TokenType.KEYWORD, "VALUES")
+        self.expect(TokenType.PUNCT, "(")
+        values = [self._literal().value]
+        while self.accept(TokenType.PUNCT, ","):
+            values.append(self._literal().value)
+        self.expect(TokenType.PUNCT, ")")
+        return Insert(table, columns, values)
+
+    # ------------------------------------------------------------------
+    # Expressions (precedence: OR < AND < NOT < comparison)
+    # ------------------------------------------------------------------
+    def _or_expr(self):
+        left = self._and_expr()
+        while self.accept(TokenType.KEYWORD, "OR"):
+            left = BoolOp("OR", left, self._and_expr())
+        return left
+
+    def _and_expr(self):
+        left = self._not_expr()
+        while self.accept(TokenType.KEYWORD, "AND"):
+            left = BoolOp("AND", left, self._not_expr())
+        return left
+
+    def _not_expr(self):
+        if self.accept(TokenType.KEYWORD, "NOT"):
+            return NotOp(self._not_expr())
+        return self._comparison()
+
+    def _comparison(self):
+        if self.accept(TokenType.PUNCT, "("):
+            inner = self._or_expr()
+            self.expect(TokenType.PUNCT, ")")
+            return inner
+        left = self._operand()
+        op_token = self.expect(TokenType.OPERATOR)
+        right = self._operand()
+        op = {"!=": "<>"}.get(op_token.value, op_token.value)
+        return Comparison(op, left, right)
+
+    def _operand(self):
+        token = self.current
+        if token.type is TokenType.IDENT:
+            return ColumnRef(self.advance().value)
+        return self._literal()
+
+    def _literal(self) -> Literal:
+        token = self.current
+        if token.type is TokenType.NUMBER:
+            self.advance()
+            value = float(token.value) if "." in token.value else int(token.value)
+            return Literal(value)
+        if token.type is TokenType.STRING:
+            self.advance()
+            return Literal(token.value)
+        if token.matches(TokenType.KEYWORD, "NULL"):
+            self.advance()
+            return Literal(None)
+        raise SqlSyntaxError(f"expected a literal at {token.value!r}")
+
+
+def parse(text: str) -> Statement:
+    """Parse one SQL statement."""
+    return Parser(text).parse_statement()

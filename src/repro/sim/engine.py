@@ -1,0 +1,180 @@
+"""Discrete-event simulation engine.
+
+The engine advances a virtual clock through a priority queue of timed
+callbacks.  Everything else in the simulated machine (processes, the
+Service Control Manager, network transports, middleware monitors) is
+built from callbacks scheduled here, so a whole fault-injection run is
+deterministic and executes in a few milliseconds of real time even when
+it spans minutes of virtual time.
+
+The engine is intentionally minimal: it knows about time and callbacks
+only.  Process semantics (generators, waiting, interrupts) live in
+:mod:`repro.sim.process` and :mod:`repro.sim.primitives`.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Optional
+
+
+class SimulationError(Exception):
+    """Base class for errors raised by the simulation kernel."""
+
+
+class ScheduleInPastError(SimulationError):
+    """Raised when a callback is scheduled before the current time."""
+
+
+class Timer:
+    """Handle for a scheduled callback.
+
+    A ``Timer`` may be cancelled before it fires; cancellation is O(1)
+    (the heap entry is tombstoned rather than removed).
+    """
+
+    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+
+    def __init__(self, time: float, seq: int, callback: Callable, args: tuple):
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from running.  Idempotent."""
+        self.cancelled = True
+        self.callback = None
+        self.args = ()
+
+    @property
+    def active(self) -> bool:
+        """True while the timer is still pending."""
+        return not self.cancelled
+
+    def __lt__(self, other: "Timer") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"<Timer t={self.time:.3f} seq={self.seq} {state}>"
+
+
+class Engine:
+    """The discrete-event loop.
+
+    Callbacks scheduled at equal times run in FIFO scheduling order,
+    which keeps runs reproducible.
+    """
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._queue: list[Timer] = []
+        self._seq = itertools.count()
+        self._running = False
+        self._stopped = False
+        self._events_processed = 0
+
+    # ------------------------------------------------------------------
+    # Clock
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of callbacks executed so far (for diagnostics)."""
+        return self._events_processed
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, delay: float, callback: Callable, *args: Any) -> Timer:
+        """Run ``callback(*args)`` after ``delay`` virtual seconds.
+
+        ``delay`` may be zero; zero-delay callbacks run after all
+        currently-executing work, in scheduling order.
+        """
+        if delay < 0:
+            raise ScheduleInPastError(f"negative delay {delay!r}")
+        return self.schedule_at(self._now + delay, callback, *args)
+
+    def schedule_at(self, time: float, callback: Callable, *args: Any) -> Timer:
+        """Run ``callback(*args)`` at absolute virtual ``time``."""
+        if time < self._now:
+            raise ScheduleInPastError(
+                f"cannot schedule at {time!r}; the clock is at {self._now!r}"
+            )
+        timer = Timer(time, next(self._seq), callback, args)
+        heapq.heappush(self._queue, timer)
+        return timer
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Execute the next pending callback.
+
+        Returns ``False`` when the queue is empty (nothing ran).
+        """
+        while self._queue:
+            timer = heapq.heappop(self._queue)
+            if timer.cancelled:
+                continue
+            self._now = timer.time
+            callback, args = timer.callback, timer.args
+            timer.cancel()  # mark consumed so .active is False afterwards
+            self._events_processed += 1
+            callback(*args)
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None, max_events: int = 10_000_000) -> float:
+        """Run until the queue drains or the clock passes ``until``.
+
+        Returns the final clock value.  ``max_events`` is a safety net
+        against accidental infinite self-rescheduling loops.
+        """
+        if self._running:
+            raise SimulationError("engine is not reentrant")
+        self._running = True
+        self._stopped = False
+        executed = 0
+        try:
+            while self._queue and not self._stopped:
+                head = self._queue[0]
+                if head.cancelled:
+                    heapq.heappop(self._queue)
+                    continue
+                if until is not None and head.time > until:
+                    self._now = until
+                    break
+                if not self.step():
+                    break
+                executed += 1
+                if executed > max_events:
+                    raise SimulationError(
+                        f"exceeded {max_events} events; likely a livelock"
+                    )
+            else:
+                if until is not None and not self._stopped:
+                    self._now = max(self._now, until)
+        finally:
+            self._running = False
+        return self._now
+
+    def stop(self) -> None:
+        """Stop :meth:`run` after the currently-executing callback."""
+        self._stopped = True
+
+    @property
+    def pending_count(self) -> int:
+        """Number of live (non-cancelled) timers in the queue."""
+        return sum(1 for t in self._queue if not t.cancelled)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Engine now={self._now:.3f} pending={self.pending_count}>"

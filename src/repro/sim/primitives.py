@@ -1,0 +1,246 @@
+"""Waitable primitives for simulated processes.
+
+A simulated process is a Python generator (see :mod:`repro.sim.process`)
+that yields *commands*.  Each command class here describes one way a
+process can give up the CPU:
+
+``Sleep(duration)``
+    resume after a fixed virtual delay.
+
+``Wait(event, timeout=None)``
+    resume when a :class:`SimEvent` fires, or after ``timeout``; the
+    ``yield`` expression evaluates to the event's value, or to the
+    :data:`TIMED_OUT` sentinel on timeout.
+
+``WaitAny(events, timeout=None)``
+    resume when the first of several events fires; evaluates to a
+    ``(index, value)`` pair or :data:`TIMED_OUT`.
+
+``Hang()``
+    never resume (models a deadlocked or livelocked process; only an
+    external kill can end it).
+
+Processes compose blocking helpers with ``yield from``; only these leaf
+commands are ever yielded to the scheduler.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Optional
+
+
+class _TimedOut:
+    """Singleton sentinel returned by timed-out waits."""
+
+    _instance: Optional["_TimedOut"] = None
+
+    def __new__(cls) -> "_TimedOut":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "TIMED_OUT"
+
+    def __bool__(self) -> bool:
+        return False
+
+
+TIMED_OUT = _TimedOut()
+
+
+class Command:
+    """Base class for everything a process may yield."""
+
+    __slots__ = ()
+
+
+class Sleep(Command):
+    """Suspend the process for ``duration`` virtual seconds."""
+
+    __slots__ = ("duration",)
+
+    def __init__(self, duration: float):
+        if duration < 0:
+            raise ValueError(f"negative sleep {duration!r}")
+        self.duration = duration
+
+    def __repr__(self) -> str:
+        return f"Sleep({self.duration!r})"
+
+
+class Wait(Command):
+    """Suspend until ``event`` fires or ``timeout`` elapses."""
+
+    __slots__ = ("event", "timeout")
+
+    def __init__(self, event: "SimEvent", timeout: Optional[float] = None):
+        if timeout is not None and timeout < 0:
+            raise ValueError(f"negative timeout {timeout!r}")
+        self.event = event
+        self.timeout = timeout
+
+    def __repr__(self) -> str:
+        return f"Wait({self.event!r}, timeout={self.timeout!r})"
+
+
+class WaitAny(Command):
+    """Suspend until the first of ``events`` fires or ``timeout`` elapses."""
+
+    __slots__ = ("events", "timeout")
+
+    def __init__(self, events: Iterable["SimEvent"], timeout: Optional[float] = None):
+        self.events = tuple(events)
+        if not self.events:
+            raise ValueError("WaitAny needs at least one event")
+        if timeout is not None and timeout < 0:
+            raise ValueError(f"negative timeout {timeout!r}")
+        self.timeout = timeout
+
+    def __repr__(self) -> str:
+        return f"WaitAny({len(self.events)} events, timeout={self.timeout!r})"
+
+
+class Hang(Command):
+    """Suspend forever.  Models a hung process."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:
+        return "Hang()"
+
+
+class SimEvent:
+    """A one-shot broadcast event.
+
+    Once fired (via :meth:`succeed`), the event stays fired and carries a
+    value; subsequent waiters resume immediately.  This mirrors the
+    semantics of a manual-reset NT event that is set exactly once, which
+    is what process-exit and service-state transitions need.
+    """
+
+    __slots__ = ("name", "_fired", "_value", "_waiters")
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self._fired = False
+        self._value: Any = None
+        self._waiters: list = []  # callables invoked as waiter(value)
+
+    @property
+    def fired(self) -> bool:
+        return self._fired
+
+    @property
+    def value(self) -> Any:
+        return self._value
+
+    def succeed(self, value: Any = None) -> None:
+        """Fire the event, waking every waiter.  Idempotent after first call."""
+        if self._fired:
+            return
+        self._fired = True
+        self._value = value
+        waiters, self._waiters = self._waiters, []
+        for waiter in waiters:
+            waiter(value)
+
+    def add_waiter(self, callback) -> None:
+        """Register ``callback(value)``; runs immediately if already fired."""
+        if self._fired:
+            callback(self._value)
+        else:
+            self._waiters.append(callback)
+
+    def remove_waiter(self, callback) -> None:
+        """Deregister a pending callback (no-op if absent or already fired)."""
+        try:
+            self._waiters.remove(callback)
+        except ValueError:
+            pass
+
+    @property
+    def waiter_count(self) -> int:
+        return len(self._waiters)
+
+    def __repr__(self) -> str:
+        state = f"fired value={self._value!r}" if self._fired else "pending"
+        return f"<SimEvent {self.name or id(self):x} {state}>"
+
+
+class Signal:
+    """A multi-shot pulse: every :meth:`pulse` wakes current waiters once.
+
+    Unlike :class:`SimEvent`, a Signal never latches; a waiter that
+    registers after a pulse waits for the next one.  Used for queue
+    not-empty notifications and heartbeats.
+    """
+
+    __slots__ = ("name", "_waiters")
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self._waiters: list = []
+
+    def pulse(self, value: Any = None) -> None:
+        waiters, self._waiters = self._waiters, []
+        for waiter in waiters:
+            waiter(value)
+
+    def next_event(self) -> SimEvent:
+        """A one-shot event that fires at the next pulse."""
+        event = SimEvent(f"{self.name}.next")
+        self._waiters.append(event.succeed)
+        return event
+
+    @property
+    def waiter_count(self) -> int:
+        return len(self._waiters)
+
+
+class FifoQueue:
+    """Unbounded FIFO with event-based blocking gets.
+
+    ``put`` never blocks.  A consumer obtains an event via
+    :meth:`get_event`; when an item is available the event fires with the
+    item as its value.  Pending get-events are served in FIFO order.
+    """
+
+    __slots__ = ("name", "_items", "_getters")
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self._items: list = []
+        self._getters: list[SimEvent] = []
+
+    def put(self, item: Any) -> None:
+        while self._getters:
+            getter = self._getters.pop(0)
+            if not getter.fired:  # skip getters cancelled by timeout
+                getter.succeed(item)
+                return
+        self._items.append(item)
+
+    def get_event(self) -> SimEvent:
+        """Return an event that fires with the next item."""
+        event = SimEvent(f"{self.name}.get")
+        if self._items:
+            event.succeed(self._items.pop(0))
+        else:
+            self._getters.append(event)
+        return event
+
+    def try_get(self) -> tuple[bool, Any]:
+        """Non-blocking get; returns ``(True, item)`` or ``(False, None)``."""
+        if self._items:
+            return True, self._items.pop(0)
+        return False, None
+
+    def clear(self) -> None:
+        self._items.clear()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __repr__(self) -> str:
+        return f"<FifoQueue {self.name} items={len(self._items)}>"

@@ -1,0 +1,67 @@
+"""Fixtures for analysis tests: synthetic workload-set results."""
+
+import pytest
+
+from repro.clients.record import ClientRecord
+from repro.core.campaign import WorkloadSetResult
+from repro.core.collector import RunResult
+from repro.core.faults import FaultSpec, FaultType
+from repro.core.outcomes import FailureMode, Outcome
+from repro.core.workload import MiddlewareKind
+
+_FAULT_POOL = [
+    ("ReadFile", p, t) for p in range(5) for t in FaultType
+] + [
+    ("CreateFileA", p, t) for p in range(7) for t in FaultType
+] + [
+    ("SetEvent", 0, t) for t in FaultType
+] + [
+    ("CreateEventA", p, t) for p in range(4) for t in FaultType
+]
+
+
+def make_run(workload="IIS", middleware=MiddlewareKind.NONE,
+             outcome=Outcome.NORMAL_SUCCESS, response_time=20.0,
+             fault_index=0, activated=True,
+             failure_mode=None) -> RunResult:
+    name, param, fault_type = _FAULT_POOL[fault_index % len(_FAULT_POOL)]
+    if failure_mode is None:
+        failure_mode = (FailureMode.INCORRECT_RESPONSE
+                        if outcome is Outcome.FAILURE else FailureMode.NONE)
+    return RunResult(
+        workload_name=workload,
+        middleware=middleware,
+        fault=FaultSpec(name, param, fault_type),
+        activated=activated,
+        activated_as_noop=False,
+        outcome=outcome,
+        failure_mode=failure_mode,
+        response_time=response_time,
+        restarts_detected=1 if outcome.involves_restart else 0,
+        retries_used=1 if outcome.involves_retry else 0,
+        server_came_up=True,
+        called_functions=set(),
+        client_record=ClientRecord(),
+        watchd_version=3,
+    )
+
+
+def make_set(workload="IIS", middleware=MiddlewareKind.NONE,
+             outcomes=(), times=None, watchd_version=3) -> WorkloadSetResult:
+    """A workload set with the given outcome sequence."""
+    result = WorkloadSetResult(workload, middleware, watchd_version)
+    times = times or [20.0] * len(outcomes)
+    for index, (outcome, time_value) in enumerate(zip(outcomes, times)):
+        result.runs.append(make_run(
+            workload, middleware, outcome, time_value, fault_index=index))
+    return result
+
+
+@pytest.fixture
+def run_factory():
+    return make_run
+
+
+@pytest.fixture
+def set_factory():
+    return make_set

@@ -1,0 +1,102 @@
+"""Tests for text rendering and the availability-model extension."""
+
+import pytest
+
+from repro.analysis.availability import (
+    compare_availability,
+    estimate_availability,
+)
+from repro.analysis.render import (
+    render_bar,
+    render_stacked_distribution,
+    render_table,
+)
+from repro.core.outcomes import Outcome
+from repro.core.workload import MiddlewareKind
+
+from .conftest import make_set
+
+N = Outcome.NORMAL_SUCCESS
+R = Outcome.RESTART_SUCCESS
+F = Outcome.FAILURE
+
+
+class TestRenderTable:
+    def test_alignment_and_content(self):
+        text = render_table(["Name", "Value"],
+                            [["alpha", 1.5], ["b", 22.25]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "Name" in lines[1]
+        assert "1.50" in text and "22.25" in text
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            render_table(["A", "B"], [["only-one"]])
+
+    def test_empty_rows_ok(self):
+        text = render_table(["A"], [])
+        assert "A" in text
+
+
+class TestBars:
+    def test_render_bar_scales(self):
+        assert render_bar(0.0, width=10) == "." * 10
+        assert render_bar(1.0, width=10) == "#" * 10
+        assert render_bar(0.5, width=10).count("#") == 5
+
+    def test_render_bar_clamps(self):
+        assert render_bar(2.0, width=4) == "####"
+        assert render_bar(-1.0, width=4) == "...."
+
+    def test_stacked_distribution_width_and_legend(self):
+        text = render_stacked_distribution(
+            [("normal", 0.6), ("failure", 0.4)], width=20)
+        bar = text[1:21]
+        assert len(bar) == 20
+        assert "normal 60.0%" in text
+        assert "failure 40.0%" in text
+
+
+class TestAvailability:
+    def test_perfect_coverage_beats_poor_coverage(self):
+        good = make_set(outcomes=[N, N, R, R], times=[20, 20, 60, 60])
+        bad = make_set(outcomes=[N, N, F, F], times=[20, 20, 60, 60])
+        good_est = estimate_availability(good, fault_rate_per_hour=0.1)
+        bad_est = estimate_availability(bad, fault_rate_per_hour=0.1)
+        assert good_est.availability > bad_est.availability
+        assert good_est.covered_fraction == 1.0
+        assert bad_est.covered_fraction == 0.5
+
+    def test_recovery_latency_counts_against_availability(self):
+        fast = make_set(outcomes=[N, R], times=[20.0, 30.0])
+        slow = make_set(outcomes=[N, R], times=[20.0, 220.0])
+        assert estimate_availability(fast).availability > \
+            estimate_availability(slow).availability
+
+    def test_all_normal_is_effectively_perfect(self):
+        estimate = estimate_availability(make_set(outcomes=[N, N, N]))
+        assert estimate.availability == pytest.approx(1.0)
+        assert estimate.mean_recovery_seconds == 0.0
+
+    def test_nines_scale(self):
+        result = make_set(outcomes=[N, F], times=[20.0, 20.0])
+        low = estimate_availability(result, fault_rate_per_hour=1.0,
+                                    manual_repair_hours=1.0)
+        # MTTF 1h, expected downtime 0.5h -> A = 1/1.5
+        assert low.availability == pytest.approx(2 / 3, rel=1e-6)
+        assert low.nines == pytest.approx(0.477, abs=1e-2)
+
+    def test_empty_result_rejected(self):
+        with pytest.raises(ValueError):
+            estimate_availability(make_set(outcomes=[]))
+
+    def test_comparison_renders(self):
+        results = [
+            ("standalone", make_set(outcomes=[N, F])),
+            ("watchd", make_set(MiddlewareKind.WATCHD.value,
+                                outcomes=[N, R])),
+        ]
+        text = compare_availability(results)
+        assert "standalone" in text
+        assert "Nines" in text

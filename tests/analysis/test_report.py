@@ -1,0 +1,35 @@
+"""Tests for the report module's building blocks (no full grid runs)."""
+
+from repro.analysis.report import ShapeCheck
+
+
+def test_shape_check_rendering():
+    holds = ShapeCheck("claim A", True, "x vs y")
+    fails = ShapeCheck("claim B", False, "p vs q")
+    assert "[HOLDS] claim A" in holds.render()
+    assert "x vs y" in holds.render()
+    assert "[DEVIATES] claim B" in fails.render()
+
+
+def test_design_experiment_index_files_exist():
+    # DESIGN.md's experiment table promises a regenerating bench per
+    # artifact; those files must exist.
+    from pathlib import Path
+
+    root = Path(__file__).resolve().parents[2]
+    for name in ("bench_table1", "bench_table2", "bench_figure2",
+                 "bench_figure3", "bench_figure4", "bench_figure5",
+                 "bench_ablation_scm_lock", "bench_ablation_invocations",
+                 "bench_linux_port"):
+        assert (root / "benchmarks" / f"{name}.py").exists(), name
+
+
+def test_experiments_report_file_is_current():
+    from pathlib import Path
+
+    root = Path(__file__).resolve().parents[2]
+    text = (root / "EXPERIMENTS.md").read_text()
+    assert "15/15 shape claims hold" in text
+    assert "Table 1" in text
+    assert "Figure 5" in text
+    assert "Known deviations" in text

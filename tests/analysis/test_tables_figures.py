@@ -1,0 +1,204 @@
+"""Tests for table/figure builders on synthetic results."""
+
+import pytest
+
+from repro.analysis.coverage import build_coverage
+from repro.analysis.figures import (
+    OutcomeDistribution,
+    build_figure2,
+    build_figure3,
+    build_figure4,
+    build_figure5,
+    combine_apache,
+    response_times_by_class,
+)
+from repro.analysis.tables import (
+    PAPER_TABLE1,
+    build_table1,
+    build_table2,
+    common_fault_keys,
+)
+from repro.core.outcomes import Outcome
+from repro.core.workload import MiddlewareKind
+
+from .conftest import make_run, make_set
+
+N = Outcome.NORMAL_SUCCESS
+R = Outcome.RESTART_SUCCESS
+RR = Outcome.RESTART_RETRY_SUCCESS
+T = Outcome.RETRY_SUCCESS
+F = Outcome.FAILURE
+
+ALL_MW = (MiddlewareKind.NONE, MiddlewareKind.MSCS, MiddlewareKind.WATCHD)
+
+
+class TestTable1:
+    def test_counts_and_render(self):
+        table = build_table1({
+            key: set(f"fn{i}" for i in range(count))
+            for key, count in PAPER_TABLE1.items()
+        })
+        assert table.matches_paper()
+        text = table.render()
+        assert "76 (paper 76)" in text
+        assert "Apache1" in text
+
+    def test_mismatch_detected(self):
+        counts = dict(PAPER_TABLE1)
+        counts[("IIS", MiddlewareKind.NONE)] = 99
+        table = build_table1({
+            key: set(f"fn{i}" for i in range(value))
+            for key, value in counts.items()
+        })
+        assert not table.matches_paper()
+
+
+class TestDistribution:
+    def test_fractions(self):
+        dist = OutcomeDistribution.from_result(
+            "x", make_set(outcomes=[N, N, F, T]))
+        assert dist.activated == 4
+        assert dist.fractions[N] == 0.5
+        assert dist.fractions[F] == 0.25
+        assert dist.failure_coverage == 0.75
+
+    def test_render_contains_percentages(self):
+        dist = OutcomeDistribution.from_result("label", make_set(outcomes=[F]))
+        assert "failure 100.0%" in dist.render()
+
+
+class TestFigure2:
+    def test_grid_lookup(self):
+        grid = {("IIS", mw): make_set("IIS", mw, outcomes=[N, F])
+                for mw in ALL_MW}
+        figure = build_figure2(grid)
+        assert figure.get("IIS", MiddlewareKind.MSCS).failure_fraction == 0.5
+        assert "IIS" in figure.render()
+
+
+class TestFigure3:
+    def test_weighted_combination(self):
+        # Apache1: 1 failure of 2; Apache2: 0 of 6 -> combined 1/8.
+        apache1 = make_set("Apache1", outcomes=[F, N])
+        apache2 = make_set("Apache2", outcomes=[N] * 6)
+        combined = combine_apache(apache1, apache2, "Apache")
+        assert combined.activated == 8
+        assert combined.failure_fraction == pytest.approx(1 / 8)
+
+    def test_failure_pairs(self):
+        apache1 = {mw: make_set("Apache1", mw, outcomes=[F, N]) for mw in ALL_MW}
+        apache2 = {mw: make_set("Apache2", mw, outcomes=[N, N]) for mw in ALL_MW}
+        iis = {mw: make_set("IIS", mw, outcomes=[F, F, N, N]) for mw in ALL_MW}
+        figure = build_figure3(apache1, apache2, iis)
+        apache_fail, iis_fail = figure.failure_pair(MiddlewareKind.NONE)
+        assert apache_fail == 0.25
+        assert iis_fail == 0.5
+
+
+class TestFigure4:
+    def test_no_response_failures_excluded(self):
+        from repro.core.outcomes import FailureMode
+
+        runs = [
+            make_run(outcome=N, response_time=10.0),
+            make_run(outcome=F, response_time=50.0, fault_index=1,
+                     failure_mode=FailureMode.INCORRECT_RESPONSE),
+            make_run(outcome=F, response_time=None, fault_index=2,
+                     failure_mode=FailureMode.NO_RESPONSE),
+        ]
+        grouped = response_times_by_class(runs)
+        assert grouped["normal"] == [10.0]
+        assert grouped["failure (incorrect response)"] == [50.0]
+        assert sum(len(v) for v in grouped.values()) == 2
+
+    def test_cells_carry_confidence_intervals(self):
+        apache1 = {mw: make_set("Apache1", mw, outcomes=[N, N, N],
+                                times=[10.0, 12.0, 14.0]) for mw in ALL_MW}
+        apache2 = {mw: make_set("Apache2", mw, outcomes=[]) for mw in ALL_MW}
+        iis = {mw: make_set("IIS", mw, outcomes=[N, N], times=[20.0, 22.0])
+               for mw in ALL_MW}
+        figure = build_figure4(apache1, apache2, iis)
+        cell = figure.get("Apache", MiddlewareKind.NONE, "normal")
+        assert cell.mean == 12.0
+        assert cell.count == 3
+        assert cell.half_width > 0
+        assert "95%" in figure.render()
+
+
+class TestTable2:
+    def test_common_fault_restriction(self):
+        # Apache sets activate fault indices 0..3; IIS activates 2..5;
+        # the common set is {2, 3}.
+        def grid(workload, indices):
+            result = make_set(workload, outcomes=[])
+            for mw in ALL_MW:
+                pass
+            return result
+
+        apache1 = {}
+        apache2 = {}
+        iis = {}
+        for mw in ALL_MW:
+            a1 = make_set("Apache1", mw, outcomes=[])
+            for i in (0, 1):
+                a1.runs.append(make_run("Apache1", mw, N, 10.0, fault_index=i))
+            a2 = make_set("Apache2", mw, outcomes=[])
+            for i in (2, 3):
+                a2.runs.append(make_run("Apache2", mw, F, 10.0, fault_index=i))
+            ii = make_set("IIS", mw, outcomes=[])
+            for i in (2, 3, 4, 5):
+                ii.runs.append(make_run("IIS", mw, N, 10.0, fault_index=i))
+            apache1[mw], apache2[mw], iis[mw] = a1, a2, ii
+        table = build_table2(apache1, apache2, iis)
+        assert table.common_fault_count == 2
+        row = table.row("Apache1+Apache2", MiddlewareKind.NONE)
+        assert row.activated == 2   # only the common faults counted
+        assert row.failure == 1.0   # both common runs failed (Apache2's)
+        assert table.row("IIS", MiddlewareKind.NONE).activated == 2
+        assert "common faults" in table.render()
+
+    def test_common_fault_keys_intersection(self):
+        a = make_set(outcomes=[])
+        a.runs = [make_run(fault_index=0), make_run(fault_index=1)]
+        b = make_set(outcomes=[])
+        b.runs = [make_run(fault_index=1), make_run(fault_index=2)]
+        keys = common_fault_keys([a], [b])
+        assert len(keys) == 1
+
+
+class TestFigure5:
+    def test_versions_tracked(self):
+        results = {
+            ("SQL", 1): make_set("SQL", MiddlewareKind.WATCHD,
+                                 outcomes=[F, F, N], watchd_version=1),
+            ("SQL", 2): make_set("SQL", MiddlewareKind.WATCHD,
+                                 outcomes=[F, F, N], watchd_version=2),
+            ("SQL", 3): make_set("SQL", MiddlewareKind.WATCHD,
+                                 outcomes=[N, N, N], watchd_version=3),
+        }
+        figure = build_figure5(results)
+        assert figure.failure("SQL", 1) == pytest.approx(2 / 3)
+        assert figure.failure("SQL", 3) == 0.0
+        assert "Watchd1" in figure.render()
+
+
+class TestCoverage:
+    def test_summary_and_claims(self):
+        grid = {}
+        for workload in ("Apache1", "IIS"):
+            grid[(workload, MiddlewareKind.NONE)] = make_set(
+                workload, MiddlewareKind.NONE, outcomes=[F, F, N, N])
+            grid[(workload, MiddlewareKind.MSCS)] = make_set(
+                workload, MiddlewareKind.MSCS, outcomes=[F, N, N, N])
+            grid[(workload, MiddlewareKind.WATCHD)] = make_set(
+                workload, MiddlewareKind.WATCHD, outcomes=[N, N, N, N])
+        summary = build_coverage(grid)
+        assert summary.get("IIS", MiddlewareKind.NONE) == 0.5
+        assert summary.watchd_exceeds(0.9)
+        assert summary.watchd_beats_mscs()
+        assert "Failure coverage" in summary.render()
+
+    def test_watchd_threshold_violation_detected(self):
+        grid = {("IIS", MiddlewareKind.WATCHD): make_set(
+            "IIS", MiddlewareKind.WATCHD, outcomes=[F, F, N, N])}
+        assert not build_coverage(grid).watchd_exceeds(0.9)

@@ -1,0 +1,174 @@
+"""Behavioural tests for HttpClient and SqlClient."""
+
+import pytest
+
+from repro.clients import AttemptResult, HttpClient, SqlClient
+from repro.net.http import HTTP_OK, HttpRequest, HttpResponse
+from repro.net.transport import RESET, Side
+from repro.nt import Machine
+from repro.servers import content
+from repro.sim import TIMED_OUT
+
+
+@pytest.fixture
+def machine():
+    return Machine(seed=41)
+
+
+class ScriptedHttpServer:
+    """Answers each request according to a per-request script."""
+
+    image_name = "scripted-http.exe"
+
+    def __init__(self, script):
+        # script: list of "ok" | "wrong" | "silent" | "die"
+        self.script = list(script)
+
+    def main(self, ctx):
+        transport = ctx.machine.transport
+        listener = transport.listen(content.HTTP_PORT, ctx.process)
+        for action in self.script:
+            conn = yield from transport.accept(listener, timeout=None)
+            if conn is RESET or conn is TIMED_OUT:
+                return
+            request = yield from transport.recv(conn, Side.SERVER,
+                                                timeout=60.0)
+            if not isinstance(request, HttpRequest):
+                continue
+            if action == "ok":
+                body = (content.static_page() if not request.is_cgi
+                        else content.cgi_page(content.cgi_script_source()))
+                transport.send(conn, Side.SERVER, HttpResponse(HTTP_OK, body))
+            elif action == "wrong":
+                transport.send(conn, Side.SERVER,
+                               HttpResponse(HTTP_OK, b"wrong content"))
+            elif action == "silent":
+                pass
+            elif action == "die":
+                yield from ctx.k32.ExitProcess(1)
+        yield from ctx.k32.Sleep(0xFFFFFFF0)
+
+
+def _run_http(machine, script, until=300.0, **kwargs):
+    machine.processes.spawn(ScriptedHttpServer(script), role="server")
+    machine.run(until=1.0)
+    client = HttpClient(**kwargs)
+    machine.processes.spawn(client, role="client")
+    machine.run(until=until)
+    return client
+
+
+class TestHttpClient:
+    def test_clean_run_no_retries(self, machine):
+        client = _run_http(machine, ["ok", "ok"])
+        assert client.record.all_succeeded
+        assert client.record.total_retries == 0
+        assert [r.attempts for r in client.record.requests] == [
+            [AttemptResult.OK], [AttemptResult.OK]]
+
+    def test_issues_the_papers_two_requests(self, machine):
+        client = _run_http(machine, ["ok", "ok"])
+        first, second = client.record.requests
+        assert "static" in first.description
+        assert "CGI" in second.description
+
+    def test_wrong_content_retried_then_succeeds(self, machine):
+        client = _run_http(machine, ["wrong", "ok", "ok"])
+        assert client.record.all_succeeded
+        assert client.record.requests[0].attempts == [
+            AttemptResult.INCORRECT, AttemptResult.OK]
+        assert client.record.total_retries == 1
+
+    def test_silent_server_times_out_then_retries(self, machine):
+        client = _run_http(machine, ["silent", "ok", "ok"])
+        assert client.record.all_succeeded
+        assert client.record.requests[0].attempts == [
+            AttemptResult.TIMEOUT, AttemptResult.OK]
+
+    def test_three_attempts_then_gives_up(self, machine):
+        client = _run_http(machine, ["wrong", "wrong", "wrong", "ok"])
+        first = client.record.requests[0]
+        assert not first.succeeded
+        assert len(first.attempts) == 3
+        assert first.any_response_received
+
+    def test_dead_server_refused_everywhere(self, machine):
+        client = HttpClient()
+        machine.processes.spawn(client, role="client")
+        machine.run(until=300.0)
+        assert not client.record.all_succeeded
+        assert all(a is AttemptResult.REFUSED
+                   for r in client.record.requests for a in r.attempts)
+        assert not client.record.any_response_received
+
+    def test_mid_request_death_recorded_as_reset(self, machine):
+        client = _run_http(machine, ["die"])
+        assert client.record.requests[0].attempts[0] is AttemptResult.RESET
+
+    def test_retry_waits_15_seconds(self, machine):
+        client = _run_http(machine, ["wrong", "ok", "ok"])
+        # one incorrect (fast) + 15s wait + retry + second request
+        assert client.record.elapsed > 15.0
+
+    def test_timing_follows_paper_defaults(self):
+        client = HttpClient()
+        assert client.reply_timeout == 15.0
+        assert client.retry_wait == 15.0
+        assert client.max_attempts == 3
+
+
+class TestSqlClient:
+    def test_single_select_request(self, machine):
+        from repro.servers import sqlserver
+
+        content.install_sql_content(machine.fs)
+        sqlserver.register_images(machine)
+        machine.scm.create_service(sqlserver.SERVICE_NAME,
+                                   sqlserver.SQL_IMAGE, wait_hint=25.0)
+        machine.scm.start_service(sqlserver.SERVICE_NAME)
+        machine.run(until=12.0)
+        client = SqlClient()
+        machine.processes.spawn(client, role="client")
+        machine.run(until=60.0)
+        assert len(client.record.requests) == 1
+        assert client.record.all_succeeded
+
+    def test_no_server_exhausts_attempts(self, machine):
+        client = SqlClient()
+        machine.processes.spawn(client, role="client")
+        machine.run(until=300.0)
+        record = client.record.requests[0]
+        assert not record.succeeded
+        assert len(record.attempts) == 3
+
+
+class TestRecords:
+    def test_retries_used_counts_beyond_first(self):
+        from repro.clients.record import RequestRecord
+
+        record = RequestRecord("r")
+        assert record.retries_used == 0
+        record.attempts = [AttemptResult.TIMEOUT, AttemptResult.OK]
+        assert record.retries_used == 1
+
+    def test_attempt_result_response_classification(self):
+        assert AttemptResult.OK.received_response
+        assert AttemptResult.INCORRECT.received_response
+        assert not AttemptResult.TIMEOUT.received_response
+        assert not AttemptResult.RESET.received_response
+        assert not AttemptResult.REFUSED.received_response
+
+    def test_client_record_aggregates(self):
+        from repro.clients.record import ClientRecord, RequestRecord
+
+        record = ClientRecord()
+        assert not record.all_succeeded  # no requests yet
+        assert not record.completed
+        first = RequestRecord("a")
+        first.attempts = [AttemptResult.OK]
+        first.succeeded = True
+        record.requests.append(first)
+        record.started_at, record.finished_at = 1.0, 11.0
+        assert record.all_succeeded
+        assert record.elapsed == 10.0
+        assert record.completed

@@ -1,0 +1,129 @@
+"""Tests for the Figure-1 campaign flow.
+
+Campaigns here are restricted to small function subsets so each test
+runs a handful of injections, not the full 551-function sweep.
+"""
+
+import pytest
+
+from repro.core.campaign import Campaign, profile_workload, run_workload_set
+from repro.core.faults import FaultType
+from repro.core.outcomes import Outcome
+from repro.core.runner import RunConfig
+from repro.core.workload import MiddlewareKind
+
+
+@pytest.fixture(scope="module")
+def config():
+    return RunConfig(base_seed=77)
+
+
+def test_campaign_runs_all_faults_of_called_functions(config):
+    campaign = Campaign("IIS", MiddlewareKind.NONE,
+                        functions=["SetErrorMode", "GetACP"], config=config)
+    result = campaign.run()
+    # SetErrorMode has 1 parameter -> 3 faults; GetACP has none.
+    assert len(result.runs) == 3
+    assert result.activated_count == 3
+
+
+def test_uncalled_functions_skipped_by_profiling(config):
+    campaign = Campaign("IIS", MiddlewareKind.NONE,
+                        functions=["SetErrorMode", "EraseTape"],
+                        config=config)
+    result = campaign.run()
+    assert "EraseTape" in result.skipped_functions
+    assert all(r.fault.function != "EraseTape" for r in result.runs)
+    assert result.profile_run is not None
+
+
+def test_activation_shortcut_without_profiling(config):
+    # Without the profiling pre-pass, the first non-activated fault of
+    # a function skips the function's remaining faults (the paper's
+    # shortcut).
+    campaign = Campaign("IIS", MiddlewareKind.NONE,
+                        functions=["EraseTape"], config=config,
+                        profile_first=False)
+    result = campaign.run()
+    assert len(result.runs) == 1          # one probe run, then skipped
+    assert not result.runs[0].activated
+    assert "EraseTape" in result.skipped_functions
+    assert result.activated_count == 0
+
+
+def test_outcome_fractions_sum_to_one(config):
+    campaign = Campaign("IIS", MiddlewareKind.NONE,
+                        functions=["CreateEventA"], config=config)
+    result = campaign.run()
+    fractions = result.outcome_fractions()
+    assert sum(fractions.values()) == pytest.approx(1.0)
+    assert result.failure_coverage == \
+        pytest.approx(1.0 - fractions[Outcome.FAILURE])
+
+
+def test_empty_workload_set_has_zero_fractions(config):
+    campaign = Campaign("IIS", MiddlewareKind.NONE,
+                        functions=["EraseTape"], config=config)
+    result = campaign.run()
+    assert result.activated_count == 0
+    assert all(v == 0.0 for v in result.outcome_fractions().values())
+
+
+def test_progress_callback_invoked(config):
+    seen = []
+    campaign = Campaign(
+        "IIS", MiddlewareKind.NONE, functions=["SetErrorMode"],
+        config=config, progress=lambda done, total, run: seen.append(
+            (done, total, run.outcome)))
+    campaign.run()
+    assert len(seen) == 3
+    assert seen[-1][0] == seen[-1][1] == 3
+
+
+def test_fault_type_restriction(config):
+    campaign = Campaign("IIS", MiddlewareKind.NONE,
+                        functions=["SetErrorMode"],
+                        fault_types=(FaultType.FLIP,), config=config)
+    result = campaign.run()
+    assert len(result.runs) == 1
+    assert result.runs[0].fault.fault_type is FaultType.FLIP
+
+
+def test_runs_for_fault_keys_filters(config):
+    campaign = Campaign("IIS", MiddlewareKind.NONE,
+                        functions=["SetErrorMode"], config=config)
+    result = campaign.run()
+    keys = {result.runs[0].fault.key}
+    assert len(result.runs_for_fault_keys(keys)) == 1
+    assert result.runs_for_fault_keys(set()) == []
+
+
+def test_run_workload_set_wrapper(config):
+    result = run_workload_set("IIS", MiddlewareKind.NONE, config=config,
+                              functions=["GetACP", "SetErrorMode"])
+    assert result.workload_name == "IIS"
+    assert result.middleware is MiddlewareKind.NONE
+
+
+def test_profile_workload_returns_table1_counts(config):
+    assert len(profile_workload("Apache1", MiddlewareKind.NONE,
+                                config=config)) == 13
+    assert len(profile_workload("Apache1", MiddlewareKind.MSCS,
+                                config=config)) == 17
+
+
+def test_campaign_accepts_spec_object(config):
+    from repro.core.workload import IIS
+
+    campaign = Campaign(IIS, MiddlewareKind.NONE, functions=["GetACP"],
+                        config=config)
+    assert campaign.workload.name == "IIS"
+
+
+def test_campaign_is_deterministic(config):
+    def distribution():
+        return Campaign("Apache2", MiddlewareKind.NONE,
+                        functions=["OpenMutexA", "Sleep"],
+                        config=config).run().outcome_counts()
+
+    assert distribution() == distribution()

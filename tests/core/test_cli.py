@@ -1,0 +1,87 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import main
+
+
+def _run(argv):
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+class TestFaultlist:
+    def test_generates_full_list(self, tmp_path):
+        path = tmp_path / "faults.lst"
+        code, text = _run(["faultlist", "-o", str(path)])
+        assert code == 0
+        assert "wrote" in text
+        content = path.read_text()
+        assert "CreateFileA 0 zero 1" in content
+
+    def test_restricted_functions(self, tmp_path):
+        path = tmp_path / "faults.lst"
+        code, text = _run(["faultlist", "-o", str(path),
+                           "--functions", "SetEvent,ReadFile"])
+        assert code == 0
+        assert "wrote 18 faults" in text  # 1*3 + 5*3
+
+
+class TestProfile:
+    def test_profile_counts_match_table1(self):
+        code, text = _run(["profile", "--workload", "Apache1",
+                           "--middleware", "none"])
+        assert code == 0
+        assert "13 KERNEL32 functions called" in text
+        assert "CreateProcessA" in text
+
+    def test_profile_with_watchd(self):
+        code, text = _run(["profile", "--workload", "IIS",
+                           "--middleware", "watchd"])
+        assert "70 KERNEL32 functions called" in text
+
+
+class TestInject:
+    def test_single_injection_reports_outcome(self):
+        code, text = _run(["inject", "--workload", "IIS",
+                           "--middleware", "none",
+                           "--fault", "CreateEventA 3 zero 1"])
+        assert code == 0
+        assert "outcome    : normal-success" in text
+        assert "activated  : True" in text
+
+    def test_crash_fault_under_watchd(self):
+        code, text = _run(["inject", "--workload", "IIS",
+                           "--middleware", "watchd",
+                           "--fault", "CreateFileA 0 zero 1"])
+        assert "restart-success" in text
+
+    def test_malformed_fault_rejected(self):
+        with pytest.raises(ValueError):
+            _run(["inject", "--workload", "IIS", "--fault", "nonsense"])
+
+
+class TestRun:
+    def test_campaign_from_config_file(self, tmp_path):
+        from repro.core.config import DtsConfig
+
+        config_path = tmp_path / "dts.ini"
+        config_path.write_text(DtsConfig(workload="IIS").to_text())
+        code, text = _run(["run", "--config", str(config_path),
+                           "--functions", "SetErrorMode,GetACP"])
+        assert code == 0
+        assert "IIS / Stand-alone" in text
+        assert "activated faults : 3" in text
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        _run(["explode"])
+
+
+def test_missing_required_arguments_rejected():
+    with pytest.raises(SystemExit):
+        _run(["profile"])

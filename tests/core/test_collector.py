@@ -1,0 +1,70 @@
+"""Unit tests for the data collector's restart-evidence channels."""
+
+import pytest
+
+from repro.core.collector import count_restarts
+from repro.core.workload import MiddlewareKind
+from repro.middleware.base import MiddlewareLogEntry
+from repro.middleware.mscs import EVENT_ID_RESTART, EVENT_SOURCE
+from repro.nt import Machine
+from repro.nt.eventlog import EventType
+
+
+@pytest.fixture
+def machine():
+    machine = Machine(seed=3)
+    machine.watchd_log = []
+    return machine
+
+
+def _mscs_restart(machine, time):
+    machine.eventlog.write(time, EVENT_SOURCE, EventType.WARNING,
+                           EVENT_ID_RESTART, "Restarting resource X")
+
+
+def _watchd_restart(machine, time):
+    machine.watchd_log.append(
+        MiddlewareLogEntry(time, "watchd", "restarting X (restart #1)"))
+
+
+class TestMscsChannel:
+    def test_counts_restart_events_only(self, machine):
+        _mscs_restart(machine, 5.0)
+        machine.eventlog.write(6.0, EVENT_SOURCE, EventType.INFORMATION,
+                               1200, "online")
+        machine.eventlog.write(7.0, "Service Control Manager",
+                               EventType.ERROR, 7031, "stopped")
+        assert count_restarts(machine, MiddlewareKind.MSCS) == 1
+
+    def test_until_bound_excludes_teardown_reactions(self, machine):
+        _mscs_restart(machine, 5.0)
+        _mscs_restart(machine, 99.0)  # middleware reacting to teardown
+        assert count_restarts(machine, MiddlewareKind.MSCS, until=50.0) == 1
+
+    def test_ignores_watchd_log(self, machine):
+        _watchd_restart(machine, 5.0)
+        assert count_restarts(machine, MiddlewareKind.MSCS) == 0
+
+
+class TestWatchdChannel:
+    def test_counts_restart_lines_only(self, machine):
+        _watchd_restart(machine, 5.0)
+        machine.watchd_log.append(
+            MiddlewareLogEntry(6.0, "watchd", "monitoring X pid=100"))
+        assert count_restarts(machine, MiddlewareKind.WATCHD) == 1
+
+    def test_until_bound(self, machine):
+        _watchd_restart(machine, 5.0)
+        _watchd_restart(machine, 80.0)
+        assert count_restarts(machine, MiddlewareKind.WATCHD, until=50.0) == 1
+
+    def test_ignores_event_log(self, machine):
+        _mscs_restart(machine, 5.0)
+        assert count_restarts(machine, MiddlewareKind.WATCHD) == 0
+
+
+class TestStandalone:
+    def test_standalone_never_detects_restarts(self, machine):
+        _mscs_restart(machine, 5.0)
+        _watchd_restart(machine, 5.0)
+        assert count_restarts(machine, MiddlewareKind.NONE) == 0

@@ -1,0 +1,64 @@
+"""Unit tests for the main configuration file."""
+
+import pytest
+
+from repro.core.config import DtsConfig
+from repro.core.workload import MiddlewareKind
+
+
+def test_defaults():
+    config = DtsConfig()
+    assert config.workload == "Apache1"
+    assert config.middleware is MiddlewareKind.NONE
+    assert config.watchd_version == 3
+    assert config.reply_timeout == 15.0   # the paper's default
+    assert config.retry_wait == 15.0
+    assert config.cpu_mhz == 100          # the paper's primary testbed
+
+
+def test_text_roundtrip():
+    original = DtsConfig(workload="SQL", middleware=MiddlewareKind.WATCHD,
+                         watchd_version=2, fault_list="f.lst",
+                         base_seed=7, server_up_timeout=50.0,
+                         client_timeout=120.0, cpu_mhz=400)
+    parsed = DtsConfig.from_text(original.to_text())
+    assert parsed.workload == "SQL"
+    assert parsed.middleware is MiddlewareKind.WATCHD
+    assert parsed.watchd_version == 2
+    assert parsed.fault_list == "f.lst"
+    assert parsed.base_seed == 7
+    assert parsed.server_up_timeout == 50.0
+    assert parsed.client_timeout == 120.0
+    assert parsed.cpu_mhz == 400
+
+
+def test_file_roundtrip(tmp_path):
+    path = tmp_path / "dts.ini"
+    path.write_text(DtsConfig(workload="IIS").to_text())
+    assert DtsConfig.from_file(path).workload == "IIS"
+
+
+def test_partial_file_uses_defaults():
+    config = DtsConfig.from_text("[dts]\nworkload = IIS\n")
+    assert config.workload == "IIS"
+    assert config.middleware is MiddlewareKind.NONE
+    assert config.client_timeout == 240.0
+
+
+def test_run_config_propagation():
+    config = DtsConfig(base_seed=99, watchd_version=2, cpu_mhz=400)
+    run_config = config.run_config()
+    assert run_config.base_seed == 99
+    assert run_config.watchd_version == 2
+    assert run_config.cpu_mhz == 400
+
+
+def test_workload_spec_resolution():
+    assert DtsConfig(workload="SQL").workload_spec().name == "SQL"
+    with pytest.raises(KeyError):
+        DtsConfig(workload="Netscape").workload_spec()
+
+
+def test_bad_middleware_rejected():
+    with pytest.raises(ValueError):
+        DtsConfig.from_text("[dts]\nmiddleware = chaosmonkey\n")

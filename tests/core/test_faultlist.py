@@ -1,0 +1,116 @@
+"""Unit tests for fault-list generation and the file format."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.faultlist import (
+    dump_fault_list,
+    fault_count,
+    faults_by_function,
+    generate_fault_list,
+    parse_fault_list,
+    read_fault_list_file,
+    write_fault_list_file,
+)
+from repro.core.faults import FaultSpec, FaultType
+from repro.nt.kernel32.signatures import REGISTRY, injectable_signatures
+
+
+class TestGeneration:
+    def test_full_space_covers_all_injectable_functions(self):
+        faults = generate_fault_list()
+        assert {f.function for f in faults} == \
+            {s.name for s in injectable_signatures()}
+
+    def test_full_space_size_matches_parameter_sum(self):
+        expected = 3 * sum(s.param_count for s in injectable_signatures())
+        assert len(generate_fault_list()) == expected
+        assert fault_count() == expected
+
+    def test_three_fault_types_per_parameter(self):
+        faults = generate_fault_list(functions=["ReadFile"])
+        # ReadFile has 5 parameters.
+        assert len(faults) == 15
+        per_param = faults_by_function(faults)["ReadFile"]
+        assert len({(f.param_index, f.fault_type) for f in per_param}) == 15
+
+    def test_zero_param_functions_yield_no_faults(self):
+        assert generate_fault_list(functions=["GetTickCount"]) == []
+
+    def test_unknown_function_raises(self):
+        with pytest.raises(KeyError):
+            generate_fault_list(functions=["NotAnExport"])
+
+    def test_invocation_sweep(self):
+        faults = generate_fault_list(functions=["SetEvent"],
+                                     invocations=(1, 2, 3))
+        assert len(faults) == 9
+        assert {f.invocation for f in faults} == {1, 2, 3}
+
+    def test_restricted_fault_types(self):
+        faults = generate_fault_list(functions=["SetEvent"],
+                                     fault_types=(FaultType.ZERO,))
+        assert len(faults) == 1
+        assert faults[0].fault_type is FaultType.ZERO
+
+    def test_count_matches_generation_for_subsets(self):
+        names = ["CreateFileA", "ReadFile", "CloseHandle"]
+        assert fault_count(functions=names) == \
+            len(generate_fault_list(functions=names))
+
+
+class TestFileFormat:
+    def test_dump_parse_roundtrip(self):
+        faults = generate_fault_list(functions=["CreateEventA", "SetEvent"])
+        assert parse_fault_list(dump_fault_list(faults)) == faults
+
+    def test_comments_and_blanks_ignored(self):
+        text = "# header\n\nSetEvent 0 zero 1\n  \n# tail\n"
+        assert parse_fault_list(text) == [
+            FaultSpec("SetEvent", 0, FaultType.ZERO)]
+
+    def test_unknown_export_rejected_with_line_number(self):
+        with pytest.raises(ValueError, match="line 2"):
+            parse_fault_list("SetEvent 0 zero 1\nBogusFn 0 zero 1\n")
+
+    def test_out_of_range_parameter_rejected(self):
+        with pytest.raises(ValueError, match="only"):
+            parse_fault_list("SetEvent 5 zero 1\n")
+
+    def test_file_roundtrip(self, tmp_path):
+        faults = generate_fault_list(functions=["ReadFile"])
+        path = tmp_path / "faults.lst"
+        write_fault_list_file(path, faults)
+        assert read_fault_list_file(path) == faults
+
+    @given(st.lists(
+        st.tuples(
+            st.sampled_from(["ReadFile", "CreateFileA", "SetEvent"]),
+            st.sampled_from(list(FaultType)),
+            st.integers(min_value=1, max_value=5),
+        ),
+        max_size=20,
+    ))
+    def test_roundtrip_property(self, entries):
+        faults = [
+            FaultSpec(name, 0, fault_type, invocation)
+            for name, fault_type, invocation in entries
+        ]
+        assert parse_fault_list(dump_fault_list(faults)) == faults
+
+
+class TestGrouping:
+    def test_groups_preserve_order(self):
+        faults = generate_fault_list(functions=["ReadFile", "SetEvent"])
+        grouped = faults_by_function(faults)
+        assert list(grouped) == ["ReadFile", "SetEvent"]
+        assert len(grouped["ReadFile"]) == 15
+        assert len(grouped["SetEvent"]) == 3
+
+    def test_paper_fault_space_magnitude(self):
+        # 551 injectable functions; the full first-invocation list is
+        # parameters x 3 — the campaign's outer loop bound.
+        total_params = sum(s.param_count for s in REGISTRY.values())
+        assert fault_count() == 3 * total_params
+        assert fault_count() > 3 * 551  # at least one param each

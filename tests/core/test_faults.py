@@ -1,0 +1,83 @@
+"""Unit tests for the fault model."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.faults import DEFAULT_FAULT_TYPES, FaultSpec, FaultType
+
+WORD = st.integers(min_value=0, max_value=0xFFFFFFFF)
+
+
+class TestFaultType:
+    def test_zero_resets_all_bits(self):
+        assert FaultType.ZERO.apply(0xDEADBEEF) == 0
+
+    def test_ones_sets_all_bits(self):
+        assert FaultType.ONES.apply(0) == 0xFFFFFFFF
+        assert FaultType.ONES.apply(0x1234) == 0xFFFFFFFF
+
+    def test_flip_is_ones_complement(self):
+        assert FaultType.FLIP.apply(0) == 0xFFFFFFFF
+        assert FaultType.FLIP.apply(0xFFFFFFFF) == 0
+        assert FaultType.FLIP.apply(0x0000FFFF) == 0xFFFF0000
+
+    @given(WORD)
+    def test_flip_is_involutive(self, raw):
+        assert FaultType.FLIP.apply(FaultType.FLIP.apply(raw)) == raw
+
+    @given(WORD)
+    def test_all_results_are_32_bit(self, raw):
+        for fault_type in FaultType:
+            assert 0 <= fault_type.apply(raw) <= 0xFFFFFFFF
+
+    @given(WORD)
+    def test_zero_and_ones_are_constant(self, raw):
+        assert FaultType.ZERO.apply(raw) == 0
+        assert FaultType.ONES.apply(raw) == 0xFFFFFFFF
+
+    def test_default_types_are_the_papers_three(self):
+        assert DEFAULT_FAULT_TYPES == (
+            FaultType.ZERO, FaultType.ONES, FaultType.FLIP)
+
+    def test_short_codes_distinct(self):
+        codes = {t.short_code for t in FaultType}
+        assert codes == {"Z", "O", "F"}
+
+
+class TestFaultSpec:
+    def test_key_identity(self):
+        first = FaultSpec("ReadFile", 2, FaultType.ZERO)
+        second = FaultSpec("ReadFile", 2, FaultType.ZERO)
+        assert first == second
+        assert hash(first) == hash(second)
+
+    def test_inequality(self):
+        base = FaultSpec("ReadFile", 2, FaultType.ZERO)
+        assert base != FaultSpec("ReadFile", 2, FaultType.ONES)
+        assert base != FaultSpec("ReadFile", 1, FaultType.ZERO)
+        assert base != FaultSpec("WriteFile", 2, FaultType.ZERO)
+        assert base != FaultSpec("ReadFile", 2, FaultType.ZERO, invocation=2)
+
+    def test_negative_param_rejected(self):
+        with pytest.raises(ValueError):
+            FaultSpec("ReadFile", -1, FaultType.ZERO)
+
+    def test_zero_invocation_rejected(self):
+        with pytest.raises(ValueError):
+            FaultSpec("ReadFile", 0, FaultType.ZERO, invocation=0)
+
+    def test_line_roundtrip(self):
+        fault = FaultSpec("CreateFileA", 4, FaultType.FLIP, invocation=3)
+        assert FaultSpec.from_line(fault.to_line()) == fault
+
+    def test_malformed_line_rejected(self):
+        for bad in ("", "ReadFile", "ReadFile 1", "ReadFile 1 zero",
+                    "ReadFile 1 zero 1 extra", "ReadFile x zero 1",
+                    "ReadFile 1 sparkle 1"):
+            with pytest.raises(ValueError):
+                FaultSpec.from_line(bad)
+
+    def test_repr_is_informative(self):
+        text = repr(FaultSpec("ReadFile", 2, FaultType.ONES))
+        assert "ReadFile" in text and "2" in text and "ones" in text

@@ -1,0 +1,133 @@
+"""Unit tests for the fault injector hook."""
+
+import pytest
+
+from repro.core.faults import FaultSpec, FaultType
+from repro.core.injector import Injector
+from repro.nt import Machine
+
+
+class _Prog:
+    image_name = "victim.exe"
+
+    def __init__(self, calls):
+        self._calls = calls
+
+    def main(self, ctx):
+        for name, args in self._calls:
+            yield from getattr(ctx.k32, name)(*args)
+
+
+def _run(machine, calls, role="target"):
+    process = machine.processes.spawn(_Prog(calls), role=role)
+    machine.engine.run(until=60.0)
+    return process
+
+
+@pytest.fixture
+def machine():
+    return Machine(seed=11)
+
+
+def test_injector_fires_on_first_invocation(machine):
+    injector = Injector(FaultSpec("Sleep", 0, FaultType.ZERO), "target")
+    machine.interception.add_hook(injector)
+    _run(machine, [("Sleep", (1000,)), ("Sleep", (1000,))])
+    assert injector.fired
+    assert injector.fired_at == 0.0  # the first Sleep was zeroed
+    assert injector.original_raw == 1000
+    assert injector.corrupted_raw == 0
+    # The first sleep became 0ms; only the second advanced the clock.
+    assert machine.now >= 1.0
+
+
+def test_injector_targets_chosen_invocation(machine):
+    injector = Injector(
+        FaultSpec("Sleep", 0, FaultType.ZERO, invocation=2), "target")
+    machine.interception.add_hook(injector)
+    _run(machine, [("Sleep", (1000,)), ("Sleep", (1000,)), ("Sleep", (1000,))])
+    assert injector.fired
+    assert injector.fired_at == pytest.approx(1.0)
+
+
+def test_injector_ignores_other_roles(machine):
+    injector = Injector(FaultSpec("Sleep", 0, FaultType.ZERO), "target")
+    machine.interception.add_hook(injector)
+    _run(machine, [("Sleep", (1000,))], role="bystander")
+    assert not injector.fired
+
+
+def test_injector_fires_once_only(machine):
+    injector = Injector(FaultSpec("Sleep", 0, FaultType.ONES), "target")
+    machine.interception.add_hook(injector)
+
+    class TwoSleeps:
+        image_name = "victim.exe"
+
+        def main(self, ctx):
+            yield from ctx.k32.Sleep(10)  # becomes INFINITE: hangs
+
+    machine.processes.spawn(TwoSleeps(), role="target")
+    machine.processes.spawn(TwoSleeps(), role="target")
+    machine.engine.run(until=30.0)
+    # The second process's Sleep is invocation #1 of its own counter,
+    # but the injector has already fired and must not fire again.
+    assert injector.fired
+    sleeps = [r for r in machine.interception.trace if r.func == "Sleep"]
+    assert [r.injected for r in sleeps] == [True, False]
+
+
+def test_invocations_counted_across_role_incarnations(machine):
+    # A fault armed for invocation 2 of a role must count invocation 1
+    # from an earlier process of the same role (a respawned worker is
+    # not re-injected from scratch).
+    injector = Injector(
+        FaultSpec("Sleep", 0, FaultType.ZERO, invocation=2), "target")
+    machine.interception.add_hook(injector)
+    _run(machine, [("Sleep", (500,))])
+    assert not injector.fired
+    _run(machine, [("Sleep", (500,))])
+    assert injector.fired
+
+
+def test_noop_corruption_detected(machine):
+    # Zeroing a parameter that is already zero activates the fault but
+    # changes nothing.
+    injector = Injector(FaultSpec("Sleep", 0, FaultType.ZERO), "target")
+    machine.interception.add_hook(injector)
+    _run(machine, [("Sleep", (0,))])
+    assert injector.fired
+    assert injector.was_noop
+
+
+def test_unknown_function_rejected():
+    with pytest.raises(ValueError):
+        Injector(FaultSpec("Bogus", 0, FaultType.ZERO), "t")
+
+
+def test_out_of_range_parameter_rejected():
+    with pytest.raises(ValueError):
+        Injector(FaultSpec("SetEvent", 3, FaultType.ZERO), "t")
+
+
+def test_corruption_actually_changes_callee_behaviour(machine):
+    # Ones-corrupting CloseHandle's handle: the call fails instead of
+    # closing the real handle.
+    injector = Injector(FaultSpec("CloseHandle", 0, FaultType.ONES), "target")
+    machine.interception.add_hook(injector)
+
+    seen = {}
+
+    class Prog:
+        image_name = "victim.exe"
+
+        def main(self, ctx):
+            handle = yield from ctx.k32.CreateEventA(None, True, False, None)
+            seen["close"] = yield from ctx.k32.CloseHandle(handle)
+            seen["still_valid"] = ctx.machine.handles.is_valid(handle)
+
+    machine.processes.spawn(Prog(), role="target")
+    machine.engine.run(until=10.0)
+    assert injector.fired
+    assert seen["close"] == 0      # ERROR path taken
+    assert seen["still_valid"]     # the real handle survived

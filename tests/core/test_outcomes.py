@@ -1,0 +1,69 @@
+"""Unit tests for the outcome taxonomy."""
+
+import pytest
+
+from repro.core.outcomes import (
+    ORDERED_OUTCOMES,
+    FailureMode,
+    Outcome,
+    classify,
+    classify_failure_mode,
+)
+
+
+class TestClassify:
+    @pytest.mark.parametrize("restarts,retries,expected", [
+        (0, 0, Outcome.NORMAL_SUCCESS),
+        (1, 0, Outcome.RESTART_SUCCESS),
+        (2, 0, Outcome.RESTART_SUCCESS),
+        (1, 1, Outcome.RESTART_RETRY_SUCCESS),
+        (3, 2, Outcome.RESTART_RETRY_SUCCESS),
+        (0, 1, Outcome.RETRY_SUCCESS),
+        (0, 2, Outcome.RETRY_SUCCESS),
+    ])
+    def test_success_matrix(self, restarts, retries, expected):
+        assert classify(True, restarts, retries) is expected
+
+    @pytest.mark.parametrize("restarts,retries", [
+        (0, 0), (1, 0), (0, 1), (2, 2),
+    ])
+    def test_any_request_failure_dominates(self, restarts, retries):
+        assert classify(False, restarts, retries) is Outcome.FAILURE
+
+
+class TestOutcomeProperties:
+    def test_success_flags(self):
+        assert Outcome.NORMAL_SUCCESS.is_success
+        assert Outcome.RETRY_SUCCESS.is_success
+        assert not Outcome.FAILURE.is_success
+
+    def test_restart_involvement(self):
+        assert Outcome.RESTART_SUCCESS.involves_restart
+        assert Outcome.RESTART_RETRY_SUCCESS.involves_restart
+        assert not Outcome.RETRY_SUCCESS.involves_restart
+        assert not Outcome.FAILURE.involves_restart
+
+    def test_retry_involvement(self):
+        assert Outcome.RETRY_SUCCESS.involves_retry
+        assert Outcome.RESTART_RETRY_SUCCESS.involves_retry
+        assert not Outcome.RESTART_SUCCESS.involves_retry
+
+    def test_ordered_outcomes_cover_all_five(self):
+        assert len(ORDERED_OUTCOMES) == 5
+        assert set(ORDERED_OUTCOMES) == set(Outcome)
+        assert ORDERED_OUTCOMES[-1] is Outcome.FAILURE
+
+
+class TestFailureMode:
+    def test_success_has_no_failure_mode(self):
+        for outcome in Outcome:
+            if outcome is not Outcome.FAILURE:
+                assert classify_failure_mode(outcome, True) is FailureMode.NONE
+
+    def test_failure_with_response_is_incorrect(self):
+        assert classify_failure_mode(Outcome.FAILURE, True) is \
+            FailureMode.INCORRECT_RESPONSE
+
+    def test_failure_without_response(self):
+        assert classify_failure_mode(Outcome.FAILURE, False) is \
+            FailureMode.NO_RESPONSE

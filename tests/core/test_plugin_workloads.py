@@ -1,0 +1,86 @@
+"""Tests for the workload plugin registry (Section 5's extension seam)."""
+
+import pytest
+
+from repro.core.workload import (
+    WORKLOADS,
+    WorkloadSpec,
+    get_workload,
+    register_workload,
+    unregister_workload,
+)
+
+
+def _dummy_spec(name="PluginTest"):
+    return WorkloadSpec(
+        name=name,
+        service_name="PluginSvc",
+        image_name="plugin.exe",
+        wait_hint=10.0,
+        port=12345,
+        target_role="plugin",
+        install_content=lambda fs: None,
+        register_images=lambda machine: None,
+        client_factory=lambda: None,
+    )
+
+
+@pytest.fixture
+def clean_registry():
+    yield
+    unregister_workload("PluginTest")
+
+
+def test_register_and_resolve(clean_registry):
+    spec = register_workload(_dummy_spec())
+    assert get_workload("PluginTest") is spec
+    assert "PluginTest" in WORKLOADS
+
+
+def test_duplicate_rejected_without_replace(clean_registry):
+    register_workload(_dummy_spec())
+    with pytest.raises(ValueError):
+        register_workload(_dummy_spec())
+
+
+def test_replace_allowed_explicitly(clean_registry):
+    register_workload(_dummy_spec())
+    replacement = _dummy_spec()
+    assert register_workload(replacement, replace=True) is replacement
+    assert get_workload("PluginTest") is replacement
+
+
+def test_unregister_is_idempotent(clean_registry):
+    register_workload(_dummy_spec())
+    unregister_workload("PluginTest")
+    unregister_workload("PluginTest")
+    with pytest.raises(KeyError):
+        get_workload("PluginTest")
+
+
+def test_builtin_workloads_not_affected(clean_registry):
+    register_workload(_dummy_spec())
+    assert {"Apache1", "Apache2", "IIS", "SQL"} <= set(WORKLOADS)
+
+
+def test_end_to_end_plugin_campaign():
+    # The example's Echo workload runs through a real (tiny) campaign.
+    import importlib.util
+    from pathlib import Path
+
+    path = Path(__file__).resolve().parents[2] / "examples" / \
+        "custom_workload.py"
+    spec = importlib.util.spec_from_file_location("custom_workload", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+
+    from repro.core import Campaign, MiddlewareKind, RunConfig
+
+    register_workload(module.ECHO)
+    try:
+        result = Campaign("Echo", MiddlewareKind.NONE,
+                          functions=["GetVersion", "CreateFileA"],
+                          config=RunConfig(base_seed=5)).run()
+        assert result.activated_count == 21  # CreateFileA: 7 params x 3
+    finally:
+        unregister_workload("Echo")

@@ -1,0 +1,132 @@
+"""Tests for the return-value corruption mechanism."""
+
+import pytest
+
+from repro.core import (
+    Campaign,
+    MiddlewareKind,
+    Outcome,
+    ReturnFaultSpec,
+    ReturnInjector,
+    RunConfig,
+    execute_run,
+    generate_return_fault_list,
+    get_workload,
+)
+from repro.core.faults import FaultType
+from repro.nt import Machine
+
+
+class TestSpec:
+    def test_identity_and_hash(self):
+        a = ReturnFaultSpec("GetTickCount", FaultType.ZERO)
+        b = ReturnFaultSpec("GetTickCount", FaultType.ZERO)
+        assert a == b and hash(a) == hash(b)
+        assert a != ReturnFaultSpec("GetTickCount", FaultType.ONES)
+
+    def test_hash_disjoint_from_parameter_faults(self):
+        from repro.core import FaultSpec
+
+        ret = ReturnFaultSpec("SetEvent", FaultType.ZERO)
+        param = FaultSpec("SetEvent", 0, FaultType.ZERO)
+        assert ret != param
+
+    def test_bad_invocation_rejected(self):
+        with pytest.raises(ValueError):
+            ReturnFaultSpec("SetEvent", FaultType.ZERO, invocation=0)
+
+
+class TestGeneration:
+    def test_covers_parameterless_exports_too(self):
+        faults = generate_return_fault_list(functions=["GetTickCount"])
+        assert len(faults) == 3  # the param mechanism yields zero here
+
+    def test_full_space_is_functions_times_types(self):
+        from repro.nt.kernel32.signatures import REGISTRY
+
+        assert len(generate_return_fault_list()) == 3 * len(REGISTRY)
+
+    def test_unknown_function_rejected(self):
+        with pytest.raises(KeyError):
+            generate_return_fault_list(functions=["Bogus"])
+
+
+class TestInjector:
+    def _run(self, fault, calls):
+        machine = Machine(seed=9)
+        injector = ReturnInjector(fault, "target")
+        machine.interception.add_return_hook(injector)
+        seen = []
+
+        class Prog:
+            image_name = "p.exe"
+
+            def main(self, ctx):
+                for name, args in calls:
+                    seen.append((yield from getattr(ctx.k32, name)(*args)))
+
+        machine.processes.spawn(Prog(), role="target")
+        machine.engine.run(until=30.0)
+        return injector, seen
+
+    def test_first_invocation_result_corrupted(self):
+        fault = ReturnFaultSpec("GetTickCount", FaultType.ONES)
+        injector, seen = self._run(
+            fault, [("GetTickCount", ()), ("GetTickCount", ())])
+        assert injector.fired
+        assert seen[0] == 0xFFFFFFFF
+        assert seen[1] != 0xFFFFFFFF
+
+    def test_zero_on_zero_result_is_noop(self):
+        fault = ReturnFaultSpec("GetTickCount", FaultType.ZERO)
+        injector, seen = self._run(fault, [("GetTickCount", ())])
+        assert injector.fired
+        assert injector.was_noop
+        assert seen[0] == 0
+
+    def test_role_filtering(self):
+        machine = Machine(seed=9)
+        injector = ReturnInjector(
+            ReturnFaultSpec("GetTickCount", FaultType.ONES), "other")
+        machine.interception.add_return_hook(injector)
+
+        class Prog:
+            image_name = "p.exe"
+
+            def main(self, ctx):
+                yield from ctx.k32.GetTickCount()
+
+        machine.processes.spawn(Prog(), role="target")
+        machine.engine.run(until=1.0)
+        assert not injector.fired
+
+    def test_unknown_export_rejected(self):
+        with pytest.raises(ValueError):
+            ReturnInjector(ReturnFaultSpec("Bogus", FaultType.ZERO), "t")
+
+
+class TestEndToEnd:
+    def test_zeroed_createfile_result_fails_server(self):
+        # The OS opened the config fine; the app *believes* it failed.
+        fault = ReturnFaultSpec("CreateFileA", FaultType.ZERO)
+        result = execute_run(get_workload("Apache1"), MiddlewareKind.NONE,
+                             fault, RunConfig(base_seed=5))
+        assert result.activated
+        assert result.outcome is Outcome.FAILURE
+
+    def test_watchd_recovers_believed_failures(self):
+        fault = ReturnFaultSpec("CreateFileA", FaultType.ZERO)
+        result = execute_run(get_workload("Apache1"), MiddlewareKind.WATCHD,
+                             fault, RunConfig(base_seed=5))
+        assert result.outcome is Outcome.RESTART_SUCCESS
+
+    def test_return_campaign_runs(self):
+        result = Campaign(
+            "IIS", MiddlewareKind.NONE,
+            functions=["GetTickCount", "GetACP"],
+            config=RunConfig(base_seed=5), mechanism="return").run()
+        assert result.activated_count == 6
+
+    def test_unknown_mechanism_rejected(self):
+        with pytest.raises(ValueError):
+            Campaign("IIS", mechanism="voodoo")

@@ -1,0 +1,93 @@
+"""Tests for workload specs and middleware deployment."""
+
+import pytest
+
+from repro.core.workload import (
+    APACHE1,
+    APACHE2,
+    IIS,
+    SQL,
+    WORKLOADS,
+    MiddlewareKind,
+    get_workload,
+)
+from repro.middleware.mscs import ClusterService
+from repro.middleware.watchd import Watchd
+from repro.nt import Machine
+from repro.nt.scm import ServiceState
+from repro.servers.base import CLUSTER_ENV_MARKER, WATCHD_ENV_MARKER
+
+
+def test_registry_contains_the_papers_four():
+    assert set(WORKLOADS) == {"Apache1", "Apache2", "IIS", "SQL"}
+
+
+def test_get_workload_rejects_unknown():
+    with pytest.raises(KeyError):
+        get_workload("Tomcat")
+
+
+def test_apache_workloads_differ_only_in_target():
+    assert APACHE1.service_name == APACHE2.service_name
+    assert APACHE1.image_name == APACHE2.image_name
+    assert APACHE1.target_role == "apache1"
+    assert APACHE2.target_role == "apache2"
+
+
+def test_clients_match_protocols():
+    from repro.clients import HttpClient, SqlClient
+
+    assert isinstance(IIS.make_client(), HttpClient)
+    assert isinstance(SQL.make_client(), SqlClient)
+    assert IIS.port == 80
+    assert SQL.port == 1433
+
+
+def test_setup_installs_content_and_service():
+    machine = Machine(seed=1)
+    IIS.setup(machine)
+    assert machine.scm.get_service("W3SVC") is not None
+    assert machine.fs.exists("C:\\InetPub\\wwwroot\\index.html")
+    assert machine.processes.has_image("inetinfo.exe")
+
+
+def test_standalone_deploy_starts_service_directly():
+    machine = Machine(seed=1)
+    IIS.setup(machine)
+    assert IIS.deploy_middleware(machine, MiddlewareKind.NONE) is None
+    machine.run(until=10.0)
+    assert machine.scm.query_service_state("W3SVC") is ServiceState.RUNNING
+    assert CLUSTER_ENV_MARKER not in machine.base_environment
+    assert WATCHD_ENV_MARKER not in machine.base_environment
+
+
+def test_mscs_deploy_sets_marker_and_monitor():
+    machine = Machine(seed=1)
+    IIS.setup(machine)
+    monitor = IIS.deploy_middleware(machine, MiddlewareKind.MSCS)
+    assert isinstance(monitor, ClusterService)
+    assert CLUSTER_ENV_MARKER in machine.base_environment
+    machine.run(until=10.0)
+    assert machine.scm.query_service_state("W3SVC") is ServiceState.RUNNING
+    assert machine.processes.processes_with_role("mscs")
+
+
+def test_watchd_deploy_sets_marker_and_version():
+    machine = Machine(seed=1)
+    SQL.setup(machine)
+    daemon = SQL.deploy_middleware(machine, MiddlewareKind.WATCHD,
+                                   watchd_version=2)
+    assert isinstance(daemon, Watchd)
+    assert daemon.version == 2
+    assert daemon.probe_port == 1433
+    assert WATCHD_ENV_MARKER in machine.base_environment
+    machine.run(until=15.0)
+    assert machine.scm.query_service_state("MSSQLServer") is \
+        ServiceState.RUNNING
+    assert machine.watchd_log  # watchd wrote its own log file
+
+
+def test_middleware_kind_labels():
+    assert MiddlewareKind.NONE.label == "Stand-alone"
+    assert MiddlewareKind.MSCS.label == "MSCS"
+    assert MiddlewareKind.WATCHD.label == "watchd"

@@ -1,0 +1,38 @@
+"""Tests for the ExperimentSuite driver itself (caching, plumbing)."""
+
+from repro.analysis.experiment import ExperimentSuite
+from repro.core.workload import MiddlewareKind
+
+
+def test_workload_sets_are_cached():
+    calls = []
+    suite = ExperimentSuite(base_seed=5, log=calls.append)
+    first = suite.workload_set("Apache1", MiddlewareKind.NONE)
+    second = suite.workload_set("Apache1", MiddlewareKind.NONE)
+    assert first is second
+    assert len([c for c in calls if "workload set" in c]) == 1
+
+
+def test_watchd_versions_cached_separately():
+    suite = ExperimentSuite(base_seed=5)
+    v1 = suite.workload_set("Apache1", MiddlewareKind.WATCHD, 1)
+    v3 = suite.workload_set("Apache1", MiddlewareKind.WATCHD, 3)
+    assert v1 is not v3
+    assert v1.watchd_version == 1
+    assert v3.watchd_version == 3
+
+
+def test_profiles_cached():
+    calls = []
+    suite = ExperimentSuite(base_seed=5, log=calls.append)
+    first = suite.profile("Apache1", MiddlewareKind.NONE)
+    second = suite.profile("Apache1", MiddlewareKind.NONE)
+    assert first == second
+    assert len([c for c in calls if "profiling" in c]) == 1
+
+
+def test_config_carries_seed_and_version():
+    suite = ExperimentSuite(base_seed=31337)
+    config = suite.config(watchd_version=2)
+    assert config.base_seed == 31337
+    assert config.watchd_version == 2

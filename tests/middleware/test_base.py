@@ -1,0 +1,149 @@
+"""Tests for the shared middleware scaffolding (probe, death watch)."""
+
+import pytest
+
+from repro.middleware.base import MiddlewareLogEntry, probe_service, wait_for_exit
+from repro.net.http import HttpRequest, ProbePing, ProbePong
+from repro.net.transport import RESET, Side
+from repro.nt import Machine
+from repro.sim import TIMED_OUT
+
+
+@pytest.fixture
+def machine():
+    return Machine(seed=13)
+
+
+class _Prober:
+    """Runs one probe and records the verdict."""
+
+    image_name = "prober.exe"
+
+    def __init__(self, port):
+        self.port = port
+        self.verdict = None
+
+    def main(self, ctx):
+        self.verdict = yield from probe_service(ctx, self.port,
+                                                reply_timeout=5.0)
+
+
+def _probe(machine, port, until=30.0):
+    prober = _Prober(port)
+    machine.processes.spawn(prober, role="watchd")
+    machine.run(until=until)
+    return prober.verdict
+
+
+class _Responder:
+    image_name = "resp.exe"
+
+    def __init__(self, port, respond=True):
+        self.port = port
+        self.respond = respond
+
+    def main(self, ctx):
+        transport = ctx.machine.transport
+        listener = transport.listen(self.port, ctx.process)
+        while True:
+            conn = yield from transport.accept(listener, timeout=None)
+            if conn is RESET or conn is TIMED_OUT:
+                return
+            message = yield from transport.recv(conn, Side.SERVER,
+                                                timeout=30.0)
+            if isinstance(message, ProbePing) and self.respond:
+                transport.send(conn, Side.SERVER, ProbePong())
+
+
+def test_probe_healthy_service(machine):
+    machine.processes.spawn(_Responder(900), role="svc")
+    machine.run(until=1.0)
+    assert _probe(machine, 900) is True
+
+
+def test_probe_unbound_port(machine):
+    assert _probe(machine, 901) is False
+
+
+def test_probe_mute_service(machine):
+    machine.processes.spawn(_Responder(902, respond=False), role="svc")
+    machine.run(until=1.0)
+    assert _probe(machine, 902) is False
+
+
+def test_probe_rejects_wrong_reply(machine):
+    class WrongReplier(_Responder):
+        def main(self, ctx):
+            transport = ctx.machine.transport
+            listener = transport.listen(self.port, ctx.process)
+            conn = yield from transport.accept(listener, timeout=None)
+            yield from transport.recv(conn, Side.SERVER, timeout=30.0)
+            transport.send(conn, Side.SERVER, HttpRequest("/not-a-pong"))
+
+    machine.processes.spawn(WrongReplier(903), role="svc")
+    machine.run(until=1.0)
+    assert _probe(machine, 903) is False
+
+
+class TestWaitForExit:
+    def test_dead_process_returns_immediately(self, machine):
+        class Quick:
+            image_name = "q.exe"
+
+            def main(self, ctx):
+                yield from ctx.k32.ExitProcess(0)
+
+        victim = machine.processes.spawn(Quick(), role="v")
+        machine.run(until=1.0)
+        seen = {}
+
+        class Watcher:
+            image_name = "w.exe"
+
+            def main(self, ctx):
+                seen["died"] = yield from wait_for_exit(victim, 5.0)
+                seen["at"] = ctx.now
+
+        machine.processes.spawn(Watcher(), role="w")
+        machine.run(until=10.0)
+        assert seen["died"] is True
+        assert seen["at"] == 1.0  # no waiting at all
+
+    def test_live_process_times_out(self, machine):
+        class Sleeper:
+            image_name = "s.exe"
+
+            def main(self, ctx):
+                yield from ctx.k32.Sleep(0xFFFFFFF0)
+
+        victim = machine.processes.spawn(Sleeper(), role="v")
+        seen = {}
+
+        class Watcher:
+            image_name = "w.exe"
+
+            def main(self, ctx):
+                seen["died"] = yield from wait_for_exit(victim, 3.0)
+
+        machine.processes.spawn(Watcher(), role="w")
+        machine.run(until=10.0)
+        assert seen["died"] is False
+
+    def test_none_process_counts_as_dead(self, machine):
+        seen = {}
+
+        class Watcher:
+            image_name = "w.exe"
+
+            def main(self, ctx):
+                seen["died"] = yield from wait_for_exit(None, 3.0)
+
+        machine.processes.spawn(Watcher(), role="w")
+        machine.run(until=5.0)
+        assert seen["died"] is True
+
+
+def test_log_entry_repr():
+    entry = MiddlewareLogEntry(12.5, "watchd", "restarting X")
+    assert "watchd" in repr(entry)
+    assert "restarting X" in repr(entry)

@@ -1,0 +1,133 @@
+"""Behavioural tests for the MSCS generic service resource monitor."""
+
+import pytest
+
+from repro.middleware.mscs import (
+    EVENT_ID_RESTART,
+    EVENT_SOURCE,
+    ClusterService,
+    install,
+)
+from repro.nt import Machine
+from repro.nt.scm import ServiceState
+from repro.servers.base import CLUSTER_ENV_MARKER
+
+
+class FlakyService:
+    """Reports RUNNING, then dies once at a scheduled time."""
+
+    image_name = "flaky.exe"
+    death_at = None  # class-level: first incarnation only
+
+    def main(self, ctx):
+        ctx.machine.scm.notify_running(ctx.process)
+        death_at = FlakyService.death_at
+        FlakyService.death_at = None
+        if death_at is not None:
+            yield from ctx.k32.Sleep(int(death_at * 1000))
+            yield from ctx.k32.ExitProcess(1)
+        yield from ctx.k32.Sleep(0xFFFFFFF0)
+
+
+class HungService:
+    """Reports RUNNING and then never responds to anything."""
+
+    image_name = "hung.exe"
+
+    def main(self, ctx):
+        ctx.machine.scm.notify_running(ctx.process)
+        yield from ctx.k32.Sleep(0xFFFFFFFF)
+
+
+@pytest.fixture
+def machine():
+    return Machine(seed=23)
+
+
+def _deploy(machine, program_cls, poll_interval=10.0, threshold=3):
+    machine.processes.register_image(
+        program_cls.image_name, lambda cmd: program_cls(), role="svc")
+    machine.scm.create_service("svc", program_cls.image_name, wait_hint=20.0)
+    install(machine)
+    monitor = ClusterService("svc", poll_interval=poll_interval,
+                             restart_threshold=threshold)
+    machine.processes.spawn(monitor, role="mscs")
+    return monitor
+
+
+def test_install_sets_cluster_marker(machine):
+    install(machine)
+    assert CLUSTER_ENV_MARKER in machine.base_environment
+
+
+def test_brings_resource_online(machine):
+    _deploy(machine, FlakyService)
+    machine.run(until=5.0)
+    assert machine.scm.query_service_state("svc") is ServiceState.RUNNING
+    online = [r for r in machine.eventlog.query(source=EVENT_SOURCE)]
+    assert online
+
+
+def test_restart_detected_at_poll_granularity(machine):
+    FlakyService.death_at = 2.0
+    _deploy(machine, FlakyService, poll_interval=10.0)
+    machine.run(until=9.0)
+    # Dead since t=2, but the monitor has not polled yet.
+    assert machine.scm.query_service_state("svc") is ServiceState.STOPPED
+    machine.run(until=12.0)
+    assert machine.scm.query_service_state("svc") is ServiceState.RUNNING
+    restarts = [r for r in machine.eventlog.query(source=EVENT_SOURCE)
+                if r.event_id == EVENT_ID_RESTART]
+    assert len(restarts) == 1
+    assert 10.0 <= restarts[0].time <= 11.0
+
+
+def test_hung_service_never_restarted(machine):
+    # The generic monitor has no heartbeat: RUNNING-but-hung looks fine.
+    monitor = _deploy(machine, HungService, poll_interval=5.0)
+    machine.run(until=120.0)
+    assert machine.scm.query_service_state("svc") is ServiceState.RUNNING
+    assert monitor.restart_count == 0
+
+
+def test_restart_threshold_marks_resource_failed(machine):
+    class DiesInstantly:
+        image_name = "dier.exe"
+
+        def main(self, ctx):
+            ctx.machine.scm.notify_running(ctx.process)
+            yield from ctx.k32.ExitProcess(1)
+
+    machine.processes.register_image("dier.exe", lambda cmd: DiesInstantly(),
+                                     role="svc")
+    machine.scm.create_service("svc", "dier.exe", wait_hint=5.0)
+    install(machine)
+    monitor = ClusterService("svc", poll_interval=5.0, restart_threshold=2)
+    machine.processes.spawn(monitor, role="mscs")
+    machine.run(until=60.0)
+    assert monitor.resource_failed
+    assert monitor.restart_count == 2
+    failed = [r for r in machine.eventlog.query(source=EVENT_SOURCE)
+              if "threshold" in r.message]
+    assert len(failed) == 1
+
+
+def test_waits_out_pending_lock_politely(machine):
+    class SlowStarter:
+        image_name = "slow.exe"
+
+        def main(self, ctx):
+            yield from ctx.compute(12.0)
+            ctx.machine.scm.notify_running(ctx.process)
+            yield from ctx.k32.Sleep(0xFFFFFFF0)
+
+    machine.processes.register_image("slow.exe", lambda cmd: SlowStarter(),
+                                     role="svc")
+    machine.scm.create_service("svc", "slow.exe", wait_hint=30.0)
+    install(machine)
+    monitor = ClusterService("svc", poll_interval=5.0)
+    machine.processes.spawn(monitor, role="mscs")
+    machine.run(until=15.0)
+    # Polls at 5 and 10 saw START_PENDING and did not interfere.
+    assert machine.scm.query_service_state("svc") is ServiceState.RUNNING
+    assert monitor.restart_count == 0

@@ -1,0 +1,195 @@
+"""Behavioural tests for watchd versions 1, 2 and 3.
+
+Each version's start-and-acquire semantics are exercised against the
+three server temporal profiles that drive Figure 5: an instant-RUNNING
+server that may die right after start (IIS-like), a late-RUNNING server
+whose early deaths happen under the SCM lock (SQL-like), and a slow
+starter (Apache-like).
+"""
+
+import pytest
+
+from repro.middleware.watchd import Watchd, install
+from repro.net.http import ProbePing, ProbePong
+from repro.net.transport import RESET, Side
+from repro.nt import Machine
+from repro.nt.scm import ServiceState
+from repro.servers.base import WATCHD_ENV_MARKER
+from repro.sim import TIMED_OUT
+
+
+@pytest.fixture
+def machine():
+    return Machine(seed=31)
+
+
+class ServerProfile:
+    """Configurable service: when RUNNING is reported, when it dies."""
+
+    image_name = "profile.exe"
+    running_after = 0.1
+    die_at = None          # consumed by the first incarnation only
+    port = None
+
+    def main(self, ctx):
+        die_at = ServerProfile.die_at
+        ServerProfile.die_at = None
+        if ServerProfile.running_after is not None:
+            yield from ctx.compute(ServerProfile.running_after)
+            ctx.machine.scm.notify_running(ctx.process)
+        if ServerProfile.port is not None:
+            listener = ctx.machine.transport.listen(
+                ServerProfile.port, ctx.process)
+            if die_at is not None:
+                yield from ctx.k32.Sleep(int(die_at * 1000))
+                yield from ctx.k32.ExitProcess(1)
+            transport = ctx.machine.transport
+            while True:
+                conn = yield from transport.accept(listener, timeout=None)
+                if conn is RESET or conn is TIMED_OUT:
+                    return
+                message = yield from transport.recv(conn, Side.SERVER,
+                                                    timeout=30.0)
+                if isinstance(message, ProbePing):
+                    transport.send(conn, Side.SERVER, ProbePong())
+        if die_at is not None:
+            yield from ctx.k32.Sleep(int(die_at * 1000))
+            yield from ctx.k32.ExitProcess(1)
+        yield from ctx.k32.Sleep(0xFFFFFFF0)
+
+
+def _deploy(machine, version, wait_hint=20.0, probe_port=None,
+            running_after=0.1, die_at=None, port=None):
+    ServerProfile.running_after = running_after
+    ServerProfile.die_at = die_at
+    ServerProfile.port = port
+    machine.processes.register_image(
+        "profile.exe", lambda cmd: ServerProfile(), role="svc")
+    machine.scm.create_service("svc", "profile.exe", wait_hint=wait_hint)
+    install(machine)
+    daemon = Watchd("svc", probe_port=probe_port, version=version)
+    machine.processes.spawn(daemon, role="watchd")
+    return daemon
+
+
+def test_install_sets_watchd_marker_and_log(machine):
+    install(machine)
+    assert machine.base_environment[WATCHD_ENV_MARKER] == "1"
+    assert machine.watchd_log == []
+
+
+def test_invalid_version_rejected():
+    with pytest.raises(ValueError):
+        Watchd("svc", None, version=4)
+
+
+class TestWatchd1:
+    def test_monitors_healthy_service(self, machine):
+        daemon = _deploy(machine, version=1)
+        machine.run(until=10.0)
+        assert not daemon.gave_up
+        assert any("monitoring" in e.message for e in machine.watchd_log)
+
+    def test_race_window_loses_early_death(self, machine):
+        # Death inside the startService->getServiceInfo window: watchd1
+        # never obtains a handle and gives up — the Section 4.3 hole.
+        daemon = _deploy(machine, version=1, die_at=0.5)
+        machine.run(until=60.0)
+        assert daemon.gave_up
+        assert any("getServiceInfo failed" in e.message
+                   for e in machine.watchd_log)
+        assert machine.scm.query_service_state("svc") is not \
+            ServiceState.RUNNING
+
+    def test_recovers_death_after_the_window(self, machine):
+        daemon = _deploy(machine, version=1, die_at=5.0)
+        machine.run(until=60.0)
+        assert not daemon.gave_up
+        assert daemon.restart_count >= 1
+        assert machine.scm.query_service_state("svc") is ServiceState.RUNNING
+
+
+class TestWatchd2:
+    def test_handle_captured_at_spawn_beats_the_race(self, machine):
+        # The same early death watchd1 loses: v2 has the handle and
+        # restarts.
+        daemon = _deploy(machine, version=2, die_at=0.5)
+        machine.run(until=60.0)
+        assert not daemon.gave_up
+        assert daemon.restart_count >= 1
+        assert machine.scm.query_service_state("svc") is ServiceState.RUNNING
+
+    def test_gives_up_on_death_before_running(self, machine):
+        # SQL-like: late RUNNING, death while the SCM is locked in
+        # Start-Pending — v2's single attempt is denied and it quits.
+        daemon = _deploy(machine, version=2, running_after=8.0, die_at=None,
+                         wait_hint=25.0)
+        # Kill the process before it reports RUNNING.
+        machine.engine.schedule(
+            1.0, lambda: machine.processes.processes_with_role(
+                "svc")[0].terminate(1))
+        machine.run(until=90.0)
+        assert daemon.gave_up
+
+    def test_internal_timeout_kills_slow_starter(self, machine):
+        # Apache-like: a legitimate slow starter exceeds v2's internal
+        # RUNNING wait; v2 declares the start failed — the regression
+        # that made Apache1 worse under Watchd2.
+        daemon = _deploy(machine, version=2, running_after=15.0)
+        machine.run(until=60.0)
+        assert daemon.gave_up
+        process = machine.processes.processes_with_role("svc")[0]
+        assert not process.alive  # v2 reaped it
+        assert any("did not reach RUNNING" in e.message
+                   for e in machine.watchd_log)
+
+
+class TestWatchd3:
+    def test_patiently_outwaits_the_scm_lock(self, machine):
+        daemon = _deploy(machine, version=3, running_after=8.0,
+                         wait_hint=15.0)
+        machine.engine.schedule(
+            1.0, lambda: machine.processes.processes_with_role(
+                "svc")[0].terminate(1))
+        machine.run(until=90.0)
+        assert not daemon.gave_up
+        assert machine.scm.query_service_state("svc") is ServiceState.RUNNING
+        assert any("restarting" in e.message for e in machine.watchd_log)
+
+    def test_tolerates_slow_starters(self, machine):
+        daemon = _deploy(machine, version=3, running_after=12.0)
+        machine.run(until=60.0)
+        assert not daemon.gave_up
+        assert machine.scm.query_service_state("svc") is ServiceState.RUNNING
+
+    def test_probe_restarts_hung_service(self, machine):
+        # The server listens but stops answering: only the liveness
+        # probe can see this.
+        daemon = _deploy(machine, version=3, port=9000, probe_port=9000,
+                         die_at=None)
+        machine.run(until=5.0)
+        # Hang it: kill the serving loop's ability to respond by
+        # suspending the process's threads via a hostile hang.
+        victim = machine.processes.processes_with_role("svc")[0]
+        for thread in victim.threads:
+            thread._clear_pending()  # stop reacting to anything
+        machine.run(until=120.0)
+        assert daemon.restart_count >= 1
+        assert any("unresponsive" in e.message for e in machine.watchd_log)
+
+    def test_gives_up_after_exhausting_attempts(self, machine):
+        # Remove the image so every restart fails: watchd3 must
+        # eventually stop trying.
+        daemon = _deploy(machine, version=3, die_at=0.5)
+        machine.processes._images.pop("profile.exe")
+        machine.run(until=300.0)
+        assert daemon.gave_up
+        assert any("exhausted" in e.message or "giving up" in e.message
+                   for e in machine.watchd_log)
+
+
+def test_watchd_logs_carry_timestamps(machine):
+    _deploy(machine, version=3)
+    machine.run(until=10.0)
+    assert all(entry.time >= 0 for entry in machine.watchd_log)
+    assert all(entry.source == "watchd" for entry in machine.watchd_log)

@@ -1,0 +1,216 @@
+"""Tests for the simulated transport fabric."""
+
+import pytest
+
+from repro.net import RESET, Side, Transport
+from repro.nt import Machine
+from repro.sim import TIMED_OUT
+
+
+@pytest.fixture
+def machine():
+    return Machine(seed=3)
+
+
+class Idler:
+    """A process that exists only to own sockets in tests."""
+
+    image_name = "idler.exe"
+
+    def main(self, ctx):
+        yield from ctx.k32.Sleep(0xFFFFFFF0)
+
+
+def _spawn(machine, role="peer"):
+    return machine.processes.spawn(Idler(), role=role)
+
+
+class EchoServer:
+    image_name = "echo.exe"
+
+    def __init__(self, port):
+        self.port = port
+
+    def main(self, ctx):
+        transport = ctx.machine.transport
+        listener = transport.listen(self.port, ctx.process)
+        while True:
+            conn = yield from transport.accept(listener, timeout=None)
+            if conn is RESET or conn is TIMED_OUT:
+                return
+            msg = yield from transport.recv(conn, Side.SERVER, timeout=30.0)
+            if msg not in (RESET, TIMED_OUT):
+                transport.send(conn, Side.SERVER, f"echo:{msg}")
+
+
+class OneShotClient:
+    image_name = "client.exe"
+
+    def __init__(self, port, payload):
+        self.port = port
+        self.payload = payload
+        self.reply = None
+
+    def main(self, ctx):
+        transport = ctx.machine.transport
+        conn = yield from transport.connect(self.port, ctx.process, timeout=5.0)
+        if conn is None:
+            self.reply = "refused"
+            return
+        transport.send(conn, Side.CLIENT, self.payload)
+        self.reply = yield from transport.recv(conn, Side.CLIENT, timeout=15.0)
+
+
+def test_echo_roundtrip(machine):
+    machine.processes.spawn(EchoServer(80), role="server")
+    client = OneShotClient(80, "hello")
+    machine.processes.spawn(client, role="client")
+    machine.run(until=10.0)
+    assert client.reply == "echo:hello"
+
+
+def test_connect_to_unbound_port_refused(machine):
+    client = OneShotClient(8080, "x")
+    machine.processes.spawn(client, role="client")
+    machine.run(until=10.0)
+    assert client.reply == "refused"
+
+
+def test_connect_to_dead_owner_refused(machine):
+    server = machine.processes.spawn(EchoServer(80), role="server")
+    machine.run(until=1.0)
+    server.terminate()
+    client = OneShotClient(80, "x")
+    machine.processes.spawn(client, role="client")
+    machine.run(until=10.0)
+    assert client.reply == "refused"
+
+
+def test_is_listening(machine):
+    transport = machine.transport
+    assert not transport.is_listening(80)
+    server = machine.processes.spawn(EchoServer(80), role="server")
+    machine.run(until=1.0)
+    assert transport.is_listening(80)
+    server.terminate()
+    assert not transport.is_listening(80)
+
+
+def test_server_death_resets_pending_recv(machine):
+    class SilentServer:
+        image_name = "silent.exe"
+
+        def main(self, ctx):
+            transport = ctx.machine.transport
+            listener = transport.listen(80, ctx.process)
+            yield from transport.accept(listener, timeout=None)
+            yield from ctx.k32.ExitProcess(1)  # die without replying
+
+    machine.processes.spawn(SilentServer(), role="server")
+    client = OneShotClient(80, "x")
+    machine.processes.spawn(client, role="client")
+    machine.run(until=30.0)
+    assert client.reply is RESET
+
+
+def test_recv_timeout_when_server_hangs(machine):
+    class HangingServer:
+        image_name = "hang.exe"
+
+        def main(self, ctx):
+            transport = ctx.machine.transport
+            listener = transport.listen(80, ctx.process)
+            yield from transport.accept(listener, timeout=None)
+            yield from ctx.k32.Sleep(0xFFFFFFFF)
+
+    machine.processes.spawn(HangingServer(), role="server")
+    client = OneShotClient(80, "x")
+    machine.processes.spawn(client, role="client")
+    machine.run(until=30.0)
+    assert client.reply is TIMED_OUT
+
+
+def test_rebinding_port_of_dead_owner_allowed(machine):
+    first = _spawn(machine)
+    machine.transport.listen(80, first)
+    first.terminate()
+    second = _spawn(machine)
+    listener = machine.transport.listen(80, second)
+    assert listener.owner is second
+
+
+def test_rebinding_live_port_rejected(machine):
+    owner = _spawn(machine)
+    machine.transport.listen(80, owner)
+    assert machine.transport.listen(80, _spawn(machine)) is None
+
+
+def test_messages_delivered_in_order_with_latency(machine):
+    received = []
+
+    class Server:
+        image_name = "s.exe"
+
+        def main(self, ctx):
+            transport = ctx.machine.transport
+            listener = transport.listen(80, ctx.process)
+            conn = yield from transport.accept(listener, timeout=None)
+            for _ in range(3):
+                msg = yield from transport.recv(conn, Side.SERVER, timeout=10.0)
+                received.append((ctx.now, msg))
+
+    class Burster:
+        image_name = "c.exe"
+
+        def main(self, ctx):
+            transport = ctx.machine.transport
+            conn = yield from transport.connect(80, ctx.process)
+            for index in range(3):
+                transport.send(conn, Side.CLIENT, index)
+            yield from ctx.k32.Sleep(1000)
+
+    machine.processes.spawn(Server(), role="server")
+    machine.processes.spawn(Burster(), role="client")
+    machine.run(until=10.0)
+    assert [msg for _t, msg in received] == [0, 1, 2]
+    assert all(t >= machine.transport.latency for t, _m in received)
+
+
+def test_handoff_transfers_reset_ownership(machine):
+    # After handoff to a worker, the worker's death resets the
+    # connection even though the master accepted it.
+    worker = _spawn(machine, role="worker")
+
+    class Master:
+        image_name = "m.exe"
+
+        def main(self, ctx):
+            transport = ctx.machine.transport
+            listener = transport.listen(80, ctx.process)
+            conn = yield from transport.accept(listener, timeout=None)
+            transport.handoff(conn, Side.SERVER, worker)
+            yield from ctx.k32.Sleep(0xFFFFFFF0)
+
+    machine.processes.spawn(Master(), role="master")
+    client = OneShotClient(80, "x")
+    machine.processes.spawn(client, role="client")
+    machine.engine.schedule(2.0, worker.terminate)
+    machine.run(until=30.0)
+    assert client.reply is RESET
+
+
+def test_open_connections_counter(machine):
+    class LingeringClient:
+        image_name = "linger.exe"
+
+        def main(self, ctx):
+            transport = ctx.machine.transport
+            yield from transport.connect(80, ctx.process)
+            yield from ctx.k32.Sleep(0xFFFFFFF0)
+
+    machine.processes.spawn(EchoServer(80), role="server")
+    client = machine.processes.spawn(LingeringClient(), role="client")
+    machine.run(until=1.0)
+    assert machine.transport.open_connections == 1
+    client.terminate()
+    assert machine.transport.open_connections == 0

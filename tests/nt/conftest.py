@@ -1,0 +1,40 @@
+"""Shared fixtures for NT substrate tests."""
+
+import pytest
+
+from repro.nt import Machine
+
+
+@pytest.fixture
+def machine():
+    return Machine(seed=42)
+
+
+class ScriptedProgram:
+    """A test program running a caller-supplied body.
+
+    ``body`` is a callable taking the :class:`Win32Context` and
+    returning a generator; its return value lands in ``self.result``.
+    """
+
+    image_name = "scripted.exe"
+
+    def __init__(self, body):
+        self._body = body
+        self.result = None
+
+    def main(self, ctx):
+        self.result = yield from self._body(ctx)
+
+
+@pytest.fixture
+def run_program(machine):
+    """Run a program body to completion; returns (process, program)."""
+
+    def runner(body, role="test", until=600.0):
+        program = ScriptedProgram(body)
+        process = machine.processes.spawn(program, role=role)
+        machine.engine.run(until=until)
+        return process, program
+
+    return runner

@@ -1,0 +1,202 @@
+"""Tests for the event log, filesystem and machine composition."""
+
+import pytest
+
+from repro.nt import Machine
+from repro.nt.eventlog import EventLog, EventType
+from repro.nt.filesystem import FileSystem, normalize
+
+
+class TestEventLog:
+    def test_write_and_query(self):
+        log = EventLog()
+        log.write(1.0, "SCM", EventType.ERROR, 7000, "failed")
+        log.write(2.0, "ClusSvc", EventType.WARNING, 1122, "restart")
+        assert log.count() == 2
+        assert log.count(source="ClusSvc") == 1
+
+    def test_query_filters(self):
+        log = EventLog()
+        log.write(1.0, "A", EventType.ERROR, 1, "x")
+        log.write(2.0, "A", EventType.INFORMATION, 2, "y")
+        log.write(3.0, "B", EventType.ERROR, 3, "z")
+        assert [r.event_id for r in log.query(source="A")] == [1, 2]
+        assert [r.event_id for r in log.query(
+            event_type=EventType.ERROR)] == [1, 3]
+        assert [r.event_id for r in log.query(since=2.0)] == [2, 3]
+
+    def test_records_keep_insertion_order(self):
+        log = EventLog()
+        for index in range(5):
+            log.write(float(index), "S", EventType.INFORMATION, index, "")
+        assert [r.event_id for r in log.query()] == list(range(5))
+
+    def test_clear(self):
+        log = EventLog()
+        log.write(1.0, "S", EventType.ERROR, 1, "")
+        log.clear()
+        assert log.count() == 0
+
+
+class TestFileSystem:
+    def test_paths_case_insensitive_with_either_separator(self):
+        fs = FileSystem()
+        fs.write_file("C:\\Dir\\File.TXT", b"data")
+        assert fs.read_file("c:\\dir\\file.txt") == b"data"
+        assert fs.read_file("c:/dir/file.txt") == b"data"
+        assert fs.exists("C:/DIR/FILE.TXT")
+
+    def test_normalize(self):
+        assert normalize("C:/A/b.TXT") == "c:\\a\\b.txt"
+
+    def test_string_content_encoded(self):
+        fs = FileSystem()
+        fs.write_file("c:\\x", "héllo")
+        assert fs.read_file("c:\\x") == "héllo".encode("latin-1")
+
+    def test_missing_file(self):
+        fs = FileSystem()
+        assert fs.read_file("c:\\nope") is None
+        assert fs.size("c:\\nope") is None
+        assert not fs.delete("c:\\nope")
+
+    def test_overwrite_and_delete(self):
+        fs = FileSystem()
+        fs.write_file("c:\\f", b"one")
+        fs.write_file("c:\\f", b"two")
+        assert fs.read_file("c:\\f") == b"two"
+        assert fs.delete("c:\\f")
+        assert not fs.exists("c:\\f")
+
+    def test_list_dir(self):
+        fs = FileSystem()
+        fs.write_file("c:\\web\\a.html", b"")
+        fs.write_file("c:\\web\\b.html", b"")
+        fs.write_file("c:\\other\\c.html", b"")
+        assert list(fs.list_dir("c:\\web")) == [
+            "c:\\web\\a.html", "c:\\web\\b.html"]
+
+    def test_len(self):
+        fs = FileSystem()
+        fs.write_file("a", b"")
+        fs.write_file("b", b"")
+        assert len(fs) == 2
+
+
+class TestMachine:
+    def test_pids_unique_and_nt_shaped(self):
+        machine = Machine(seed=1)
+        pids = [machine.allocate_pid() for _ in range(10)]
+        assert len(set(pids)) == 10
+        assert all(p % 4 == 0 for p in pids)
+
+    def test_cpu_scale_calibration(self):
+        assert Machine(seed=1, cpu_mhz=100).cpu_scale == 1.0
+        assert Machine(seed=1, cpu_mhz=400).cpu_scale == 0.25
+
+    def test_exit_listeners_fan_out(self):
+        machine = Machine(seed=1)
+        deaths = []
+        machine.add_exit_listener(lambda p: deaths.append(p.pid))
+
+        class Prog:
+            image_name = "p.exe"
+
+            def main(self, ctx):
+                yield from ctx.k32.ExitProcess(0)
+
+        process = machine.processes.spawn(Prog(), role="x")
+        machine.run(until=1.0)
+        assert deaths == [process.pid]
+
+    def test_shutdown_kills_everything(self):
+        machine = Machine(seed=1)
+
+        class Sleeper:
+            image_name = "s.exe"
+
+            def main(self, ctx):
+                yield from ctx.k32.Sleep(0xFFFFFFF0)
+
+        processes = [machine.processes.spawn(Sleeper(), role="x")
+                     for _ in range(3)]
+        machine.run(until=1.0)
+        machine.shutdown()
+        assert all(not p.alive for p in processes)
+
+    def test_base_environment_inherited_not_shared(self):
+        machine = Machine(seed=1)
+        machine.base_environment["MARK"] = "1"
+        captured = {}
+
+        class Prog:
+            image_name = "p.exe"
+
+            def main(self, ctx):
+                captured["env"] = dict(ctx.process.environment)
+                ctx.process.environment["LOCAL"] = "2"
+                yield from ctx.k32.ExitProcess(0)
+
+        machine.processes.spawn(Prog(), role="x")
+        machine.run(until=1.0)
+        assert captured["env"]["MARK"] == "1"
+        assert "LOCAL" not in machine.base_environment
+
+    def test_scm_lock_ablation_knob(self):
+        locked = Machine(seed=1, scm_lock_enabled=True)
+        unlocked = Machine(seed=1, scm_lock_enabled=False)
+        assert locked.scm.lock_enabled
+        assert not unlocked.scm.lock_enabled
+
+
+class TestContext:
+    def test_compute_scales_with_cpu(self):
+        durations = {}
+        for mhz in (100, 400):
+            machine = Machine(seed=1, cpu_mhz=mhz)
+
+            class Prog:
+                image_name = "p.exe"
+
+                def main(self, ctx):
+                    yield from ctx.compute(4.0)
+                    durations[ctx.machine.cpu_mhz] = ctx.now
+
+            machine.processes.spawn(Prog(), role="x")
+            machine.run(until=100.0)
+        assert durations[100] == 4.0
+        assert durations[400] == 1.0
+
+    def test_memory_helper_resolves_heap_pointers(self):
+        machine = Machine(seed=1)
+        seen = {}
+
+        class Prog:
+            image_name = "p.exe"
+
+            def main(self, ctx):
+                heap = yield from ctx.k32.GetProcessHeap()
+                pointer = yield from ctx.k32.HeapAlloc(heap, 0, 32)
+                seen["block"] = ctx.memory(pointer)
+                seen["wild"] = ctx.memory(0xDEAD0000)
+
+        machine.processes.spawn(Prog(), role="x")
+        machine.run(until=1.0)
+        assert seen["block"] is not None
+        assert len(seen["block"].data) == 32
+        assert seen["wild"] is None
+
+    def test_wrong_arity_is_a_harness_error(self):
+        from repro.nt.process_manager import HarnessError
+
+        machine = Machine(seed=1)
+
+        class Prog:
+            image_name = "p.exe"
+
+            def main(self, ctx):
+                yield from ctx.k32.SetEvent()  # missing the handle
+
+        machine.processes.spawn(Prog(), role="x")
+        with pytest.raises(HarnessError):
+            machine.run(until=1.0)

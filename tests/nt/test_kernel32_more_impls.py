@@ -1,0 +1,243 @@
+"""Behavioural tests for the remaining kernel32 implementation families:
+profile strings, modules, console, misc, interception of returns."""
+
+import pytest
+
+from repro.nt import Buffer, OutCell
+from repro.nt.errors import (
+    ERROR_FILE_NOT_FOUND,
+    ERROR_INVALID_HANDLE,
+    ERROR_MOD_NOT_FOUND,
+    INVALID_HANDLE_VALUE,
+)
+from repro.nt.kernel32 import constants as k
+
+
+class TestProfileApi:
+    def test_private_profile_string_lookup(self, machine, run_program):
+        machine.fs.write_file("c:\\app.ini",
+                              b"[web]\nroot=C:\\docs\nport=8080\n")
+
+        def body(ctx):
+            buffer = Buffer(b"\0" * 64)
+            copied = yield from ctx.k32.GetPrivateProfileStringA(
+                "web", "root", "DEFAULT", buffer, 64, "c:\\app.ini")
+            return bytes(buffer.data[:copied])
+
+        _, program = run_program(body)
+        assert program.result == b"C:\\docs"
+
+    def test_missing_key_uses_default(self, machine, run_program):
+        machine.fs.write_file("c:\\app.ini", b"[web]\n")
+
+        def body(ctx):
+            buffer = Buffer(b"\0" * 64)
+            copied = yield from ctx.k32.GetPrivateProfileStringA(
+                "web", "nope", "fallback", buffer, 64, "c:\\app.ini")
+            return bytes(buffer.data[:copied])
+
+        _, program = run_program(body)
+        assert program.result == b"fallback"
+
+    def test_zero_capacity_silently_loses_value(self, machine, run_program):
+        machine.fs.write_file("c:\\app.ini", b"[web]\nroot=C:\\docs\n")
+
+        def body(ctx):
+            return (yield from ctx.k32.GetPrivateProfileStringA(
+                "web", "root", "DEFAULT", Buffer(b"\0" * 64), 0,
+                "c:\\app.ini"))
+
+        _, program = run_program(body)
+        assert program.result == 0
+
+    def test_private_profile_int(self, machine, run_program):
+        machine.fs.write_file("c:\\app.ini", b"[web]\nport=8080\nbad=xyz\n")
+
+        def body(ctx):
+            port = yield from ctx.k32.GetPrivateProfileIntA(
+                "web", "port", 1, "c:\\app.ini")
+            bad = yield from ctx.k32.GetPrivateProfileIntA(
+                "web", "bad", 7, "c:\\app.ini")
+            missing = yield from ctx.k32.GetPrivateProfileIntA(
+                "web", "none", 9, "c:\\app.ini")
+            return port, bad, missing
+
+        _, program = run_program(body)
+        assert program.result == (8080, 7, 9)
+
+    def test_write_then_read_roundtrip(self, machine, run_program):
+        def body(ctx):
+            yield from ctx.k32.WritePrivateProfileStringA(
+                "s", "k", "v", "c:\\new.ini")
+            buffer = Buffer(b"\0" * 16)
+            copied = yield from ctx.k32.GetPrivateProfileStringA(
+                "s", "k", "", buffer, 16, "c:\\new.ini")
+            return bytes(buffer.data[:copied])
+
+        _, program = run_program(body)
+        assert program.result == b"v"
+
+
+class TestModuleApi:
+    def test_load_get_proc_free(self, run_program):
+        def body(ctx):
+            module = yield from ctx.k32.LoadLibraryA("wsock32.dll")
+            proc = yield from ctx.k32.GetProcAddress(module, "send")
+            freed = yield from ctx.k32.FreeLibrary(module)
+            return module != 0, proc != 0, freed
+
+        _, program = run_program(body)
+        assert program.result == (True, True, 1)
+
+    def test_non_dll_name_fails(self, run_program):
+        def body(ctx):
+            handle = yield from ctx.k32.LoadLibraryA("not-a-library.xyz")
+            error = yield from ctx.k32.GetLastError()
+            return handle, error
+
+        _, program = run_program(body)
+        assert program.result == (0, ERROR_MOD_NOT_FOUND)
+
+    def test_get_module_file_name_zero_capacity_fails(self, run_program):
+        def body(ctx):
+            return (yield from ctx.k32.GetModuleFileNameA(
+                0, Buffer(b"\0" * 16), 0))
+
+        _, program = run_program(body)
+        assert program.result == 0
+
+    def test_same_library_shares_module_object(self, machine, run_program):
+        def body(ctx):
+            first = yield from ctx.k32.LoadLibraryA("user32.dll")
+            second = yield from ctx.k32.LoadLibraryA("USER32.dll")
+            one = ctx.machine.handles.resolve(first)
+            two = ctx.machine.handles.resolve(second)
+            return one is two
+
+        _, program = run_program(body)
+        assert program.result is True
+
+
+class TestConsoleApi:
+    def test_std_handles_stable_per_process(self, run_program):
+        def body(ctx):
+            first = yield from ctx.k32.GetStdHandle(k.STD_OUTPUT_HANDLE)
+            second = yield from ctx.k32.GetStdHandle(k.STD_OUTPUT_HANDLE)
+            return first, second
+
+        _, program = run_program(body)
+        assert program.result[0] == program.result[1] != 0
+
+    def test_bad_slot_rejected(self, run_program):
+        def body(ctx):
+            return (yield from ctx.k32.GetStdHandle(0x1234))
+
+        _, program = run_program(body)
+        assert program.result == INVALID_HANDLE_VALUE
+
+    def test_write_console_captures_output(self, machine, run_program):
+        def body(ctx):
+            out = yield from ctx.k32.GetStdHandle(k.STD_OUTPUT_HANDLE)
+            yield from ctx.k32.WriteConsoleA(out, Buffer(b"hello"), 5,
+                                             OutCell(), None)
+            return ctx.machine.handles.resolve(out).written
+
+        _, program = run_program(body)
+        assert program.result == [b"hello"]
+
+
+class TestMiscApi:
+    def test_set_error_mode_returns_previous(self, run_program):
+        def body(ctx):
+            first = yield from ctx.k32.SetErrorMode(1)
+            second = yield from ctx.k32.SetErrorMode(2)
+            return first, second
+
+        _, program = run_program(body)
+        assert program.result == (0, 1)
+
+    def test_output_debug_string_absorbs_wild_pointer(self, run_program):
+        def body(ctx):
+            yield from ctx.k32.OutputDebugStringA(0xBAD00001)
+            return "survived"
+
+        process, program = run_program(body)
+        assert program.result == "survived"
+        assert not process.crashed
+
+    def test_raise_exception_crashes_with_given_status(self, run_program):
+        def body(ctx):
+            yield from ctx.k32.RaiseException(0xE0001234, 0, 0, None)
+
+        process, _ = run_program(body)
+        assert process.crashed
+        assert process.exit_code == 0xE0001234
+
+    def test_fatal_exit_terminates_with_code(self, run_program):
+        def body(ctx):
+            yield from ctx.k32.FatalExit(42)
+
+        process, _ = run_program(body)
+        assert process.exit_code == 42
+        assert not process.crashed
+
+    def test_pipe_roundtrip(self, run_program):
+        def body(ctx):
+            read_cell, write_cell = OutCell(), OutCell()
+            yield from ctx.k32.CreatePipe(read_cell, write_cell, None, 512)
+            yield from ctx.k32.WriteFile(write_cell.value, Buffer(b"pipey"),
+                                         5, None, None)
+            buffer = Buffer(b"\0" * 8)
+            count = OutCell()
+            yield from ctx.k32.ReadFile(read_cell.value, buffer, 8, count,
+                                        None)
+            return bytes(buffer.data[:count.value])
+
+        _, program = run_program(body)
+        assert program.result == b"pipey"
+
+    def test_mul_div(self, run_program):
+        def body(ctx):
+            good = yield from ctx.k32.MulDiv(10, 6, 4)
+            div_zero = yield from ctx.k32.MulDiv(1, 1, 0)
+            return good, div_zero
+
+        _, program = run_program(body)
+        assert program.result == (15, 0xFFFFFFFF)
+
+    def test_duplicate_handle_aliases_object(self, machine, run_program):
+        def body(ctx):
+            event = yield from ctx.k32.CreateEventA(None, True, False, None)
+            cell = OutCell()
+            yield from ctx.k32.DuplicateHandle(
+                0xFFFFFFFF, event, 0xFFFFFFFF, cell, 0, False, 0)
+            yield from ctx.k32.SetEvent(cell.value)
+            return (yield from ctx.k32.WaitForSingleObject(event, 0))
+
+        _, program = run_program(body)
+        assert program.result == 0  # WAIT_OBJECT_0 via the duplicate
+
+
+class TestTimeApiMore:
+    def test_local_and_system_time_reflect_clock(self, machine, run_program):
+        def body(ctx):
+            yield from ctx.k32.Sleep(61_000)
+            cell = OutCell()
+            yield from ctx.k32.GetLocalTime(cell)
+            return cell.value
+
+        _, program = run_program(body)
+        assert program.result["wMinute"] == 1
+        assert program.result["wSecond"] == 1
+
+    def test_file_time_monotonic(self, machine, run_program):
+        def body(ctx):
+            first = OutCell()
+            yield from ctx.k32.GetSystemTimeAsFileTime(first)
+            yield from ctx.k32.Sleep(1000)
+            second = OutCell()
+            yield from ctx.k32.GetSystemTimeAsFileTime(second)
+            return second.value - first.value
+
+        _, program = run_program(body)
+        assert program.result == 10_000_000  # 1s in 100ns units

@@ -1,0 +1,63 @@
+"""Property-based tests for NT substrate invariants."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.nt.handles import HandleTable, KernelObject
+from repro.nt.memory import AddressSpace, ArgKind, Buffer
+
+WORD = st.integers(min_value=0, max_value=0xFFFFFFFF)
+
+
+@given(st.lists(st.binary(max_size=64), max_size=20))
+def test_address_space_roundtrip_many_objects(payloads):
+    space = AddressSpace()
+    buffers = [Buffer(p) for p in payloads]
+    addresses = [space.intern(b) for b in buffers]
+    # Distinct objects, distinct addresses; resolution is exact.
+    assert len(set(addresses)) == len(addresses)
+    for address, buffer in zip(addresses, buffers):
+        assert space.resolve(address) is buffer
+
+
+@given(WORD)
+def test_decode_of_arbitrary_word_never_crashes(raw):
+    space = AddressSpace()
+    space.intern(Buffer(b"anchor"))
+    for pointer_like in (True, False):
+        arg = space.decode(raw, pointer_like)
+        if not pointer_like:
+            assert arg.kind is ArgKind.INT
+        elif raw == 0:
+            assert arg.kind is ArgKind.NULL
+        else:
+            assert arg.kind in (ArgKind.WILD, ArgKind.OBJECT)
+
+
+@given(st.integers(min_value=1, max_value=60))
+def test_handles_unique_and_resolvable(count):
+    table = HandleTable()
+    objects = [KernelObject(str(i)) for i in range(count)]
+    handles = [table.allocate(o) for o in objects]
+    assert len(set(handles)) == count
+    for handle, obj in zip(handles, objects):
+        assert table.resolve(handle) is obj
+    # Closing one handle never disturbs the others.
+    table.close(handles[0])
+    for handle, obj in zip(handles[1:], objects[1:]):
+        assert table.resolve(handle) is obj
+
+
+@given(WORD, st.sampled_from(["zero", "ones", "flip"]))
+def test_corrupted_pointer_decode_is_total(raw, fault_name):
+    """Any corruption of any raw word decodes to a well-defined class —
+    the closure property the whole injector relies on."""
+    from repro.core.faults import FaultType
+
+    space = AddressSpace()
+    address = space.intern(Buffer(b"victim"))
+    corrupted = FaultType(fault_name).apply(address if raw % 2 else raw)
+    arg = space.decode(corrupted, pointer_like=True)
+    assert arg.kind in (ArgKind.NULL, ArgKind.WILD, ArgKind.OBJECT)
+    if arg.kind is ArgKind.OBJECT:
+        assert arg.obj is not None

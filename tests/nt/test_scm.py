@@ -1,0 +1,201 @@
+"""Tests for the Service Control Manager, including the pending-state
+database lock the paper blames for slow Apache restarts."""
+
+import pytest
+
+from repro.nt import Machine
+from repro.nt.errors import (
+    ERROR_SERVICE_ALREADY_RUNNING,
+    ERROR_SERVICE_DATABASE_LOCKED,
+    ERROR_SERVICE_DOES_NOT_EXIST,
+    ERROR_SUCCESS,
+)
+from repro.nt.scm import ServiceState
+
+
+class WellBehavedService:
+    """Signals RUNNING shortly after start, then idles."""
+
+    image_name = "good.exe"
+
+    def __init__(self, start_delay=1.0):
+        self.start_delay = start_delay
+
+    def main(self, ctx):
+        yield from ctx.compute(self.start_delay)
+        ctx.machine.scm.notify_running(ctx.process)
+        yield from ctx.k32.Sleep(0xFFFFFFF0)
+
+
+class EarlyDeathService:
+    """Dies before ever reporting RUNNING."""
+
+    image_name = "dies.exe"
+
+    def main(self, ctx):
+        yield from ctx.compute(0.5)
+        yield from ctx.k32.ExitProcess(1)
+
+
+class HungStartService:
+    """Never reports RUNNING, never dies."""
+
+    image_name = "hang.exe"
+
+    def main(self, ctx):
+        yield from ctx.k32.Sleep(0xFFFFFFFF)
+
+
+@pytest.fixture
+def machine():
+    return Machine(seed=7)
+
+
+def _register(machine, name, factory, wait_hint=10.0):
+    machine.processes.register_image(f"{name}.exe", factory, role=name)
+    return machine.scm.create_service(name, f"{name}.exe", wait_hint=wait_hint)
+
+
+def test_successful_start_reaches_running(machine):
+    _register(machine, "good", lambda cmd: WellBehavedService())
+    assert machine.scm.start_service("good") == ERROR_SUCCESS
+    assert machine.scm.query_service_state("good") is ServiceState.START_PENDING
+    machine.run(until=5.0)
+    assert machine.scm.query_service_state("good") is ServiceState.RUNNING
+    assert machine.scm.service_process("good") is not None
+
+
+def test_unknown_service_rejected(machine):
+    assert machine.scm.start_service("ghost") == ERROR_SERVICE_DOES_NOT_EXIST
+
+
+def test_double_start_rejected_while_running(machine):
+    _register(machine, "good", lambda cmd: WellBehavedService())
+    machine.scm.start_service("good")
+    machine.run(until=5.0)
+    assert machine.scm.start_service("good") == ERROR_SERVICE_ALREADY_RUNNING
+
+
+def test_database_locked_while_any_service_pending(machine):
+    _register(machine, "slow", lambda cmd: WellBehavedService(start_delay=8.0))
+    _register(machine, "other", lambda cmd: WellBehavedService())
+    machine.scm.start_service("slow")
+    assert machine.scm.database_locked
+    assert machine.scm.start_service("other") == ERROR_SERVICE_DATABASE_LOCKED
+    machine.run(until=9.0)
+    assert not machine.scm.database_locked
+    assert machine.scm.start_service("other") == ERROR_SUCCESS
+
+
+def test_early_death_keeps_start_pending_until_wait_hint(machine):
+    service = _register(machine, "dies", lambda cmd: EarlyDeathService(),
+                        wait_hint=20.0)
+    machine.scm.start_service("dies")
+    machine.run(until=5.0)
+    # The process is dead but the SCM still believes the start pends —
+    # and the database stays locked (the paper's Apache scenario).
+    assert service.process is not None and not service.process.alive
+    assert service.state is ServiceState.START_PENDING
+    assert machine.scm.database_locked
+    machine.run(until=21.0)
+    assert service.state is ServiceState.STOPPED
+    assert not machine.scm.database_locked
+    assert service.failed_start_count == 1
+
+
+def test_restart_denied_during_pending_then_allowed(machine):
+    _register(machine, "dies", lambda cmd: EarlyDeathService(), wait_hint=20.0)
+    machine.scm.start_service("dies")
+    machine.run(until=5.0)
+    assert machine.scm.start_service("dies") == ERROR_SERVICE_DATABASE_LOCKED
+    machine.run(until=21.0)
+    assert machine.scm.start_service("dies") == ERROR_SUCCESS
+
+
+def test_hung_start_is_reaped_at_wait_hint(machine):
+    service = _register(machine, "hang", lambda cmd: HungStartService(),
+                        wait_hint=15.0)
+    machine.scm.start_service("hang")
+    machine.run(until=10.0)
+    assert service.process.alive
+    machine.run(until=16.0)
+    assert not service.process.alive
+    assert service.state is ServiceState.STOPPED
+
+
+def test_death_while_running_marks_stopped_and_logs(machine):
+    class DiesLater:
+        image_name = "late.exe"
+
+        def main(self, ctx):
+            ctx.machine.scm.notify_running(ctx.process)
+            yield from ctx.k32.Sleep(5000)
+            yield from ctx.k32.ExitProcess(3)
+
+    machine.processes.register_image("late.exe", lambda cmd: DiesLater(),
+                                     role="late")
+    service = machine.scm.create_service("late", "late.exe", wait_hint=30.0)
+    machine.scm.start_service("late")
+    machine.run(until=10.0)
+    assert service.state is ServiceState.STOPPED
+    assert service.unexpected_stop_count == 1
+    messages = [r.message for r in machine.eventlog.query(
+        source="Service Control Manager")]
+    assert any("terminated unexpectedly" in m for m in messages)
+
+
+def test_stop_service_kills_process(machine):
+    _register(machine, "good", lambda cmd: WellBehavedService())
+    machine.scm.start_service("good")
+    machine.run(until=5.0)
+    process = machine.scm.service_process("good")
+    assert machine.scm.stop_service("good") == ERROR_SUCCESS
+    assert not process.alive
+    assert machine.scm.query_service_state("good") is ServiceState.STOPPED
+
+
+def test_stop_during_start_pending_denied(machine):
+    _register(machine, "hang", lambda cmd: HungStartService(), wait_hint=30.0)
+    machine.scm.start_service("hang")
+    machine.run(until=1.0)
+    assert machine.scm.stop_service("hang") == ERROR_SERVICE_DATABASE_LOCKED
+
+
+def test_restart_after_running_death_succeeds_immediately(machine):
+    # Death *after* RUNNING releases the lock at once: restarting is
+    # cheap — the asymmetry behind Figure 4's Apache-vs-IIS gap.
+    class DiesOnce:
+        image_name = "once.exe"
+        count = 0
+
+        def main(self, ctx):
+            ctx.machine.scm.notify_running(ctx.process)
+            DiesOnce.count += 1
+            if DiesOnce.count == 1:
+                yield from ctx.k32.Sleep(2000)
+                yield from ctx.k32.ExitProcess(1)
+            yield from ctx.k32.Sleep(0xFFFFFFF0)
+
+    machine.processes.register_image("once.exe", lambda cmd: DiesOnce(),
+                                     role="once")
+    machine.scm.create_service("once", "once.exe", wait_hint=30.0)
+    machine.scm.start_service("once")
+    machine.run(until=3.0)
+    assert machine.scm.query_service_state("once") is ServiceState.STOPPED
+    assert machine.scm.start_service("once") == ERROR_SUCCESS
+    machine.run(until=4.0)
+    assert machine.scm.query_service_state("once") is ServiceState.RUNNING
+
+
+def test_service_history_records_transitions(machine):
+    _register(machine, "good", lambda cmd: WellBehavedService())
+    machine.scm.start_service("good")
+    machine.run(until=5.0)
+    states = [state for _t, state in machine.scm.get_service("good").history]
+    assert states == [ServiceState.START_PENDING, ServiceState.RUNNING]
+
+
+def test_duplicate_service_name_rejected(machine):
+    machine.scm.create_service("dup", "dup.exe")
+    with pytest.raises(ValueError):
+        machine.scm.create_service("dup", "dup.exe")

@@ -1,0 +1,104 @@
+"""Tests for the KERNEL32 export registry — the fault space."""
+
+import pytest
+
+from repro.nt.kernel32.signatures import (
+    REGISTRY,
+    TOTAL_EXPORTS,
+    TOTAL_INJECTABLE_EXPORTS,
+    TOTAL_ZERO_PARAM_EXPORTS,
+    ParamType,
+    SignatureError,
+    exists,
+    find_signature,
+    get_signature,
+    injectable_signatures,
+    iter_signatures,
+    parse_signature,
+)
+
+
+class TestPaperCounts:
+    """Section 4: '681 functions... 130 had no parameters... 551 injected'."""
+
+    def test_total_exports(self):
+        assert len(REGISTRY) == TOTAL_EXPORTS == 681
+
+    def test_zero_param_exports(self):
+        zero = sum(1 for s in REGISTRY.values() if not s.injectable)
+        assert zero == TOTAL_ZERO_PARAM_EXPORTS == 130
+
+    def test_injectable_exports(self):
+        assert sum(1 for _ in injectable_signatures()) == \
+            TOTAL_INJECTABLE_EXPORTS == 551
+
+
+class TestRegistryContents:
+    def test_lookup_known_function(self):
+        sig = get_signature("CreateFileA")
+        assert sig.param_count == 7
+        assert sig.params[0].ptype is ParamType.CSTR
+
+    def test_unknown_function_raises(self):
+        with pytest.raises(KeyError):
+            get_signature("NotARealExport")
+
+    def test_find_signature_returns_none_for_unknown(self):
+        assert find_signature("NotARealExport") is None
+        assert find_signature("ReadFile") is not None
+
+    def test_exists(self):
+        assert exists("WaitForSingleObject")
+        assert not exists("WaitForSingleGoat")
+
+    def test_ansi_wide_pairs_share_arity(self):
+        # GetStringType is the one real API whose A and W variants have
+        # different arities (the W form drops the Locale parameter).
+        pairs = [name[:-1] for name in REGISTRY if name.endswith("A")
+                 and f"{name[:-1]}W" in REGISTRY and name != "GetStringTypeA"]
+        assert len(pairs) > 50
+        for base in pairs:
+            assert REGISTRY[f"{base}A"].param_count == \
+                REGISTRY[f"{base}W"].param_count, base
+
+    def test_param_indices_are_sequential(self):
+        for sig in iter_signatures():
+            assert [p.index for p in sig.params] == list(range(sig.param_count))
+
+    def test_every_family_is_labelled(self):
+        assert all(sig.family for sig in iter_signatures())
+
+    def test_iteration_order_is_stable(self):
+        assert list(REGISTRY) == [s.name for s in iter_signatures()]
+
+    def test_well_known_zero_param_functions(self):
+        for name in ("GetTickCount", "GetLastError", "GetCurrentProcessId",
+                     "GetVersion", "GetCommandLineA"):
+            assert not REGISTRY[name].injectable
+
+
+class TestParser:
+    def test_parse_round_trip(self):
+        sig = parse_signature("Foo(a:H, b:S?, c:Z)", "test")
+        assert sig.name == "Foo"
+        assert [p.ptype for p in sig.params] == [
+            ParamType.HANDLE, ParamType.CSTR_OPT, ParamType.SIZE]
+
+    def test_parse_zero_params(self):
+        assert parse_signature("Bar()", "test").param_count == 0
+
+    def test_malformed_rejected(self):
+        for bad in ("NoParens", "Name(", "Name(a:QQ)", "Name(:H)", "1Bad()"):
+            with pytest.raises(SignatureError):
+                parse_signature(bad, "test")
+
+    def test_pointer_like_classification(self):
+        assert ParamType.PTR.pointer_like
+        assert ParamType.CSTR_OPT.pointer_like
+        assert not ParamType.HANDLE.pointer_like
+        assert not ParamType.SIZE.pointer_like
+
+    def test_optional_classification(self):
+        assert ParamType.HANDLE_OPT.optional
+        assert ParamType.PTR_OPT.optional
+        assert not ParamType.PTR.optional

@@ -1,0 +1,41 @@
+"""Shared fixtures for server behaviour tests."""
+
+import pytest
+
+from repro.nt import Machine
+from repro.servers import apache, content, iis, sqlserver
+
+
+@pytest.fixture
+def machine():
+    return Machine(seed=17)
+
+
+def start_service(machine, module, installer):
+    """Install + start one server workload; returns its Service."""
+    installer(machine.fs)
+    module.register_images(machine)
+    service = machine.scm.create_service(
+        module.SERVICE_NAME,
+        getattr(module, "MASTER_IMAGE", None)
+        or getattr(module, "IIS_IMAGE", None)
+        or module.SQL_IMAGE,
+        wait_hint=module.SERVICE_WAIT_HINT,
+    )
+    machine.scm.start_service(module.SERVICE_NAME)
+    return service
+
+
+@pytest.fixture
+def apache_service(machine):
+    return start_service(machine, apache, content.install_apache_content)
+
+
+@pytest.fixture
+def iis_service(machine):
+    return start_service(machine, iis, content.install_iis_content)
+
+
+@pytest.fixture
+def sql_service(machine):
+    return start_service(machine, sqlserver, content.install_sql_content)

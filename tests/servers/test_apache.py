@@ -1,0 +1,150 @@
+"""Behavioural tests for the Apache workload (master + child + CGI)."""
+
+import pytest
+
+from repro.clients import HttpClient
+from repro.nt.scm import ServiceState
+from repro.servers import apache, content
+
+
+def _client(machine, until=120.0):
+    client = HttpClient()
+    machine.processes.spawn(client, role="client")
+    machine.run(until=until)
+    return client
+
+
+class TestStartup:
+    def test_master_spawns_exactly_one_child(self, machine, apache_service):
+        machine.run(until=10.0)
+        children = machine.processes.processes_with_role("apache2")
+        assert len(children) == 1
+        assert children[0].parent.role == "apache1"
+
+    def test_running_only_after_child_listens(self, machine, apache_service):
+        machine.run(until=10.0)
+        assert apache_service.state is ServiceState.RUNNING
+        assert machine.transport.is_listening(content.HTTP_PORT)
+        # The child, not the master, owns the listener.
+        listener_owner = machine.transport._listeners[content.HTTP_PORT].owner
+        assert listener_owner.role == "apache2"
+
+    def test_master_is_a_slow_starter(self, machine, apache_service):
+        machine.run(until=2.0)
+        assert apache_service.state is ServiceState.START_PENDING
+        machine.run(until=10.0)
+        assert apache_service.state is ServiceState.RUNNING
+
+    def test_table1_function_profile(self, machine, apache_service):
+        machine.run(until=10.0)
+        _client(machine)
+        # Graceful shutdown completes the master's profile (ExitProcess).
+        machine.named_objects[apache.SHUTDOWN_EVENT].set()
+        machine.run(until=machine.now + 3.0)
+        assert len(machine.interception.called_functions("apache1")) == 13
+        assert len(machine.interception.called_functions("apache2")) == 22
+
+    def test_missing_conf_aborts_master(self, machine):
+        apache.register_images(machine)  # content NOT installed
+        machine.scm.create_service(apache.SERVICE_NAME, apache.MASTER_IMAGE,
+                                   wait_hint=apache.SERVICE_WAIT_HINT)
+        machine.scm.start_service(apache.SERVICE_NAME)
+        machine.run(until=5.0)
+        process = machine.processes.processes_with_role("apache1")[0]
+        assert not process.alive
+        assert not process.crashed  # a clean abort, not a crash
+
+
+class TestServing:
+    def test_serves_both_workload_requests_correctly(self, machine,
+                                                     apache_service):
+        machine.run(until=10.0)
+        client = _client(machine)
+        assert client.record.all_succeeded
+        assert client.record.total_retries == 0
+
+    def test_cgi_spawns_fresh_interpreter_per_request(self, machine,
+                                                      apache_service):
+        machine.run(until=10.0)
+        _client(machine)
+        cgis = machine.processes.processes_with_role("cgi")
+        assert len(cgis) == 1
+        assert all(not p.alive for p in cgis)
+        _client(machine, until=machine.now + 120.0)
+        assert len(machine.processes.processes_with_role("cgi")) == 2
+
+    def test_checksum_detects_tampered_document(self, machine,
+                                                apache_service):
+        machine.fs.write_file(f"{content.APACHE_DOCROOT}\\index.html",
+                              b"defaced!" * 100)
+        machine.run(until=10.0)
+        client = _client(machine, until=200.0)
+        assert not client.record.all_succeeded
+        static_record = client.record.requests[0]
+        assert not static_record.succeeded
+        assert static_record.any_response_received
+
+
+class TestRespawn:
+    def test_master_respawns_killed_child(self, machine, apache_service):
+        machine.run(until=10.0)
+        first_child = machine.processes.processes_with_role("apache2")[0]
+        first_child.crash(0xC0000005)
+        machine.run(until=machine.now + 10.0)
+        children = machine.processes.processes_with_role("apache2")
+        assert len(children) == 2
+        assert children[1].alive
+        assert machine.transport.is_listening(content.HTTP_PORT)
+
+    def test_service_stays_running_through_child_death(self, machine,
+                                                       apache_service):
+        machine.run(until=10.0)
+        machine.processes.processes_with_role("apache2")[0].crash(0xC0000005)
+        machine.run(until=machine.now + 10.0)
+        assert apache_service.state is ServiceState.RUNNING
+
+    def test_clients_recover_via_retry_after_child_death(self, machine,
+                                                         apache_service):
+        machine.run(until=10.0)
+        machine.engine.schedule(
+            machine.now + 1.0,
+            lambda: machine.processes.processes_with_role(
+                "apache2")[0].crash(0xC0000005))
+        client = _client(machine, until=240.0)
+        assert client.record.all_succeeded
+        assert client.record.total_retries >= 1
+
+
+class TestShutdown:
+    def test_shutdown_event_exits_master_cleanly(self, machine,
+                                                 apache_service):
+        machine.run(until=10.0)
+        machine.named_objects[apache.SHUTDOWN_EVENT].set()
+        machine.run(until=machine.now + 3.0)
+        master = machine.processes.processes_with_role("apache1")[0]
+        assert not master.alive
+        assert master.exit_code == 0
+
+    def test_master_death_takes_child_down(self, machine, apache_service):
+        machine.run(until=10.0)
+        machine.processes.processes_with_role("apache1")[0].terminate()
+        child = machine.processes.processes_with_role("apache2")[0]
+        assert not child.alive
+
+
+class TestClusterBranch:
+    def test_mscs_marker_adds_exactly_the_table1_functions(self, machine):
+        from repro.servers.base import CLUSTER_ENV_MARKER
+
+        machine.base_environment[CLUSTER_ENV_MARKER] = "x"
+        content.install_apache_content(machine.fs)
+        apache.register_images(machine)
+        machine.scm.create_service(apache.SERVICE_NAME, apache.MASTER_IMAGE,
+                                   wait_hint=40.0)
+        machine.scm.start_service(apache.SERVICE_NAME)
+        machine.run(until=10.0)
+        _client(machine)
+        machine.named_objects[apache.SHUTDOWN_EVENT].set()
+        machine.run(until=machine.now + 3.0)
+        assert len(machine.interception.called_functions("apache1")) == 17
+        assert len(machine.interception.called_functions("apache2")) == 24

@@ -1,0 +1,116 @@
+"""Behavioural tests for the IIS workload."""
+
+import pytest
+
+from repro.clients import HttpClient
+from repro.net.http import ProbePing, ProbePong
+from repro.net.transport import Side
+from repro.nt.scm import ServiceState
+from repro.servers import content, iis
+
+
+def _client(machine, until=150.0):
+    client = HttpClient()
+    machine.processes.spawn(client, role="client")
+    machine.run(until=until)
+    return client
+
+
+class TestStartup:
+    def test_reports_running_almost_immediately(self, machine, iis_service):
+        machine.run(until=0.2)
+        assert iis_service.state is ServiceState.RUNNING
+        # ... but the listener appears only once init completes.
+        assert not machine.transport.is_listening(content.HTTP_PORT)
+        machine.run(until=15.0)
+        assert machine.transport.is_listening(content.HTTP_PORT)
+
+    def test_single_process_architecture(self, machine, iis_service):
+        machine.run(until=15.0)
+        assert len(machine.processes.processes_with_role("iis")) == 1
+
+    def test_table1_function_profile(self, machine, iis_service):
+        machine.run(until=15.0)
+        _client(machine)
+        assert len(machine.interception.called_functions("iis")) == 76
+
+    def test_watchd_marker_disables_internal_watchdog(self, machine):
+        from repro.servers.base import WATCHD_ENV_MARKER
+
+        machine.base_environment[WATCHD_ENV_MARKER] = "1"
+        content.install_iis_content(machine.fs)
+        iis.register_images(machine)
+        machine.scm.create_service(iis.SERVICE_NAME, iis.IIS_IMAGE,
+                                   wait_hint=15.0)
+        machine.scm.start_service(iis.SERVICE_NAME)
+        machine.run(until=15.0)
+        _client(machine)
+        called = machine.interception.called_functions("iis")
+        assert len(called) == 70
+        assert "CreateWaitableTimerA" not in called
+        assert "QueryPerformanceCounter" not in called
+
+
+class TestServing:
+    def test_serves_workload_correctly(self, machine, iis_service):
+        machine.run(until=15.0)
+        client = _client(machine)
+        assert client.record.all_succeeded
+
+    def test_slower_than_apache_for_the_same_requests(self, machine,
+                                                      iis_service):
+        machine.run(until=15.0)
+        client = _client(machine)
+        iis_elapsed = client.record.elapsed
+        # Paper figure 4: IIS normal-success responses are slower.
+        assert iis_elapsed > 10.0
+
+    def test_answers_probe_pings_quickly(self, machine, iis_service):
+        machine.run(until=15.0)
+        replies = []
+
+        class Prober:
+            image_name = "probe.exe"
+
+            def main(self, ctx):
+                transport = ctx.machine.transport
+                conn = yield from transport.connect(80, ctx.process)
+                transport.send(conn, Side.CLIENT, ProbePing())
+                replies.append(
+                    (yield from transport.recv(conn, Side.CLIENT,
+                                               timeout=5.0)))
+
+        machine.processes.spawn(Prober(), role="prober")
+        machine.run(until=machine.now + 10.0)
+        assert len(replies) == 1
+        assert isinstance(replies[0], ProbePong)
+
+    def test_missing_docroot_serves_404s(self, machine):
+        # A misconfigured docroot (the degradation class): responses
+        # arrive but carry the wrong content.
+        content.install_iis_content(machine.fs)
+        machine.fs.delete(f"{content.IIS_DOCROOT}\\index.html")
+        iis.register_images(machine)
+        machine.scm.create_service(iis.SERVICE_NAME, iis.IIS_IMAGE,
+                                   wait_hint=15.0)
+        machine.scm.start_service(iis.SERVICE_NAME)
+        machine.run(until=15.0)
+        client = _client(machine, until=250.0)
+        static = client.record.requests[0]
+        assert not static.succeeded
+        assert static.any_response_received
+
+
+class TestDeath:
+    def test_crash_kills_the_whole_service(self, machine, iis_service):
+        machine.run(until=15.0)
+        machine.processes.processes_with_role("iis")[0].crash(0xC0000005)
+        machine.run(until=machine.now + 1.0)
+        assert iis_service.state is ServiceState.STOPPED
+        assert not machine.transport.is_listening(content.HTTP_PORT)
+
+    def test_no_application_level_respawn(self, machine, iis_service):
+        machine.run(until=15.0)
+        machine.processes.processes_with_role("iis")[0].crash(0xC0000005)
+        machine.run(until=machine.now + 30.0)
+        assert len(machine.processes.processes_with_role("iis")) == 1

@@ -1,0 +1,81 @@
+"""Unit tests for the SQL lexer."""
+
+import pytest
+
+from repro.servers.sql.lexer import SqlSyntaxError, TokenType, tokenize
+
+
+def _types(text):
+    return [t.type for t in tokenize(text)]
+
+
+def _values(text):
+    return [t.value for t in tokenize(text)[:-1]]  # drop EOF
+
+
+def test_keywords_uppercased():
+    tokens = tokenize("select From wHeRe")
+    assert [t.value for t in tokens[:-1]] == ["SELECT", "FROM", "WHERE"]
+    assert all(t.type is TokenType.KEYWORD for t in tokens[:-1])
+
+
+def test_identifiers_preserve_case():
+    tokens = tokenize("inventory Item_Id _x9")
+    assert [t.value for t in tokens[:-1]] == ["inventory", "Item_Id", "_x9"]
+    assert all(t.type is TokenType.IDENT for t in tokens[:-1])
+
+
+def test_numbers():
+    assert _values("1 42 3.14 -7") == ["1", "42", "3.14", "-7"]
+    assert _types("1")[:-1] == [TokenType.NUMBER]
+
+
+def test_minus_not_followed_by_digit_rejected():
+    with pytest.raises(SqlSyntaxError):
+        tokenize("a - b")
+
+
+def test_strings():
+    tokens = tokenize("'widget' ''")
+    assert tokens[0].type is TokenType.STRING
+    assert tokens[0].value == "widget"
+    assert tokens[1].value == ""
+
+
+def test_unterminated_string_rejected():
+    with pytest.raises(SqlSyntaxError):
+        tokenize("'oops")
+
+
+def test_operators_longest_match():
+    assert _values("a <= b >= c <> d != e = f < g > h") == [
+        "a", "<=", "b", ">=", "c", "<>", "d", "!=", "e", "=", "f", "<",
+        "g", ">", "h"]
+
+
+def test_punctuation():
+    assert _values("( ) , * ;") == ["(", ")", ",", "*", ";"]
+
+
+def test_eof_always_last():
+    assert tokenize("")[-1].type is TokenType.EOF
+    assert tokenize("SELECT")[-1].type is TokenType.EOF
+
+
+def test_positions_recorded():
+    tokens = tokenize("SELECT a")
+    assert tokens[0].position == 0
+    assert tokens[1].position == 7
+
+
+def test_unexpected_character_rejected():
+    with pytest.raises(SqlSyntaxError):
+        tokenize("SELECT @ FROM t")
+
+
+def test_full_workload_query_tokenizes():
+    from repro.servers.content import SQL_QUERY
+
+    tokens = tokenize(SQL_QUERY)
+    assert tokens[0].matches(TokenType.KEYWORD, "SELECT")
+    assert any(t.matches(TokenType.IDENT, "inventory") for t in tokens)

@@ -1,0 +1,127 @@
+"""Unit tests for the SQL parser."""
+
+import pytest
+
+from repro.servers.sql.ast_nodes import (
+    Aggregate,
+    BoolOp,
+    ColumnRef,
+    Comparison,
+    CreateTable,
+    Insert,
+    Literal,
+    NotOp,
+    Select,
+)
+from repro.servers.sql.lexer import SqlSyntaxError
+from repro.servers.sql.parser import parse
+
+
+class TestSelect:
+    def test_star(self):
+        statement = parse("SELECT * FROM t")
+        assert isinstance(statement, Select)
+        assert statement.columns == "*"
+        assert statement.table == "t"
+        assert statement.where is None
+
+    def test_column_list(self):
+        statement = parse("SELECT a, b, c FROM t")
+        assert [c.name for c in statement.columns] == ["a", "b", "c"]
+
+    def test_where_comparison(self):
+        statement = parse("SELECT * FROM t WHERE qty > 20")
+        where = statement.where
+        assert isinstance(where, Comparison)
+        assert where.op == ">"
+        assert isinstance(where.left, ColumnRef)
+        assert isinstance(where.right, Literal)
+        assert where.right.value == 20
+
+    def test_boolean_precedence_and_binds_tighter(self):
+        statement = parse("SELECT * FROM t WHERE a = 1 OR b = 2 AND c = 3")
+        where = statement.where
+        assert isinstance(where, BoolOp) and where.op == "OR"
+        assert isinstance(where.right, BoolOp) and where.right.op == "AND"
+
+    def test_parentheses_override(self):
+        statement = parse("SELECT * FROM t WHERE (a = 1 OR b = 2) AND c = 3")
+        assert statement.where.op == "AND"
+        assert statement.where.left.op == "OR"
+
+    def test_not(self):
+        statement = parse("SELECT * FROM t WHERE NOT a = 1")
+        assert isinstance(statement.where, NotOp)
+
+    def test_order_by_and_limit(self):
+        statement = parse("SELECT * FROM t ORDER BY a DESC, b LIMIT 5")
+        assert [(o.column, o.descending) for o in statement.order_by] == [
+            ("a", True), ("b", False)]
+        assert statement.limit == 5
+
+    def test_distinct(self):
+        assert parse("SELECT DISTINCT a FROM t").distinct
+
+    def test_aggregates(self):
+        statement = parse("SELECT COUNT(*), SUM(qty), MAX(price) FROM t")
+        functions = [(c.func, c.argument.name if c.argument else None)
+                     for c in statement.columns]
+        assert functions == [("COUNT", None), ("SUM", "qty"),
+                             ("MAX", "price")]
+
+    def test_sum_star_rejected(self):
+        with pytest.raises(SqlSyntaxError):
+            parse("SELECT SUM(*) FROM t")
+
+    def test_string_and_null_literals(self):
+        statement = parse("SELECT * FROM t WHERE name = 'widget'")
+        assert statement.where.right.value == "widget"
+        statement = parse("SELECT * FROM t WHERE name <> NULL")
+        assert statement.where.right.value is None
+
+    def test_not_equal_synonyms(self):
+        assert parse("SELECT * FROM t WHERE a != 1").where.op == "<>"
+        assert parse("SELECT * FROM t WHERE a <> 1").where.op == "<>"
+
+    def test_trailing_semicolon_allowed(self):
+        assert isinstance(parse("SELECT * FROM t;"), Select)
+
+
+class TestCreateInsert:
+    def test_create_table(self):
+        statement = parse(
+            "CREATE TABLE inventory (id INTEGER, name TEXT, price REAL)")
+        assert isinstance(statement, CreateTable)
+        assert [(c.name, c.type_name) for c in statement.columns] == [
+            ("id", "INTEGER"), ("name", "TEXT"), ("price", "REAL")]
+
+    def test_bad_column_type_rejected(self):
+        with pytest.raises(SqlSyntaxError):
+            parse("CREATE TABLE t (id BLOB)")
+
+    def test_insert_positional(self):
+        statement = parse("INSERT INTO t VALUES (1, 'x', 2.5)")
+        assert isinstance(statement, Insert)
+        assert statement.columns is None
+        assert statement.values == [1, "x", 2.5]
+
+    def test_insert_named_columns(self):
+        statement = parse("INSERT INTO t (a, b) VALUES (1, 2)")
+        assert statement.columns == ["a", "b"]
+
+
+class TestErrors:
+    @pytest.mark.parametrize("bad", [
+        "",
+        "DROP TABLE t",
+        "SELECT FROM t",
+        "SELECT * FROM",
+        "SELECT * FROM t WHERE",
+        "SELECT * FROM t WHERE a",
+        "SELECT * FROM t trailing garbage",
+        "INSERT INTO t VALUES ()",
+        "SELECT a b FROM t",
+    ])
+    def test_rejected(self, bad):
+        with pytest.raises(SqlSyntaxError):
+            parse(bad)

@@ -1,0 +1,167 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim import Engine, ScheduleInPastError, SimulationError
+
+
+def test_clock_starts_at_zero():
+    assert Engine().now == 0.0
+
+
+def test_schedule_and_run_advances_clock():
+    engine = Engine()
+    fired = []
+    engine.schedule(5.0, fired.append, "a")
+    engine.run()
+    assert fired == ["a"]
+    assert engine.now == 5.0
+
+
+def test_callbacks_run_in_time_order():
+    engine = Engine()
+    order = []
+    engine.schedule(3.0, order.append, 3)
+    engine.schedule(1.0, order.append, 1)
+    engine.schedule(2.0, order.append, 2)
+    engine.run()
+    assert order == [1, 2, 3]
+
+
+def test_equal_times_run_in_fifo_order():
+    engine = Engine()
+    order = []
+    for i in range(10):
+        engine.schedule(1.0, order.append, i)
+    engine.run()
+    assert order == list(range(10))
+
+
+def test_zero_delay_runs_after_current_callback():
+    engine = Engine()
+    order = []
+
+    def outer():
+        order.append("outer")
+        engine.schedule(0.0, order.append, "inner")
+
+    engine.schedule(1.0, outer)
+    engine.run()
+    assert order == ["outer", "inner"]
+
+
+def test_negative_delay_rejected():
+    with pytest.raises(ScheduleInPastError):
+        Engine().schedule(-1.0, lambda: None)
+
+
+def test_schedule_at_in_past_rejected():
+    engine = Engine()
+    engine.schedule(5.0, lambda: None)
+    engine.run()
+    with pytest.raises(ScheduleInPastError):
+        engine.schedule_at(1.0, lambda: None)
+
+
+def test_cancelled_timer_does_not_fire():
+    engine = Engine()
+    fired = []
+    timer = engine.schedule(1.0, fired.append, "x")
+    timer.cancel()
+    engine.run()
+    assert fired == []
+    assert not timer.active
+
+
+def test_cancel_is_idempotent():
+    engine = Engine()
+    timer = engine.schedule(1.0, lambda: None)
+    timer.cancel()
+    timer.cancel()
+    engine.run()
+
+
+def test_run_until_stops_clock_at_bound():
+    engine = Engine()
+    fired = []
+    engine.schedule(1.0, fired.append, "early")
+    engine.schedule(10.0, fired.append, "late")
+    engine.run(until=5.0)
+    assert fired == ["early"]
+    assert engine.now == 5.0
+    engine.run()
+    assert fired == ["early", "late"]
+
+
+def test_run_until_with_empty_queue_advances_clock():
+    engine = Engine()
+    engine.run(until=42.0)
+    assert engine.now == 42.0
+
+
+def test_stop_halts_run():
+    engine = Engine()
+    fired = []
+    engine.schedule(1.0, fired.append, "a")
+    engine.schedule(2.0, engine.stop)
+    engine.schedule(3.0, fired.append, "b")
+    engine.run()
+    assert fired == ["a"]
+    # Run can be resumed afterwards.
+    engine.run()
+    assert fired == ["a", "b"]
+
+
+def test_step_returns_false_when_empty():
+    assert Engine().step() is False
+
+
+def test_step_executes_single_event():
+    engine = Engine()
+    fired = []
+    engine.schedule(1.0, fired.append, 1)
+    engine.schedule(2.0, fired.append, 2)
+    assert engine.step() is True
+    assert fired == [1]
+    assert engine.now == 1.0
+
+
+def test_reschedule_from_callback():
+    engine = Engine()
+    ticks = []
+
+    def tick():
+        ticks.append(engine.now)
+        if len(ticks) < 5:
+            engine.schedule(1.0, tick)
+
+    engine.schedule(1.0, tick)
+    engine.run()
+    assert ticks == [1.0, 2.0, 3.0, 4.0, 5.0]
+
+
+def test_livelock_guard_raises():
+    engine = Engine()
+
+    def loop():
+        engine.schedule(0.0, loop)
+
+    engine.schedule(0.0, loop)
+    with pytest.raises(SimulationError):
+        engine.run(max_events=100)
+
+
+def test_pending_count_excludes_cancelled():
+    engine = Engine()
+    engine.schedule(1.0, lambda: None)
+    timer = engine.schedule(2.0, lambda: None)
+    timer.cancel()
+    assert engine.pending_count == 1
+
+
+def test_events_processed_counter():
+    engine = Engine()
+    for _ in range(3):
+        engine.schedule(1.0, lambda: None)
+    engine.run()
+    assert engine.events_processed == 3

@@ -1,0 +1,155 @@
+"""Unit tests for waitable primitives."""
+
+import pytest
+
+from repro.sim import TIMED_OUT, FifoQueue, Hang, Signal, SimEvent, Sleep, Wait, WaitAny
+
+
+class TestSimEvent:
+    def test_initially_pending(self):
+        event = SimEvent("e")
+        assert not event.fired
+        assert event.value is None
+
+    def test_succeed_sets_value(self):
+        event = SimEvent()
+        event.succeed(42)
+        assert event.fired
+        assert event.value == 42
+
+    def test_succeed_is_idempotent(self):
+        event = SimEvent()
+        event.succeed(1)
+        event.succeed(2)
+        assert event.value == 1
+
+    def test_waiters_called_on_fire(self):
+        event = SimEvent()
+        seen = []
+        event.add_waiter(seen.append)
+        event.add_waiter(seen.append)
+        event.succeed("v")
+        assert seen == ["v", "v"]
+
+    def test_late_waiter_called_immediately(self):
+        event = SimEvent()
+        event.succeed("v")
+        seen = []
+        event.add_waiter(seen.append)
+        assert seen == ["v"]
+
+    def test_remove_waiter(self):
+        event = SimEvent()
+        seen = []
+        event.add_waiter(seen.append)
+        event.remove_waiter(seen.append)
+        event.succeed("v")
+        assert seen == []
+
+    def test_remove_absent_waiter_is_noop(self):
+        SimEvent().remove_waiter(lambda v: None)
+
+    def test_waiter_count(self):
+        event = SimEvent()
+        event.add_waiter(lambda v: None)
+        assert event.waiter_count == 1
+        event.succeed(None)
+        assert event.waiter_count == 0
+
+
+class TestSignal:
+    def test_pulse_wakes_current_waiters_only(self):
+        signal = Signal("s")
+        first = signal.next_event()
+        signal.pulse("a")
+        second = signal.next_event()
+        assert first.fired and first.value == "a"
+        assert not second.fired
+        signal.pulse("b")
+        assert second.fired and second.value == "b"
+
+    def test_pulse_with_no_waiters_is_lost(self):
+        signal = Signal()
+        signal.pulse("lost")
+        event = signal.next_event()
+        assert not event.fired
+
+
+class TestFifoQueue:
+    def test_put_then_get(self):
+        queue = FifoQueue("q")
+        queue.put("a")
+        event = queue.get_event()
+        assert event.fired and event.value == "a"
+
+    def test_get_then_put(self):
+        queue = FifoQueue()
+        event = queue.get_event()
+        assert not event.fired
+        queue.put("a")
+        assert event.fired and event.value == "a"
+
+    def test_fifo_ordering_of_items(self):
+        queue = FifoQueue()
+        queue.put(1)
+        queue.put(2)
+        assert queue.get_event().value == 1
+        assert queue.get_event().value == 2
+
+    def test_fifo_ordering_of_getters(self):
+        queue = FifoQueue()
+        first = queue.get_event()
+        second = queue.get_event()
+        queue.put("x")
+        assert first.fired and not second.fired
+
+    def test_timed_out_getter_is_skipped(self):
+        queue = FifoQueue()
+        abandoned = queue.get_event()
+        abandoned.succeed(TIMED_OUT)  # simulates a wait timeout consuming it
+        live = queue.get_event()
+        queue.put("item")
+        assert live.value == "item"
+
+    def test_try_get(self):
+        queue = FifoQueue()
+        assert queue.try_get() == (False, None)
+        queue.put(7)
+        assert queue.try_get() == (True, 7)
+
+    def test_len_and_clear(self):
+        queue = FifoQueue()
+        queue.put(1)
+        queue.put(2)
+        assert len(queue) == 2
+        queue.clear()
+        assert len(queue) == 0
+
+
+class TestCommands:
+    def test_sleep_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Sleep(-1)
+
+    def test_wait_rejects_negative_timeout(self):
+        with pytest.raises(ValueError):
+            Wait(SimEvent(), timeout=-1)
+
+    def test_waitany_rejects_empty(self):
+        with pytest.raises(ValueError):
+            WaitAny([])
+
+    def test_waitany_rejects_negative_timeout(self):
+        with pytest.raises(ValueError):
+            WaitAny([SimEvent()], timeout=-0.5)
+
+    def test_reprs_are_informative(self):
+        assert "Sleep" in repr(Sleep(1.0))
+        assert "Hang" in repr(Hang())
+        assert "WaitAny" in repr(WaitAny([SimEvent()]))
+
+
+def test_timed_out_sentinel_is_falsy_singleton():
+    assert not TIMED_OUT
+    assert repr(TIMED_OUT) == "TIMED_OUT"
+    assert type(TIMED_OUT)() is TIMED_OUT
