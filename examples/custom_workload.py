@@ -41,7 +41,9 @@ class EchoServer:
         if handle in (0, INVALID_HANDLE_VALUE):
             yield from k32.ExitProcess(1)
         buffer = Buffer(b"\0" * 128)
-        yield from k32.ReadFile(handle, buffer, 128, OutCell(), None)
+        ok = yield from k32.ReadFile(handle, buffer, 128, OutCell(), None)
+        if not ok:
+            yield from k32.ExitProcess(1)
         yield from k32.CloseHandle(handle)
         yield from ctx.compute(0.8)
         ctx.machine.scm.notify_running(ctx.process)

@@ -66,6 +66,25 @@ def build_parser() -> argparse.ArgumentParser:
         "reproduce", help="regenerate every table and figure of the paper")
     reproduce.add_argument("--write-report", metavar="PATH", default=None,
                            help="also write the EXPERIMENTS.md report here")
+
+    lint = commands.add_parser(
+        "lint", help="DTS-aware static analysis (signature conformance, "
+                     "unchecked returns, handle leaks, sim hangs, "
+                     "fault-space validity)")
+    lint.add_argument("paths", nargs="*", default=None, metavar="PATH",
+                      help="files or directories to analyse "
+                           "(default: src examples)")
+    lint.add_argument("--format", choices=("text", "json"), default="text",
+                      dest="output_format", help="report format")
+    lint.add_argument("--baseline", default=None, metavar="FILE",
+                      help="baseline of accepted findings (default: "
+                           "lint-baseline.json when present; 'none' "
+                           "disables)")
+    lint.add_argument("--write-baseline", default=None, metavar="FILE",
+                      help="write every current finding to FILE as the new "
+                           "baseline and exit 0")
+    lint.add_argument("--rules", default=None,
+                      help="comma-separated rule subset to run")
     return parser
 
 
@@ -155,12 +174,66 @@ def cmd_reproduce(args, out) -> int:
     return 0 if held == len(checks) else 1
 
 
+def cmd_lint(args, out) -> int:
+    import os
+
+    from .lint import default_rules, dump_baseline, load_baseline, run_lint
+
+    rules = default_rules()
+    if args.rules:
+        wanted = {name.strip() for name in args.rules.split(",")}
+        known = {rule.name for rule in rules}
+        unknown = wanted - known
+        if unknown:
+            print(f"unknown rule(s): {', '.join(sorted(unknown))} "
+                  f"(known: {', '.join(sorted(known))})", file=out)
+            return 2
+        rules = [rule for rule in rules if rule.name in wanted]
+
+    paths = args.paths or ["src", "examples"]
+
+    baseline = {}
+    baseline_path = args.baseline
+    if baseline_path is None and os.path.exists("lint-baseline.json"):
+        baseline_path = "lint-baseline.json"
+    if baseline_path and baseline_path != "none":
+        try:
+            baseline = load_baseline(baseline_path)
+        except (OSError, ValueError) as exc:
+            print(f"cannot read baseline: {exc}", file=out)
+            return 2
+
+    if args.write_baseline:
+        # A fresh baseline captures everything, unfiltered.
+        baseline = {}
+
+    try:
+        result = run_lint(paths, rules=rules, baseline=baseline)
+    except FileNotFoundError as exc:
+        print(f"no such path: {exc.args[0]}", file=out)
+        return 2
+
+    if args.write_baseline:
+        with open(args.write_baseline, "w", encoding="utf-8") as handle:
+            handle.write(dump_baseline(result.findings))
+        print(f"wrote {len(result.findings)} finding(s) to "
+              f"{args.write_baseline}", file=out)
+        return 0
+
+    if args.output_format == "json":
+        print(result.render_json(), file=out)
+    else:
+        print(result.render_text(), file=out)
+    return 0 if result.clean else 1
+
+
 _COMMANDS = {
     "faultlist": cmd_faultlist,
     "profile": cmd_profile,
     "inject": cmd_inject,
     "run": cmd_run,
     "reproduce": cmd_reproduce,
+    "lint": cmd_lint,
 }
 
 

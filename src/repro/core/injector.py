@@ -9,11 +9,24 @@ which process.
 
 from __future__ import annotations
 
+import difflib
 from typing import Optional
 
 from ..nt.interception import CallHook
 from ..nt.kernel32.signatures import REGISTRY, FunctionSig
 from .faults import FaultSpec
+
+
+def _registry_label(registry) -> str:
+    if registry is REGISTRY:
+        return "KERNEL32"
+    try:
+        from ..posix.libc import LIBC_REGISTRY
+        if registry is LIBC_REGISTRY:
+            return "libc"
+    except ImportError:  # pragma: no cover
+        pass
+    return f"custom ({len(registry)} exports)"
 
 
 class Injector(CallHook):
@@ -28,7 +41,12 @@ class Injector(CallHook):
         registry = registry if registry is not None else REGISTRY
         sig = registry.get(fault.function)
         if sig is None:
-            raise ValueError(f"unknown export {fault.function!r}")
+            message = (f"unknown export {fault.function!r} in the "
+                       f"{_registry_label(registry)} registry")
+            close = difflib.get_close_matches(fault.function, registry, n=1)
+            if close:
+                message += f" (did you mean {close[0]!r}?)"
+            raise ValueError(message)
         if fault.param_index >= sig.param_count:
             raise ValueError(
                 f"{fault.function} has {sig.param_count} parameters; "

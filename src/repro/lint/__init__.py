@@ -1,0 +1,52 @@
+"""``repro.lint`` — DTS-aware static analysis for the reproduction.
+
+Five passes over the codebase, each rooted in a failure class the
+paper measured at runtime, checked here before anything runs:
+
+==========================  ==========================================
+rule                        catches
+==========================  ==========================================
+``signature-conformance``   implementations / call sites that drift
+                            from the 681-export registry, and calls
+                            that bypass the interception layer
+``unchecked-return``        discarded HANDLE/BOOL results of simulated
+                            library calls (error-propagation hazard)
+``handle-leak``             acquisitions never released or handed off
+``sim-hang``                generator loops that never yield to the
+                            discrete-event engine
+``fault-space``             fault-list files / inline FaultSpecs that
+                            name faults the registry cannot inject
+==========================  ==========================================
+
+Run via ``python -m repro lint [--format json|text]
+[--baseline lint-baseline.json] [paths...]``; exit code 0 means clean,
+1 means non-baselined findings, 2 means a usage error.
+"""
+
+from .core import (
+    Analyzer,
+    FaultListFile,
+    Finding,
+    LintResult,
+    ParsedModule,
+    Rule,
+    apply_baseline,
+    default_rules,
+    dump_baseline,
+    load_baseline,
+    run_lint,
+)
+
+__all__ = [
+    "Analyzer",
+    "FaultListFile",
+    "Finding",
+    "LintResult",
+    "ParsedModule",
+    "Rule",
+    "apply_baseline",
+    "default_rules",
+    "dump_baseline",
+    "load_baseline",
+    "run_lint",
+]

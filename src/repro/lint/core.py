@@ -1,0 +1,387 @@
+"""The static-analysis framework: findings, rules, and the analyzer.
+
+The paper's central observation is that most failures trace back to
+applications and middleware mishandling the library-call boundary —
+corrupted parameters accepted unchecked, error returns ignored, handles
+leaked, event loops that stop yielding.  ``repro.lint`` turns the
+signature registry (the same 681-export table the fault injector
+enumerates) into a *static* correctness tool: every rule cross-checks
+source code against the declared fault space, so drift between the two
+is caught before a 3,306-fault campaign runs.
+
+Architecture
+------------
+- :class:`Finding` — one diagnostic, with a line-independent ``key``
+  used by the baseline mechanism.
+- :class:`Rule` — a named pass.  Rules see parsed modules one at a
+  time (``check_module``), the whole project at once
+  (``check_project``), and non-Python fault-list files
+  (``check_fault_file``).
+- :class:`Analyzer` — collects files, parses each once, runs the
+  rules, and applies a baseline.
+
+The baseline file maps finding keys to allowed occurrence counts, so
+deliberate hazards (the simulated servers' sloppy error handling *is*
+the object of study) stay documented without silencing new instances
+of the same mistake.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import os
+from typing import Callable, Iterable, Iterator, Optional, Sequence
+
+# File extensions treated as fault-list files when scanning directories.
+FAULT_LIST_SUFFIXES = (".lst", ".flt", ".faults")
+
+_SKIP_DIR_NAMES = {"__pycache__", ".git", ".pytest_cache"}
+
+
+class Finding:
+    """One diagnostic produced by a rule."""
+
+    __slots__ = ("rule", "path", "line", "message", "symbol")
+
+    def __init__(self, rule: str, path: str, line: int, message: str,
+                 symbol: str = ""):
+        self.rule = rule
+        self.path = path
+        self.line = line
+        self.message = message
+        self.symbol = symbol
+
+    @property
+    def key(self) -> str:
+        """Baseline key: stable across unrelated line-number drift."""
+        return f"{self.rule}|{self.path}|{self.symbol}|{self.message}"
+
+    def render(self) -> str:
+        where = f"{self.path}:{self.line}"
+        sym = f" in {self.symbol}" if self.symbol else ""
+        return f"{where}: [{self.rule}] {self.message}{sym}"
+
+    def to_json(self) -> dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "symbol": self.symbol,
+            "message": self.message,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Finding {self.render()}>"
+
+
+class ParsedModule:
+    """One successfully parsed Python source file."""
+
+    __slots__ = ("path", "tree", "source")
+
+    def __init__(self, path: str, tree: ast.Module, source: str):
+        self.path = path
+        self.tree = tree
+        self.source = source
+
+
+class FaultListFile:
+    """One fault-list file picked up by the scan."""
+
+    __slots__ = ("path", "text")
+
+    def __init__(self, path: str, text: str):
+        self.path = path
+        self.text = text
+
+
+class Rule:
+    """Base class for one analysis pass."""
+
+    name = ""
+    description = ""
+
+    def check_module(self, module: ParsedModule) -> Iterable[Finding]:
+        return ()
+
+    def check_project(self, modules: Sequence[ParsedModule]) -> Iterable[Finding]:
+        return ()
+
+    def check_fault_file(self, fault_file: FaultListFile) -> Iterable[Finding]:
+        return ()
+
+
+# ----------------------------------------------------------------------
+# Shared AST helpers
+# ----------------------------------------------------------------------
+_FUNCTION_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
+_SCOPE_NODES = _FUNCTION_NODES + (ast.Lambda, ast.ClassDef)
+
+
+def walk_in_scope(node: ast.AST) -> Iterator[ast.AST]:
+    """Walk a function body without descending into nested scopes."""
+    stack = list(ast.iter_child_nodes(node))
+    while stack:
+        child = stack.pop()
+        yield child
+        if not isinstance(child, _SCOPE_NODES):
+            stack.extend(ast.iter_child_nodes(child))
+
+
+def is_generator(fn: ast.AST) -> bool:
+    """Whether a function node is a generator (yields in its own scope)."""
+    return any(isinstance(node, (ast.Yield, ast.YieldFrom))
+               for node in walk_in_scope(fn))
+
+
+def iter_functions(tree: ast.Module) -> Iterator[tuple[str, ast.FunctionDef]]:
+    """All function definitions with dotted qualified names."""
+
+    def visit(node: ast.AST, prefix: str) -> Iterator[tuple[str, ast.FunctionDef]]:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, _FUNCTION_NODES):
+                qualname = f"{prefix}{child.name}"
+                yield qualname, child
+                yield from visit(child, f"{qualname}.")
+            elif isinstance(child, ast.ClassDef):
+                yield from visit(child, f"{prefix}{child.name}.")
+            else:
+                yield from visit(child, prefix)
+
+    return visit(tree, "")
+
+
+def sim_api_call(node: ast.AST) -> Optional[tuple[str, str, ast.Call]]:
+    """Recognise a simulated library call site.
+
+    Matches ``k32.Name(...)``, ``ctx.k32.Name(...)``, ``libc.name(...)``
+    etc. — any call whose receiver chain ends in an attribute or name
+    spelled ``k32`` or ``libc``.  Returns ``(api, function, call)``
+    where ``api`` is ``"k32"`` or ``"libc"``, or None.
+    """
+    if not isinstance(node, ast.Call) or not isinstance(node.func, ast.Attribute):
+        return None
+    receiver = node.func.value
+    if isinstance(receiver, ast.Name):
+        api = receiver.id
+    elif isinstance(receiver, ast.Attribute):
+        api = receiver.attr
+    else:
+        return None
+    if api not in ("k32", "libc"):
+        return None
+    return api, node.func.attr, node
+
+
+def unwrap_yield(node: ast.AST) -> ast.AST:
+    """Strip ``yield from`` / ``yield`` wrappers from an expression."""
+    while isinstance(node, (ast.Yield, ast.YieldFrom)):
+        if node.value is None:
+            break
+        node = node.value
+    return node
+
+
+def suggest(name: str, candidates: Iterable[str]) -> str:
+    """A ``did you mean`` suffix using difflib, or empty string."""
+    import difflib
+
+    matches = difflib.get_close_matches(name, list(candidates), n=1)
+    return f" (did you mean {matches[0]!r}?)" if matches else ""
+
+
+# ----------------------------------------------------------------------
+# Baseline
+# ----------------------------------------------------------------------
+BASELINE_VERSION = 1
+DEFAULT_BASELINE = "lint-baseline.json"
+
+
+def load_baseline(path: str) -> dict[str, int]:
+    """Read a baseline file into a ``key -> allowed count`` map."""
+    with open(path, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    if not isinstance(data, dict) or data.get("version") != BASELINE_VERSION:
+        raise ValueError(f"{path}: not a version-{BASELINE_VERSION} "
+                         "lint baseline")
+    suppress = data.get("suppress", {})
+    if not isinstance(suppress, dict):
+        raise ValueError(f"{path}: 'suppress' must be an object")
+    return {str(key): int(count) for key, count in suppress.items()}
+
+
+def dump_baseline(findings: Iterable[Finding]) -> str:
+    """Serialise the given findings as a baseline file."""
+    suppress: dict[str, int] = {}
+    for finding in findings:
+        suppress[finding.key] = suppress.get(finding.key, 0) + 1
+    payload = {
+        "version": BASELINE_VERSION,
+        "suppress": dict(sorted(suppress.items())),
+    }
+    return json.dumps(payload, indent=2) + "\n"
+
+
+def apply_baseline(findings: Sequence[Finding],
+                   baseline: dict[str, int]) -> tuple[list[Finding], int]:
+    """Split findings into (new, suppressed_count).
+
+    Each baseline key suppresses up to its allowed count of matching
+    findings; occurrences beyond the count are reported, so a baseline
+    enforces "no *new* instances" rather than blanket silence.
+    """
+    remaining = dict(baseline)
+    fresh: list[Finding] = []
+    suppressed = 0
+    for finding in findings:
+        allowed = remaining.get(finding.key, 0)
+        if allowed > 0:
+            remaining[finding.key] = allowed - 1
+            suppressed += 1
+        else:
+            fresh.append(finding)
+    return fresh, suppressed
+
+
+# ----------------------------------------------------------------------
+# Analyzer
+# ----------------------------------------------------------------------
+class LintResult:
+    """Outcome of one analyzer run."""
+
+    __slots__ = ("findings", "suppressed", "files_checked")
+
+    def __init__(self, findings: list[Finding], suppressed: int,
+                 files_checked: int):
+        self.findings = findings
+        self.suppressed = suppressed
+        self.files_checked = files_checked
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    def render_text(self) -> str:
+        lines = [finding.render() for finding in self.findings]
+        lines.append(
+            f"{len(self.findings)} finding(s), {self.suppressed} baselined, "
+            f"{self.files_checked} file(s) checked")
+        return "\n".join(lines)
+
+    def render_json(self) -> str:
+        counts: dict[str, int] = {}
+        for finding in self.findings:
+            counts[finding.rule] = counts.get(finding.rule, 0) + 1
+        return json.dumps({
+            "findings": [finding.to_json() for finding in self.findings],
+            "suppressed": self.suppressed,
+            "files_checked": self.files_checked,
+            "counts": counts,
+        }, indent=2)
+
+
+class Analyzer:
+    """Collect files, run rules, apply the baseline."""
+
+    def __init__(self, rules: Sequence[Rule],
+                 baseline: Optional[dict[str, int]] = None):
+        self.rules = list(rules)
+        self.baseline = baseline or {}
+
+    # ------------------------------------------------------------------
+    def collect(self, paths: Sequence[str]) -> tuple[list[str], list[str]]:
+        """Expand paths into (python_files, fault_list_files)."""
+        py_files: list[str] = []
+        fault_files: list[str] = []
+        for path in paths:
+            if os.path.isdir(path):
+                for dirpath, dirnames, filenames in os.walk(path):
+                    dirnames[:] = sorted(
+                        d for d in dirnames
+                        if d not in _SKIP_DIR_NAMES
+                        and not d.endswith(".egg-info"))
+                    for filename in sorted(filenames):
+                        full = os.path.join(dirpath, filename)
+                        if filename.endswith(".py"):
+                            py_files.append(full)
+                        elif filename.endswith(FAULT_LIST_SUFFIXES):
+                            fault_files.append(full)
+            elif os.path.isfile(path):
+                if path.endswith(FAULT_LIST_SUFFIXES):
+                    fault_files.append(path)
+                else:
+                    py_files.append(path)
+            else:
+                raise FileNotFoundError(path)
+        return py_files, fault_files
+
+    @staticmethod
+    def _display_path(path: str) -> str:
+        relative = os.path.relpath(path)
+        if not relative.startswith(".."):
+            path = relative
+        return path.replace(os.sep, "/")
+
+    # ------------------------------------------------------------------
+    def run(self, paths: Sequence[str]) -> LintResult:
+        py_files, fault_files = self.collect(paths)
+        findings: list[Finding] = []
+        modules: list[ParsedModule] = []
+
+        for path in py_files:
+            display = self._display_path(path)
+            with open(path, "r", encoding="utf-8") as handle:
+                source = handle.read()
+            try:
+                tree = ast.parse(source, filename=path)
+            except SyntaxError as exc:
+                findings.append(Finding(
+                    "parse-error", display, exc.lineno or 1,
+                    f"syntax error: {exc.msg}"))
+                continue
+            modules.append(ParsedModule(display, tree, source))
+
+        for module in modules:
+            for rule in self.rules:
+                findings.extend(rule.check_module(module))
+        for rule in self.rules:
+            findings.extend(rule.check_project(modules))
+        for path in fault_files:
+            display = self._display_path(path)
+            with open(path, "r", encoding="utf-8") as handle:
+                text = handle.read()
+            fault_file = FaultListFile(display, text)
+            for rule in self.rules:
+                findings.extend(rule.check_fault_file(fault_file))
+
+        findings.sort(key=lambda f: (f.path, f.line, f.rule, f.message))
+        fresh, suppressed = apply_baseline(findings, self.baseline)
+        return LintResult(fresh, suppressed,
+                          len(py_files) + len(fault_files))
+
+
+def default_rules() -> list[Rule]:
+    """The five passes of the suite, in reporting order."""
+    from .conformance import SignatureConformanceRule
+    from .faultspace import FaultSpaceRule
+    from .handles import HandleLeakRule
+    from .returns import UncheckedReturnRule
+    from .simhang import SimHangRule
+
+    return [
+        SignatureConformanceRule(),
+        UncheckedReturnRule(),
+        HandleLeakRule(),
+        SimHangRule(),
+        FaultSpaceRule(),
+    ]
+
+
+def run_lint(paths: Sequence[str],
+             rules: Optional[Sequence[Rule]] = None,
+             baseline: Optional[dict[str, int]] = None) -> LintResult:
+    """Convenience entry point used by the CLI and tests."""
+    analyzer = Analyzer(rules if rules is not None else default_rules(),
+                        baseline)
+    return analyzer.run(paths)

@@ -14,7 +14,13 @@ from repro.core.faultlist import (
     write_fault_list_file,
 )
 from repro.core.faults import FaultSpec, FaultType
-from repro.nt.kernel32.signatures import REGISTRY, injectable_signatures
+from repro.nt.kernel32.signatures import (
+    REGISTRY,
+    TOTAL_EXPORTS,
+    TOTAL_INJECTABLE_EXPORTS,
+    TOTAL_ZERO_PARAM_EXPORTS,
+    injectable_signatures,
+)
 
 
 class TestGeneration:
@@ -98,6 +104,31 @@ class TestFileFormat:
             for name, fault_type, invocation in entries
         ]
         assert parse_fault_list(dump_fault_list(faults)) == faults
+
+
+class TestFullSpaceRoundTrip:
+    def test_generate_write_parse_is_identity(self, tmp_path):
+        # The whole 551-function fault space survives a disk round trip
+        # bit-for-bit: same specs, same order.
+        faults = generate_fault_list()
+        path = tmp_path / "full.lst"
+        write_fault_list_file(path, faults)
+        assert read_fault_list_file(path) == faults
+
+    def test_parameterless_exports_are_excluded(self):
+        faults = generate_fault_list()
+        listed = {f.function for f in faults}
+        zero_param = {s.name for s in REGISTRY.values()
+                      if s.param_count == 0}
+        assert len(zero_param) == TOTAL_ZERO_PARAM_EXPORTS == 130
+        assert listed.isdisjoint(zero_param)
+
+    def test_injectable_function_census_matches_the_paper(self):
+        faults = generate_fault_list()
+        assert TOTAL_EXPORTS == 681
+        assert TOTAL_INJECTABLE_EXPORTS == \
+            TOTAL_EXPORTS - TOTAL_ZERO_PARAM_EXPORTS == 551
+        assert len({f.function for f in faults}) == TOTAL_INJECTABLE_EXPORTS
 
 
 class TestGrouping:

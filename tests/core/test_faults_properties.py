@@ -1,0 +1,65 @@
+"""Property-style tests for the fault model's bit-level algebra.
+
+The paper's three corruptions are total functions over 32-bit machine
+words; these properties pin down the algebra rather than individual
+examples (which live in test_faults.py).
+"""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.faults import MASK32, FaultType
+
+WORD = st.integers(min_value=0, max_value=MASK32)
+# apply() must also be total over raw ints wider than a machine word
+# (a corrupted value re-corrupted, or a host int leaking in).
+WIDE = st.integers(min_value=0, max_value=2 ** 48)
+
+
+@given(WORD)
+def test_every_fault_type_stays_within_mask32(raw):
+    for fault_type in FaultType:
+        assert fault_type.apply(raw) & MASK32 == fault_type.apply(raw)
+
+
+@given(WIDE)
+def test_wide_inputs_are_truncated_to_a_word(raw):
+    for fault_type in FaultType:
+        assert 0 <= fault_type.apply(raw) <= MASK32
+
+
+@given(WORD)
+def test_flip_is_an_involution(raw):
+    assert FaultType.FLIP.apply(FaultType.FLIP.apply(raw)) == raw
+
+
+@given(WORD)
+def test_flip_is_xor_with_all_ones(raw):
+    assert FaultType.FLIP.apply(raw) == raw ^ MASK32
+
+
+@given(WORD)
+def test_zero_and_ones_are_constant_and_idempotent(raw):
+    assert FaultType.ZERO.apply(raw) == 0
+    assert FaultType.ZERO.apply(FaultType.ZERO.apply(raw)) == 0
+    assert FaultType.ONES.apply(raw) == MASK32
+    assert FaultType.ONES.apply(FaultType.ONES.apply(raw)) == MASK32
+
+
+@given(WORD)
+def test_zero_and_ones_are_complementary_through_flip(raw):
+    # flip(zero(x)) == ones(x) and flip(ones(x)) == zero(x).
+    assert FaultType.FLIP.apply(FaultType.ZERO.apply(raw)) == \
+        FaultType.ONES.apply(raw)
+    assert FaultType.FLIP.apply(FaultType.ONES.apply(raw)) == \
+        FaultType.ZERO.apply(raw)
+
+
+@given(WORD)
+def test_at_most_one_fault_type_is_a_noop(raw):
+    # A corruption can coincide with the original (zeroing a zero), but
+    # never two corruptions at once: ZERO and ONES never collide, and
+    # FLIP differs from the original for every input.
+    noops = [t for t in FaultType if t.apply(raw) == raw]
+    assert len(noops) <= 1
+    assert FaultType.FLIP.apply(raw) != raw

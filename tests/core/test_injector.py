@@ -105,6 +105,31 @@ def test_unknown_function_rejected():
         Injector(FaultSpec("Bogus", 0, FaultType.ZERO), "t")
 
 
+def test_unknown_function_error_names_registry_and_suggests():
+    with pytest.raises(ValueError) as excinfo:
+        Injector(FaultSpec("CreateFielA", 0, FaultType.ZERO), "t")
+    message = str(excinfo.value)
+    assert "CreateFielA" in message
+    assert "KERNEL32" in message
+    assert "did you mean 'CreateFileA'?" in message
+
+
+def test_unknown_function_error_against_libc_registry():
+    from repro.posix.libc import LIBC_REGISTRY
+    with pytest.raises(ValueError) as excinfo:
+        Injector(FaultSpec("opeen", 0, FaultType.ZERO), "t",
+                 registry=LIBC_REGISTRY)
+    message = str(excinfo.value)
+    assert "libc" in message
+    assert "did you mean 'open'?" in message
+
+
+def test_hopeless_typo_gets_no_suggestion():
+    with pytest.raises(ValueError) as excinfo:
+        Injector(FaultSpec("Zzqjxw", 0, FaultType.ZERO), "t")
+    assert "did you mean" not in str(excinfo.value)
+
+
 def test_out_of_range_parameter_rejected():
     with pytest.raises(ValueError):
         Injector(FaultSpec("SetEvent", 3, FaultType.ZERO), "t")

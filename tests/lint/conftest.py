@@ -1,0 +1,39 @@
+"""Shared helpers for the lint test suite."""
+
+import textwrap
+
+import pytest
+
+from repro.lint import run_lint
+
+
+@pytest.fixture
+def lint_source(tmp_path):
+    """Write python source to a temp file and lint just that file."""
+
+    def run(source, rules=None, filename="module.py"):
+        path = tmp_path / filename
+        path.write_text(textwrap.dedent(source), encoding="utf-8")
+        return run_lint([str(path)], rules=rules).findings
+
+    return run
+
+
+@pytest.fixture
+def lint_fault_file(tmp_path):
+    """Write a fault-list file to a temp file and lint just it."""
+
+    def run(text, filename="faults.lst"):
+        path = tmp_path / filename
+        path.write_text(textwrap.dedent(text), encoding="utf-8")
+        return run_lint([str(path)]).findings
+
+    return run
+
+
+def rules_of(findings):
+    return [finding.rule for finding in findings]
+
+
+def messages_of(findings):
+    return [finding.message for finding in findings]

@@ -1,0 +1,17 @@
+"""Seeded-bad fixture: a simulated process body that would wedge the
+discrete-event engine (yield-less spin loop), discards a HANDLE result,
+leaks a handle, and calls an export kernel32 does not have."""
+
+
+class BrokenService:
+    image_name = "broken.exe"
+
+    def main(self, ctx):
+        k32 = ctx.k32
+        handle = yield from k32.CreateFileA(
+            "c:\\conf\\broken.ini", 0x80000000, 0, None, 3, 0, None)
+        yield from k32.CreateEventA(None, True, False, "broken-ev")
+        yield from k32.SetEvnt(handle)
+        ready = False
+        while not ready:
+            pass

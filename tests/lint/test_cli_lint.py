@@ -1,0 +1,135 @@
+"""`repro lint` CLI: exit codes, formats, baseline handling."""
+
+import json
+import os
+import textwrap
+from io import StringIO
+
+import pytest
+
+from repro.cli import main
+
+FIXTURES = os.path.join(os.path.dirname(__file__), "fixtures")
+
+CLEAN_SOURCE = """
+    def main(ctx):
+        handle = yield from ctx.k32.CreateFileA(
+            "x", 1, 0, None, 3, 0, None)
+        if not handle:
+            return
+        got = yield from ctx.k32.ReadFile(handle, None, 64, None, None)
+        yield from ctx.k32.CloseHandle(handle)
+"""
+
+
+def run_cli(*argv):
+    out = StringIO()
+    code = main(["lint", "--baseline", "none", *argv], out=out)
+    return code, out.getvalue()
+
+
+@pytest.fixture
+def clean_tree(tmp_path):
+    path = tmp_path / "workload.py"
+    path.write_text(textwrap.dedent(CLEAN_SOURCE), encoding="utf-8")
+    return tmp_path
+
+
+class TestExitCodes:
+    def test_clean_input_exits_zero(self, clean_tree):
+        code, text = run_cli(str(clean_tree))
+        assert code == 0
+        assert "0 finding(s)" in text
+
+    def test_seeded_fixtures_exit_one(self):
+        code, text = run_cli(FIXTURES)
+        assert code == 1
+        assert "finding" in text
+
+    def test_bad_fault_list_fixture_alone_exits_one(self):
+        code, text = run_cli(os.path.join(FIXTURES, "bad_faultlist.lst"))
+        assert code == 1
+        assert "CreateFielA" in text
+
+    def test_bad_sim_process_fixture_alone_exits_one(self):
+        code, text = run_cli(os.path.join(FIXTURES, "bad_simproc.py"))
+        assert code == 1
+        assert "hang" in text
+
+    def test_missing_path_exits_two(self, tmp_path):
+        code, text = run_cli(str(tmp_path / "no-such-dir"))
+        assert code == 2
+        assert "no such path" in text
+
+    def test_unknown_rule_exits_two(self, clean_tree):
+        code, text = run_cli("--rules", "no-such-rule", str(clean_tree))
+        assert code == 2
+        assert "unknown rule" in text
+
+    def test_unreadable_baseline_exits_two(self, clean_tree, tmp_path):
+        bad = tmp_path / "baseline.json"
+        bad.write_text("{not json", encoding="utf-8")
+        out = StringIO()
+        code = main(["lint", "--baseline", str(bad), str(clean_tree)],
+                    out=out)
+        assert code == 2
+        assert "baseline" in out.getvalue()
+
+
+class TestOutputFormats:
+    def test_json_output_parses_and_carries_findings(self):
+        code, text = run_cli("--format", "json", FIXTURES)
+        assert code == 1
+        payload = json.loads(text)
+        rules = {finding["rule"] for finding in payload["findings"]}
+        assert "fault-space" in rules
+        assert "sim-hang" in rules
+
+    def test_text_output_names_rule_and_location(self):
+        code, text = run_cli(os.path.join(FIXTURES, "bad_simproc.py"))
+        assert "bad_simproc.py" in text
+        assert "sim-hang" in text
+
+    def test_rule_subset_restricts_findings(self):
+        code, text = run_cli("--rules", "sim-hang",
+                             os.path.join(FIXTURES, "bad_simproc.py"))
+        assert code == 1
+        assert "sim-hang" in text
+        assert "handle-leak" not in text
+
+
+class TestBaseline:
+    def test_write_baseline_then_rerun_is_clean(self, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        out = StringIO()
+        code = main(["lint", "--baseline", "none",
+                     "--write-baseline", str(baseline), FIXTURES], out=out)
+        assert code == 0
+        assert baseline.exists()
+
+        out = StringIO()
+        code = main(["lint", "--baseline", str(baseline), FIXTURES], out=out)
+        assert code == 0
+        assert "baselined" in out.getvalue()
+
+    def test_baseline_does_not_hide_new_findings(self, tmp_path):
+        source = tmp_path / "proc.py"
+        source.write_text(textwrap.dedent("""
+            def main(ctx):
+                yield from ctx.k32.CreateEventA(None, True, False, "e")
+        """), encoding="utf-8")
+        baseline = tmp_path / "baseline.json"
+        out = StringIO()
+        assert main(["lint", "--baseline", "none",
+                     "--write-baseline", str(baseline),
+                     str(source)], out=out) == 0
+
+        source.write_text(textwrap.dedent("""
+            def main(ctx):
+                yield from ctx.k32.CreateEventA(None, True, False, "e")
+                yield from ctx.k32.CreateEventA(None, True, False, "f")
+        """), encoding="utf-8")
+        out = StringIO()
+        code = main(["lint", "--baseline", str(baseline), str(source)],
+                    out=out)
+        assert code == 1

@@ -1,0 +1,138 @@
+"""Signature-conformance rule: registrations, call sites, dispatch."""
+
+from repro.lint.conformance import SignatureConformanceRule
+
+RULES = [SignatureConformanceRule()]
+
+
+def _findings(lint_source, source, filename="module.py"):
+    return lint_source(source, rules=RULES, filename=filename)
+
+
+class TestImplRegistration:
+    def test_unknown_export_flagged_with_suggestion(self, lint_source):
+        findings = _findings(lint_source, """
+            from .runtime import Frame, k32impl
+
+            @k32impl("CreateFielA")
+            def create_file_a(frame):
+                return frame.succeed(1)
+        """)
+        assert len(findings) == 1
+        assert "CreateFielA" in findings[0].message
+        assert "did you mean 'CreateFileA'" in findings[0].message
+
+    def test_known_export_accepted(self, lint_source):
+        findings = _findings(lint_source, """
+            from .runtime import Frame, k32impl
+
+            @k32impl("CreateFileA")
+            def create_file_a(frame):
+                name = frame.string(0)
+                return frame.succeed(1)
+        """)
+        assert findings == []
+
+    def test_frame_index_beyond_arity_flagged(self, lint_source):
+        findings = _findings(lint_source, """
+            from .runtime import Frame, k32impl
+
+            @k32impl("CloseHandle")
+            def close_handle(frame):
+                return frame.uint(3)
+        """)
+        assert len(findings) == 1
+        assert "index 3" in findings[0].message
+        assert "1 parameter" in findings[0].message
+
+    def test_frame_index_within_arity_accepted(self, lint_source):
+        findings = _findings(lint_source, """
+            from .runtime import Frame, k32impl
+
+            @k32impl("ReadFile")
+            def read_file(frame):
+                handle = frame.handle_object(0)
+                count = frame.uint(2)
+                return frame.succeed(count)
+        """)
+        assert findings == []
+
+    def test_libcimpl_checked_against_libc_registry(self, lint_source):
+        findings = _findings(lint_source, """
+            @libcimpl("opeen")
+            def bad(frame):
+                return 0
+        """)
+        assert len(findings) == 1
+        assert "did you mean 'open'" in findings[0].message
+
+
+class TestCallSites:
+    def test_unknown_export_at_call_site(self, lint_source):
+        findings = _findings(lint_source, """
+            def main(ctx):
+                yield from ctx.k32.SetEvnt(1)
+        """)
+        assert len(findings) == 1
+        assert "SetEvnt" in findings[0].message
+        assert "did you mean 'SetEvent'" in findings[0].message
+
+    def test_wrong_arity_at_call_site(self, lint_source):
+        findings = _findings(lint_source, """
+            def main(ctx):
+                k32 = ctx.k32
+                yield from k32.CloseHandle(1, 2)
+        """)
+        assert len(findings) == 1
+        assert "takes 1 argument" in findings[0].message
+
+    def test_correct_call_site_accepted(self, lint_source):
+        findings = _findings(lint_source, """
+            def main(ctx):
+                handle = yield from ctx.k32.CreateFileA(
+                    "x", 1, 0, None, 3, 0, None)
+                yield from ctx.k32.CloseHandle(handle)
+        """)
+        assert findings == []
+
+    def test_star_args_skip_arity_check(self, lint_source):
+        findings = _findings(lint_source, """
+            def main(ctx, args):
+                yield from ctx.k32.CreateFileA(*args)
+        """)
+        assert findings == []
+
+    def test_libc_call_sites_checked(self, lint_source):
+        findings = _findings(lint_source, """
+            def main(ctx):
+                libc = ctx.libc
+                fd = yield from libc.opn("/etc/conf", 0, 0)
+        """)
+        assert len(findings) == 1
+        assert "libc" in findings[0].message
+
+
+class TestDispatchBypass:
+    def test_direct_impl_import_flagged(self, lint_source):
+        findings = _findings(lint_source, """
+            from repro.nt.kernel32.impl_files import create_file_a
+        """, filename="rogue.py")
+        assert len(findings) == 1
+        assert "interception layer" in findings[0].message
+
+    def test_implementations_subscript_call_flagged(self, lint_source):
+        findings = _findings(lint_source, """
+            def sneaky(frame):
+                return IMPLEMENTATIONS["CreateFileA"](frame)
+        """, filename="rogue.py")
+        assert len(findings) == 1
+        assert "bypassing" in findings[0].message
+
+    def test_kernel32_package_itself_is_exempt(self, lint_source, tmp_path):
+        package = tmp_path / "nt" / "kernel32"
+        package.mkdir(parents=True)
+        source = "from .impl_files import create_file_a\n"
+        (package / "__init__.py").write_text(source)
+        from repro.lint import run_lint
+        findings = run_lint([str(package)], rules=RULES).findings
+        assert findings == []

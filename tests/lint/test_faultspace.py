@@ -1,0 +1,106 @@
+"""Fault-space rule: fault-list files and inline FaultSpec literals."""
+
+from repro.lint.faultspace import FaultSpaceRule
+
+RULES = [FaultSpaceRule()]
+
+
+class TestFaultListFiles:
+    def test_valid_list_is_clean(self, lint_fault_file):
+        findings = lint_fault_file("""
+            # function  param-index  fault-type  invocation
+            CreateFileA 0 zero 1
+            CreateFileA 0 ones 1
+            ReadFile 2 flip 1
+        """)
+        assert findings == []
+
+    def test_unknown_export_with_suggestion(self, lint_fault_file):
+        findings = lint_fault_file("CreateFielA 0 zero 1\n")
+        assert len(findings) == 1
+        assert "did you mean 'CreateFileA'" in findings[0].message
+
+    def test_param_index_out_of_range(self, lint_fault_file):
+        findings = lint_fault_file("CloseHandle 5 zero 1\n")
+        assert len(findings) == 1
+        assert "out of range" in findings[0].message
+
+    def test_parameterless_export_not_injectable(self, lint_fault_file):
+        findings = lint_fault_file("GetLastError 0 zero 1\n")
+        assert len(findings) == 1
+        assert "not injectable" in findings[0].message
+        assert "130" in findings[0].message
+
+    def test_illegal_fault_type(self, lint_fault_file):
+        findings = lint_fault_file("ReadFile 2 smash 1\n")
+        assert len(findings) == 1
+        assert "smash" in findings[0].message
+
+    def test_bad_invocation_and_malformed_lines(self, lint_fault_file):
+        findings = lint_fault_file("""
+            ReadFile 2 zero 0
+            just two
+        """)
+        assert len(findings) == 2
+        assert findings[0].line < findings[1].line
+
+    def test_line_numbers_point_at_the_bad_line(self, lint_fault_file):
+        findings = lint_fault_file("# header\nCreateFielA 0 zero 1\n")
+        assert findings[0].line == 2
+
+
+class TestInlineFaultSpecs:
+    def test_unknown_export_in_constructor(self, lint_source):
+        findings = lint_source("""
+            from repro.core.faults import FaultSpec, FaultType
+            SPEC = FaultSpec("CreateFielA", 0, FaultType.ZERO)
+        """, rules=RULES)
+        assert len(findings) == 1
+        assert "CreateFielA" in findings[0].message
+
+    def test_index_beyond_arity_in_constructor(self, lint_source):
+        findings = lint_source("""
+            from repro.core.faults import FaultSpec, FaultType
+            SPEC = FaultSpec("CloseHandle", 3, FaultType.FLIP)
+        """, rules=RULES)
+        assert len(findings) == 1
+        assert "out of range" in findings[0].message
+
+    def test_valid_constructor_is_clean(self, lint_source):
+        findings = lint_source("""
+            from repro.core.faults import FaultSpec, FaultType
+            SPEC = FaultSpec("CreateFileA", 6, FaultType.ONES, invocation=2)
+        """, rules=RULES)
+        assert findings == []
+
+    def test_bad_fault_type_member(self, lint_source):
+        findings = lint_source("""
+            from repro.core.faults import FaultSpec, FaultType
+            SPEC = FaultSpec("CreateFileA", 0, FaultType.SMASH)
+        """, rules=RULES)
+        assert len(findings) == 1
+        assert "SMASH" in findings[0].message
+
+    def test_from_line_literal_validated(self, lint_source):
+        findings = lint_source("""
+            from repro.core.faults import FaultSpec
+            SPEC = FaultSpec.from_line("ReadFile 9 zero 1")
+        """, rules=RULES)
+        assert len(findings) == 1
+        assert "out of range" in findings[0].message
+
+    def test_dynamic_arguments_are_skipped(self, lint_source):
+        findings = lint_source("""
+            from repro.core.faults import FaultSpec, FaultType
+            def build(name, index):
+                return FaultSpec(name, index, FaultType.ZERO)
+        """, rules=RULES)
+        assert findings == []
+
+    def test_specs_inside_functions_are_checked(self, lint_source):
+        findings = lint_source("""
+            from repro.core.faults import FaultSpec, FaultType
+            def campaign():
+                return [FaultSpec("GetLastError", 0, FaultType.ZERO)]
+        """, rules=RULES)
+        assert len(findings) == 1

@@ -1,0 +1,118 @@
+"""Handle-leak rule: acquisitions must be released or handed off."""
+
+from repro.lint.handles import HandleLeakRule
+
+RULES = [HandleLeakRule()]
+
+
+class TestPositives:
+    def test_unclosed_create_file(self, lint_source):
+        findings = lint_source("""
+            def main(ctx):
+                k32 = ctx.k32
+                handle = yield from k32.CreateFileA(
+                    "x", 1, 0, None, 3, 0, None)
+                size = yield from k32.GetFileSize(handle, None)
+                return size
+        """, rules=RULES)
+        assert len(findings) == 1
+        assert "handle" in findings[0].message
+        assert "CreateFileA" in findings[0].message
+
+    def test_find_first_file_needs_find_close_not_close_handle(self, lint_source):
+        findings = lint_source("""
+            def main(ctx):
+                k32 = ctx.k32
+                find = yield from k32.FindFirstFileA("*", None)
+                yield from k32.CloseHandle(find)
+        """, rules=RULES)
+        assert len(findings) == 1
+        assert "FindClose" in findings[0].message
+
+    def test_libc_open_without_close(self, lint_source):
+        findings = lint_source("""
+            def main(ctx):
+                libc = ctx.libc
+                fd = yield from libc.open("/etc/conf", 0, 0)
+                got = yield from libc.read(fd, None, 64)
+        """, rules=RULES)
+        assert len(findings) == 1
+
+    def test_load_library_without_free(self, lint_source):
+        findings = lint_source("""
+            def main(ctx):
+                k32 = ctx.k32
+                module = yield from k32.LoadLibraryA("w3isapi.dll")
+                yield from k32.GetProcAddress(module, "Proc")
+        """, rules=RULES)
+        assert len(findings) == 1
+        assert "FreeLibrary" in findings[0].message
+
+
+class TestNegatives:
+    def test_closed_handle_is_clean(self, lint_source):
+        findings = lint_source("""
+            def main(ctx):
+                k32 = ctx.k32
+                handle = yield from k32.CreateFileA(
+                    "x", 1, 0, None, 3, 0, None)
+                got = yield from k32.ReadFile(handle, None, 64, None, None)
+                yield from k32.CloseHandle(handle)
+        """, rules=RULES)
+        assert findings == []
+
+    def test_close_on_one_branch_counts(self, lint_source):
+        findings = lint_source("""
+            def main(ctx):
+                k32 = ctx.k32
+                handle = yield from k32.CreateEventA(None, True, False, "e")
+                if handle:
+                    yield from k32.CloseHandle(handle)
+        """, rules=RULES)
+        assert findings == []
+
+    def test_returned_handle_escapes(self, lint_source):
+        findings = lint_source("""
+            def open_config(ctx):
+                handle = yield from ctx.k32.CreateFileA(
+                    "x", 1, 0, None, 3, 0, None)
+                return handle
+        """, rules=RULES)
+        assert findings == []
+
+    def test_handle_passed_to_helper_escapes(self, lint_source):
+        findings = lint_source("""
+            def main(ctx):
+                handle = yield from ctx.k32.CreateFileA(
+                    "x", 1, 0, None, 3, 0, None)
+                yield from serve_requests(ctx, handle)
+        """, rules=RULES)
+        assert findings == []
+
+    def test_handle_stored_on_self_escapes(self, lint_source):
+        findings = lint_source("""
+            def main(self, ctx):
+                handle = yield from ctx.k32.CreateEventA(None, True, False, "e")
+                self.shutdown_event = handle
+        """, rules=RULES)
+        assert findings == []
+
+    def test_non_acquisition_assignments_ignored(self, lint_source):
+        findings = lint_source("""
+            def main(ctx):
+                status = yield from ctx.k32.WaitForSingleObject(7, 1000)
+                return status
+        """, rules=RULES)
+        assert findings == []
+
+    def test_sim_uses_do_not_count_as_escape(self, lint_source):
+        # Passing the handle to other k32 calls must NOT immunise it.
+        findings = lint_source("""
+            def main(ctx):
+                k32 = ctx.k32
+                handle = yield from k32.CreateFileA(
+                    "x", 1, 0, None, 3, 0, None)
+                size = yield from k32.GetFileSize(handle, None)
+                kind = yield from k32.GetFileType(handle)
+        """, rules=RULES)
+        assert len(findings) == 1

@@ -1,0 +1,126 @@
+"""Sim-hang rule: yield-less loops in generator process bodies."""
+
+from repro.lint.simhang import SimHangRule
+
+RULES = [SimHangRule()]
+
+
+class TestPositives:
+    def test_spin_on_flag_never_assigned(self, lint_source):
+        findings = lint_source("""
+            def main(ctx):
+                yield from ctx.k32.GetVersion()
+                ready = False
+                while not ready:
+                    pass
+        """, rules=RULES)
+        assert len(findings) == 1
+        assert "hang" in findings[0].message
+
+    def test_while_true_without_yield_or_break(self, lint_source):
+        findings = lint_source("""
+            def main(ctx):
+                yield from ctx.k32.GetVersion()
+                count = 0
+                while True:
+                    count += 1
+        """, rules=RULES)
+        assert len(findings) == 1
+
+    def test_spin_on_attribute_never_assigned(self, lint_source):
+        findings = lint_source("""
+            def main(self, ctx):
+                yield from ctx.k32.GetVersion()
+                while not self.shutdown:
+                    pass
+        """, rules=RULES)
+        assert len(findings) == 1
+
+    def test_continue_does_not_count_as_progress(self, lint_source):
+        findings = lint_source("""
+            def main(ctx):
+                yield from ctx.k32.GetVersion()
+                spins = 0
+                while True:
+                    if spins:
+                        continue
+                    spins += 1
+        """, rules=RULES)
+        assert len(findings) == 1
+
+
+class TestNegatives:
+    def test_loop_that_yields_is_fine(self, lint_source):
+        findings = lint_source("""
+            def main(ctx):
+                while True:
+                    yield from ctx.k32.Sleep(100)
+        """, rules=RULES)
+        assert findings == []
+
+    def test_loop_with_break_is_fine(self, lint_source):
+        findings = lint_source("""
+            def main(ctx):
+                yield from ctx.k32.GetVersion()
+                while True:
+                    break
+        """, rules=RULES)
+        assert findings == []
+
+    def test_terminating_computation_is_fine(self, lint_source):
+        findings = lint_source("""
+            def main(ctx):
+                yield from ctx.k32.GetVersion()
+                index = 0
+                while index < 10:
+                    index += 1
+        """, rules=RULES)
+        assert findings == []
+
+    def test_attribute_condition_assigned_in_body_is_fine(self, lint_source):
+        findings = lint_source("""
+            def main(self, ctx):
+                yield from ctx.k32.GetVersion()
+                while not self.done:
+                    self.done = self.step()
+        """, rules=RULES)
+        assert findings == []
+
+    def test_call_in_condition_is_trusted(self, lint_source):
+        findings = lint_source("""
+            def main(ctx):
+                yield from ctx.k32.GetVersion()
+                while ctx.pending():
+                    pass
+        """, rules=RULES)
+        assert findings == []
+
+    def test_non_generator_functions_are_out_of_scope(self, lint_source):
+        findings = lint_source("""
+            def tokenize(text):
+                index = 0
+                while True:
+                    pass
+        """, rules=RULES)
+        assert findings == []
+
+    def test_for_loops_are_not_flagged(self, lint_source):
+        findings = lint_source("""
+            def main(ctx):
+                yield from ctx.k32.GetVersion()
+                total = 0
+                for item in range(10):
+                    total += item
+        """, rules=RULES)
+        assert findings == []
+
+    def test_nested_function_yields_do_not_leak_scope(self, lint_source):
+        # The inner def yields, but the outer loop still never does.
+        findings = lint_source("""
+            def main(ctx):
+                yield from ctx.k32.GetVersion()
+                while True:
+                    def helper():
+                        yield 1
+        """, rules=RULES)
+        assert len(findings) == 1
