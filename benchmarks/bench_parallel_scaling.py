@@ -1,0 +1,122 @@
+#!/usr/bin/env python
+"""Campaign throughput against worker count (runs/sec at 1/2/4/8).
+
+Not a paper artifact — this measures the campaign engine itself: the
+same IIS stand-alone slice is executed through ``SerialBackend`` and
+``ProcessPoolBackend`` at increasing worker counts, and every
+configuration is checked to produce bit-identical outcome counts (the
+backends' determinism contract).
+
+As a script it writes the measurements to JSON for CI trending::
+
+    python benchmarks/bench_parallel_scaling.py --smoke -o BENCH_campaign.json
+
+Under pytest it runs the smoke slice once and asserts the determinism
+contract plus non-zero throughput.  Speedup is hardware-dependent: a
+run lasts ~5 ms of real time, so meaningful scaling needs multiple
+physical cores; the JSON records ``cpu_count`` so CI numbers are read
+in context.
+"""
+
+import argparse
+import json
+import os
+import time
+
+from repro.core.campaign import Campaign
+from repro.core.exec import ProcessPoolBackend, SerialBackend
+from repro.core.runner import RunConfig
+from repro.core.workload import MiddlewareKind
+
+# A Figure-2-shaped slice: IIS stand-alone over functions the server
+# actually calls (so probes release their full fault groups).
+SCALING_FUNCTIONS = [
+    "CreateEventA", "CreateFileA", "CreateFileMappingA", "ReadFile",
+    "CloseHandle", "WaitForSingleObject", "SetErrorMode", "Sleep",
+    "LoadLibraryA", "GetModuleHandleA", "HeapAlloc", "GetTickCount",
+    "SetEvent", "GetSystemInfo", "MapViewOfFile", "GetACP",
+]
+SMOKE_FUNCTIONS = SCALING_FUNCTIONS[:6]
+DEFAULT_WORKERS = (1, 2, 4, 8)
+
+
+def measure(jobs: int, functions, base_seed: int = 2000):
+    """One campaign at the given worker count -> (stats, result)."""
+    backend = SerialBackend() if jobs <= 1 else ProcessPoolBackend(jobs)
+    try:
+        started = time.perf_counter()
+        result = Campaign("IIS", MiddlewareKind.NONE, functions=functions,
+                          config=RunConfig(base_seed=base_seed),
+                          backend=backend).run()
+        elapsed = time.perf_counter() - started
+    finally:
+        backend.close()
+    runs = len(result.runs) + 1  # the profiling run counts too
+    stats = {"jobs": jobs, "runs": runs,
+             "seconds": round(elapsed, 3),
+             "runs_per_sec": round(runs / elapsed, 1)}
+    return stats, result
+
+
+def run_scaling(workers, functions) -> dict:
+    """Measure every worker count and verify identical outcomes."""
+    results = []
+    reference = None
+    for jobs in workers:
+        stats, result = measure(jobs, functions)
+        outcomes = {outcome.value: count for outcome, count
+                    in result.outcome_counts().items()}
+        if reference is None:
+            reference = outcomes
+        elif outcomes != reference:
+            raise AssertionError(
+                f"jobs={jobs} broke determinism: {outcomes} != {reference}")
+        results.append(stats)
+    return {
+        "benchmark": "campaign-parallel-scaling",
+        "workload": "IIS/stand-alone",
+        "functions": len(functions),
+        "cpu_count": os.cpu_count(),
+        "outcome_counts": reference,
+        "results": results,
+    }
+
+
+def test_parallel_scaling_smoke():
+    """Pytest entry: pool outcomes match serial, throughput is real."""
+    report = run_scaling((1, 2), SMOKE_FUNCTIONS)
+    assert all(entry["runs_per_sec"] > 0 for entry in report["results"])
+    assert report["results"][0]["runs"] == report["results"][1]["runs"]
+
+
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workers", default=None,
+                        help="comma-separated worker counts "
+                             f"(default {','.join(map(str, DEFAULT_WORKERS))})")
+    parser.add_argument("--smoke", action="store_true",
+                        help="small function slice for CI smoke runs")
+    parser.add_argument("-o", "--output", default=None, metavar="PATH",
+                        help="write the measurements to this JSON file")
+    args = parser.parse_args(argv)
+
+    workers = (tuple(int(n) for n in args.workers.split(","))
+               if args.workers else DEFAULT_WORKERS)
+    functions = SMOKE_FUNCTIONS if args.smoke else SCALING_FUNCTIONS
+    report = run_scaling(workers, functions)
+    report["smoke"] = args.smoke
+
+    print(f"campaign scaling — IIS stand-alone, {report['functions']} "
+          f"functions, {os.cpu_count()} CPU(s)")
+    for entry in report["results"]:
+        print(f"  jobs={entry['jobs']:<2d} {entry['runs']:>4d} runs in "
+              f"{entry['seconds']:7.2f}s  -> {entry['runs_per_sec']:8.1f} "
+              f"runs/s")
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2)
+        print(f"wrote {args.output}")
+
+
+if __name__ == "__main__":
+    main()

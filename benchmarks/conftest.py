@@ -3,11 +3,19 @@
 ``suite`` is session-scoped: the expensive campaign grid runs once and
 all table/figure benchmarks read from it; each benchmark's *measured*
 body regenerates its artifact (and any campaign runs it alone needs).
+
+Set ``REPRO_JOBS=N`` to run the grid through a shared process-pool
+backend, and ``REPRO_STORE=PATH`` to checkpoint/reuse runs across
+benchmark sessions via the JSONL run store.
 """
+
+import os
 
 import pytest
 
 from repro.analysis.experiment import ExperimentSuite
+from repro.core.exec import ProcessPoolBackend
+from repro.core.store import RunStore
 
 
 def _log(message: str) -> None:
@@ -16,4 +24,13 @@ def _log(message: str) -> None:
 
 @pytest.fixture(scope="session")
 def suite() -> ExperimentSuite:
-    return ExperimentSuite(log=_log)
+    jobs = int(os.environ.get("REPRO_JOBS", "1"))
+    backend = ProcessPoolBackend(jobs) if jobs > 1 else None
+    store_path = os.environ.get("REPRO_STORE")
+    store = RunStore(store_path) if store_path else None
+    suite = ExperimentSuite(log=_log, backend=backend, store=store)
+    yield suite
+    if backend is not None:
+        backend.close()
+    if store is not None:
+        store.close()

@@ -6,32 +6,59 @@ plus watchd versions 1 and 2 for Figure 5), prints each artifact with
 its paper anchors, evaluates the shape claims, and optionally rewrites
 EXPERIMENTS.md.
 
-Run:  python examples/reproduce_paper.py [--write-report]
+The grid goes through the campaign engine's execution backends:
+``--jobs N`` dispatches runs across a process pool, and ``--store
+PATH`` checkpoints every run to a JSONL run store — rerunning with the
+same store re-executes nothing.
+
+Run:  python examples/reproduce_paper.py [--write-report] [--jobs N]
+      [--store runs.jsonl]
 """
 
-import sys
+import argparse
 import time
 from pathlib import Path
 
 from repro.analysis.experiment import ExperimentSuite
 from repro.analysis.report import generate_experiments_report, shape_checks
+from repro.core.exec import ProcessPoolBackend
+from repro.core.store import RunStore
 
 
-def main() -> None:
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--write-report", action="store_true",
+                        help="rewrite EXPERIMENTS.md")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="process-pool workers (default: serial)")
+    parser.add_argument("--store", default=None, metavar="PATH",
+                        help="JSONL run store for checkpoint/resume")
+    args = parser.parse_args(argv)
+
+    backend = ProcessPoolBackend(args.jobs) if args.jobs > 1 else None
+    store = RunStore(args.store) if args.store else None
+
     started = time.time()
     suite = ExperimentSuite(base_seed=2000,
                             log=lambda message: print(f"  {message}",
-                                                      flush=True))
+                                                      flush=True),
+                            backend=backend, store=store)
     print("running the full experiment grid ...")
-    report = generate_experiments_report(suite)
-    checks = shape_checks(suite)
+    try:
+        report = generate_experiments_report(suite)
+        checks = shape_checks(suite)
+    finally:
+        if backend is not None:
+            backend.close()
+        if store is not None:
+            store.close()
     held = sum(1 for check in checks if check.holds)
 
     print(report)
     print(f"shape claims: {held}/{len(checks)} hold "
           f"(total wall time {time.time() - started:.1f}s)")
 
-    if "--write-report" in sys.argv[1:]:
+    if args.write_report:
         path = Path(__file__).resolve().parent.parent / "EXPERIMENTS.md"
         path.write_text(report, encoding="utf-8")
         print(f"wrote {path}")

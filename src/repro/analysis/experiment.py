@@ -38,12 +38,24 @@ FIGURE5_WORKLOADS = ("Apache1", "IIS", "SQL")
 
 
 class ExperimentSuite:
-    """Caching driver for the whole experiment grid."""
+    """Caching driver for the whole experiment grid.
+
+    ``backend`` (an :class:`~repro.core.exec.ExecutionBackend`) is
+    shared across every workload set — pass a
+    :class:`~repro.core.exec.ProcessPoolBackend` to run the grid on a
+    warm worker pool; the caller owns its lifecycle.  ``store`` (a
+    :class:`~repro.core.store.RunStore`) checkpoints every run, so
+    artifacts sharing campaign slices (Figures 2–4, Table 2) re-execute
+    nothing across suites or even across processes.
+    """
 
     def __init__(self, base_seed: int = 2000,
-                 log: Optional[Callable[[str], None]] = None):
+                 log: Optional[Callable[[str], None]] = None,
+                 backend=None, store=None):
         self.base_seed = base_seed
         self._log = log or (lambda message: None)
+        self.backend = backend
+        self.store = store
         self._sets: dict[tuple[str, MiddlewareKind, int], WorkloadSetResult] = {}
         self._profiles: dict[tuple[str, MiddlewareKind], set[str]] = {}
 
@@ -61,7 +73,8 @@ class ExperimentSuite:
             self._log(f"running workload set {workload}/{middleware.value}"
                       f"/v{watchd_version} ...")
             campaign = Campaign(workload, middleware,
-                                config=self.config(watchd_version))
+                                config=self.config(watchd_version),
+                                backend=self.backend, store=self.store)
             self._sets[key] = campaign.run()
         return self._sets[key]
 

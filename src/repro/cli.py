@@ -14,7 +14,9 @@ same configuration files and campaign machinery:
 from __future__ import annotations
 
 import argparse
+import os
 import sys
+import time
 from typing import Optional, Sequence
 
 from .analysis.experiment import ExperimentSuite
@@ -61,11 +63,16 @@ def build_parser() -> argparse.ArgumentParser:
                      help="path to the DTS main configuration file")
     run.add_argument("--functions", default=None,
                      help="restrict to a comma-separated function subset")
+    _add_execution_arguments(run)
+    run.add_argument("--resume", action="store_true",
+                     help="reuse runs already checkpointed in the store "
+                          "and execute only the missing ones")
 
     reproduce = commands.add_parser(
         "reproduce", help="regenerate every table and figure of the paper")
     reproduce.add_argument("--write-report", metavar="PATH", default=None,
                            help="also write the EXPERIMENTS.md report here")
+    _add_execution_arguments(reproduce)
 
     lint = commands.add_parser(
         "lint", help="DTS-aware static analysis (signature conformance, "
@@ -88,6 +95,16 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _add_execution_arguments(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument("--jobs", type=int, default=None, metavar="N",
+                     help="run injections through a process pool of N "
+                          "workers (default: [execution] jobs, else 1)")
+    sub.add_argument("--store", default=None, metavar="PATH",
+                     help="checkpoint completed runs to this JSONL run "
+                          "store (enables --resume and cross-campaign "
+                          "result caching)")
+
+
 def _add_target_arguments(sub: argparse.ArgumentParser) -> None:
     sub.add_argument("--workload", required=True, choices=sorted(WORKLOADS))
     sub.add_argument("--middleware", default="none",
@@ -104,6 +121,49 @@ def _run_config(args: argparse.Namespace) -> RunConfig:
 
 def _middleware(args: argparse.Namespace) -> MiddlewareKind:
     return MiddlewareKind(args.middleware)
+
+
+class CliProgress:
+    """Progress line with throughput and ETA, safe for dumb terminals."""
+
+    def __init__(self, out):
+        self.out = out
+        self.started = time.monotonic()
+        self.printed = False
+
+    def __call__(self, done, total, run) -> None:
+        elapsed = max(time.monotonic() - self.started, 1e-9)
+        rate = done / elapsed
+        eta = (total - done) / rate if rate > 0 else 0.0
+        print(f"\r  {done}/{total} runs  {rate:7.1f} runs/s  "
+              f"ETA {eta:5.1f}s", end="", file=self.out, flush=True)
+        self.printed = True
+
+    def finish(self) -> None:
+        if self.printed:
+            print(file=self.out)
+
+
+def _open_store(path: Optional[str], resume: bool, out):
+    """Build the run store for a command, enforcing resume semantics.
+
+    An existing store is only reused when ``--resume`` is given, so a
+    stale file is never picked up by accident.  Returns ``(store,
+    error_code)``; exactly one is set.
+    """
+    from .core.store import RunStore
+
+    if path is None:
+        if resume:
+            print("--resume needs a run store (--store PATH or "
+                  "[execution] store)", file=out)
+            return None, 2
+        return None, None
+    if os.path.exists(path) and not resume:
+        print(f"run store {path} already exists; pass --resume to reuse "
+              f"its checkpointed runs, or choose a new path", file=out)
+        return None, 2
+    return RunStore(path), None
 
 
 # ----------------------------------------------------------------------
@@ -146,25 +206,59 @@ def cmd_inject(args, out) -> int:
 def cmd_run(args, out) -> int:
     config = DtsConfig.from_file(args.config)
     functions = args.functions.split(",") if args.functions else None
+    jobs = args.jobs if args.jobs is not None else config.jobs
+    store, error = _open_store(args.store or config.store, args.resume, out)
+    if error is not None:
+        return error
+
+    progress = CliProgress(out)
     campaign = Campaign(config.workload, config.middleware,
-                        functions=functions, config=config.run_config())
-    result = campaign.run()
+                        functions=functions, config=config.run_config(),
+                        jobs=jobs if jobs > 1 else None, store=store,
+                        progress=progress)
+    try:
+        result = campaign.run()
+    finally:
+        progress.finish()
+        if store is not None:
+            store.close()
     dist = OutcomeDistribution.from_result(
         f"{config.workload} / {config.middleware.label}", result)
     print(dist.render(), file=out)
     print(f"activated faults : {result.activated_count}", file=out)
     print(f"failure coverage : {result.failure_coverage:.1%}", file=out)
     print(f"skipped functions: {len(result.skipped_functions)}", file=out)
+    if store is not None:
+        print(f"resumed from store: {result.cached_count} cached, "
+              f"{result.executed_count} executed", file=out)
     return 0
 
 
 def cmd_reproduce(args, out) -> int:
+    from .core.exec import ProcessPoolBackend
+
+    # The reproduce store is a cross-figure cache: an existing file is
+    # reused by design, so Figure 3 re-executes nothing after Figure 2.
+    store = None
+    if args.store:
+        store, error = _open_store(args.store, resume=True, out=out)
+        if error is not None:
+            return error
+    backend = (ProcessPoolBackend(args.jobs)
+               if args.jobs is not None and args.jobs > 1 else None)
     suite = ExperimentSuite(
         base_seed=2000,
-        log=lambda message: print(f"  {message}", file=out, flush=True))
-    report = generate_experiments_report(suite)
+        log=lambda message: print(f"  {message}", file=out, flush=True),
+        backend=backend, store=store)
+    try:
+        report = generate_experiments_report(suite)
+        checks = shape_checks(suite)
+    finally:
+        if backend is not None:
+            backend.close()
+        if store is not None:
+            store.close()
     print(report, file=out)
-    checks = shape_checks(suite)
     held = sum(1 for check in checks if check.holds)
     if args.write_report:
         with open(args.write_report, "w", encoding="utf-8") as handle:

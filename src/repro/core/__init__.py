@@ -1,9 +1,12 @@
 """The DTS (Dependability Test Suite) core — the paper's contribution.
 
 Pipeline: a fault list (:mod:`faultlist`) enumerates the kernel32 fault
-space; the :mod:`campaign` drives the Figure-1 experiment flow, running
-each fault through :mod:`runner` with the :mod:`injector` armed; the
-:mod:`collector` classifies each run into Section 3's :mod:`outcomes`.
+space; :mod:`plan` turns it into a wave-scheduled task DAG; an
+execution backend (:mod:`exec`) runs each task through :mod:`runner`
+with the :mod:`injector` armed; the :mod:`collector` classifies each
+run into Section 3's :mod:`outcomes`; and :mod:`store` checkpoints
+completed runs for resume and cross-campaign caching.  The
+:mod:`campaign` facade drives the whole Figure-1 experiment flow.
 """
 
 from .campaign import (
@@ -13,6 +16,21 @@ from .campaign import (
     run_workload_set,
 )
 from .collector import RunResult, count_restarts
+from .exec import (
+    ExecutionBackend,
+    PlanExecution,
+    ProcessPoolBackend,
+    SerialBackend,
+    run_plan,
+)
+from .plan import CampaignPlan, RunTask, TaskKind, plan_campaign
+from .store import (
+    RunStore,
+    config_fingerprint,
+    fault_key_str,
+    run_result_from_dict,
+    run_result_to_dict,
+)
 from .config import DtsConfig
 from .faultlist import (
     dump_fault_list,
@@ -56,6 +74,20 @@ __all__ = [
     "profile_workload",
     "RunResult",
     "count_restarts",
+    "ExecutionBackend",
+    "SerialBackend",
+    "ProcessPoolBackend",
+    "PlanExecution",
+    "run_plan",
+    "CampaignPlan",
+    "RunTask",
+    "TaskKind",
+    "plan_campaign",
+    "RunStore",
+    "config_fingerprint",
+    "fault_key_str",
+    "run_result_to_dict",
+    "run_result_from_dict",
     "DtsConfig",
     "FaultSpec",
     "FaultType",

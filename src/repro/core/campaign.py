@@ -13,6 +13,13 @@ program is rerun for the next fault."*  A fault-free profiling run
 first discovers the called-function set (this is also how Table 1's
 counts are produced), and per-function activation is still verified
 during injection runs.
+
+:class:`Campaign` is a facade over three layers: :mod:`repro.core.plan`
+turns the fault list into a wave-scheduled task DAG (the activation
+shortcut becomes probe-gated waves), :mod:`repro.core.exec` dispatches
+it through a serial or process-pool backend, and
+:mod:`repro.core.store` checkpoints completed runs so campaigns resume
+and share results across figures.
 """
 
 from __future__ import annotations
@@ -20,10 +27,13 @@ from __future__ import annotations
 from typing import Callable, Optional, Sequence
 
 from .collector import RunResult
-from .faultlist import faults_by_function, generate_fault_list
+from .exec import ExecutionBackend, ProcessPoolBackend, SerialBackend, run_plan
+from .faultlist import generate_fault_list
 from .faults import DEFAULT_FAULT_TYPES, FaultSpec, FaultType
 from .outcomes import Outcome
+from .plan import plan_campaign
 from .runner import RunConfig, execute_run
+from .store import config_fingerprint
 from .workload import MiddlewareKind, WorkloadSpec, get_workload
 
 ProgressCallback = Callable[[int, int, Optional[RunResult]], None]
@@ -41,6 +51,10 @@ class WorkloadSetResult:
         self.skipped_functions: set[str] = set()
         self.called_functions: set[str] = set()
         self.profile_run: Optional[RunResult] = None
+        # Filled in by the campaign facade: how many runs were served
+        # from the store vs freshly executed.
+        self.cached_count = 0
+        self.executed_count = 0
 
     # ------------------------------------------------------------------
     @property
@@ -84,7 +98,14 @@ class WorkloadSetResult:
 
 
 class Campaign:
-    """Runs one workload set."""
+    """Runs one workload set.
+
+    ``backend`` selects the execution strategy (default
+    :class:`~repro.core.exec.SerialBackend`); ``jobs`` is a shorthand
+    that builds a :class:`~repro.core.exec.ProcessPoolBackend` owned by
+    this campaign.  ``store`` checkpoints completed runs for resume and
+    cross-campaign caching.
+    """
 
     def __init__(self, workload: WorkloadSpec | str,
                  middleware: MiddlewareKind = MiddlewareKind.NONE,
@@ -94,9 +115,14 @@ class Campaign:
                  config: Optional[RunConfig] = None,
                  profile_first: bool = True,
                  progress: Optional[ProgressCallback] = None,
-                 mechanism: str = "parameter"):
+                 mechanism: str = "parameter",
+                 backend: Optional[ExecutionBackend] = None,
+                 jobs: Optional[int] = None,
+                 store=None):
         if mechanism not in ("parameter", "return"):
             raise ValueError(f"unknown injection mechanism {mechanism!r}")
+        if backend is not None and jobs is not None:
+            raise ValueError("pass either backend or jobs, not both")
         self.workload = (get_workload(workload)
                          if isinstance(workload, str) else workload)
         self.middleware = middleware
@@ -107,64 +133,76 @@ class Campaign:
         self.profile_first = profile_first
         self.progress = progress
         self.mechanism = mechanism
+        self.backend = backend
+        self.jobs = jobs
+        self.store = store
+
+    # ------------------------------------------------------------------
+    def fault_list(self) -> list:
+        """The campaign's fault space (what the planner consumes)."""
+        if self.mechanism == "return":
+            from .return_injector import generate_return_fault_list
+
+            return generate_return_fault_list(
+                self.functions, self.fault_types, self.invocations)
+        return generate_fault_list(self.functions, self.fault_types,
+                                   self.invocations,
+                                   registry=self.workload.registry)
+
+    def plan(self):
+        """The wave-scheduled task DAG for this campaign."""
+        return plan_campaign(self.fault_list(),
+                             profile_first=self.profile_first)
+
+    def fingerprint(self) -> str:
+        """The store key prefix for this campaign's configuration."""
+        return config_fingerprint(self.workload.name, self.middleware,
+                                  self.config, self.mechanism)
 
     # ------------------------------------------------------------------
     def run(self) -> WorkloadSetResult:
         result = WorkloadSetResult(self.workload.name, self.middleware,
                                    self.config.watchd_version)
-        if self.mechanism == "return":
-            from .return_injector import generate_return_fault_list
+        backend = self.backend
+        owns_backend = backend is None
+        if backend is None:
+            backend = (ProcessPoolBackend(self.jobs)
+                       if self.jobs is not None and self.jobs > 1
+                       else SerialBackend())
+        try:
+            execution = run_plan(
+                self.plan(), self.workload, self.middleware, self.config,
+                backend=backend, store=self.store, progress=self.progress,
+                fingerprint=self.fingerprint() if self.store else None,
+                mechanism=self.mechanism)
+        finally:
+            if owns_backend:
+                backend.close()
 
-            faults = generate_return_fault_list(
-                self.functions, self.fault_types, self.invocations)
-        else:
-            faults = generate_fault_list(self.functions, self.fault_types,
-                                         self.invocations,
-                                         registry=self.workload.registry)
-        grouped = faults_by_function(faults)
-
-        if self.profile_first:
-            result.profile_run = execute_run(
-                self.workload, self.middleware, fault=None, config=self.config)
-            result.called_functions = set(result.profile_run.called_functions)
-            candidates = {
-                name: fault_group for name, fault_group in grouped.items()
-                if name in result.called_functions
-            }
-            result.skipped_functions = set(grouped) - set(candidates)
-        else:
-            candidates = grouped
-
-        total = sum(len(group) for group in candidates.values())
-        done = 0
-        for function_name, fault_group in candidates.items():
-            for fault in fault_group:
-                run = execute_run(self.workload, self.middleware, fault,
-                                  config=self.config)
-                result.runs.append(run)
-                result.called_functions |= run.called_functions
-                done += 1
-                if self.progress is not None:
-                    self.progress(done, total, run)
-                if not run.activated:
-                    # The paper's shortcut: a fault that was not
-                    # activated means the function was not called; skip
-                    # the function's remaining faults.
-                    skipped = len(fault_group) - fault_group.index(fault) - 1
-                    done += skipped
-                    result.skipped_functions.add(function_name)
-                    break
+        result.profile_run = execution.profile_run
+        result.runs = execution.runs
+        result.skipped_functions = execution.skipped_functions
+        result.cached_count = execution.cached_count
+        result.executed_count = execution.executed_count
+        if result.profile_run is not None:
+            result.called_functions = set(
+                result.profile_run.called_functions)
+        for run in result.runs:
+            result.called_functions |= run.called_functions
         return result
 
 
 def run_workload_set(workload_name: str, middleware: MiddlewareKind,
                      config: Optional[RunConfig] = None,
                      functions: Optional[Sequence[str]] = None,
-                     progress: Optional[ProgressCallback] = None
-                     ) -> WorkloadSetResult:
+                     progress: Optional[ProgressCallback] = None,
+                     backend: Optional[ExecutionBackend] = None,
+                     jobs: Optional[int] = None,
+                     store=None) -> WorkloadSetResult:
     """Convenience wrapper: one workload set with defaults."""
     campaign = Campaign(workload_name, middleware, functions=functions,
-                        config=config, progress=progress)
+                        config=config, progress=progress, backend=backend,
+                        jobs=jobs, store=store)
     return campaign.run()
 
 

@@ -20,6 +20,10 @@ workload parameters."*  This is that file, in INI form::
 
     [machine]
     cpu_mhz = 100
+
+    [execution]
+    jobs = 4
+    store = runs.jsonl
 """
 
 from __future__ import annotations
@@ -47,7 +51,9 @@ class DtsConfig:
                  client_timeout: float = DEFAULT_CLIENT_TIMEOUT,
                  reply_timeout: float = 15.0,
                  retry_wait: float = 15.0,
-                 cpu_mhz: int = 100):
+                 cpu_mhz: int = 100,
+                 jobs: int = 1,
+                 store: Optional[str] = None):
         self.workload = workload
         self.middleware = middleware
         self.watchd_version = watchd_version
@@ -58,6 +64,8 @@ class DtsConfig:
         self.reply_timeout = reply_timeout
         self.retry_wait = retry_wait
         self.cpu_mhz = cpu_mhz
+        self.jobs = jobs
+        self.store = store
 
     # ------------------------------------------------------------------
     def workload_spec(self) -> WorkloadSpec:
@@ -80,6 +88,8 @@ class DtsConfig:
         dts = parser["dts"] if parser.has_section("dts") else {}
         timeouts = parser["timeouts"] if parser.has_section("timeouts") else {}
         machine = parser["machine"] if parser.has_section("machine") else {}
+        execution = (parser["execution"]
+                     if parser.has_section("execution") else {})
         middleware = MiddlewareKind(dts.get("middleware", "none").lower())
         return cls(
             workload=dts.get("workload", "Apache1"),
@@ -94,6 +104,8 @@ class DtsConfig:
             reply_timeout=float(timeouts.get("reply", 15.0)),
             retry_wait=float(timeouts.get("retry_wait", 15.0)),
             cpu_mhz=int(machine.get("cpu_mhz", 100)),
+            jobs=int(execution.get("jobs", 1)),
+            store=execution.get("store") or None,
         )
 
     @classmethod
@@ -116,6 +128,9 @@ class DtsConfig:
             f"retry_wait = {self.retry_wait:g}\n"
             "\n[machine]\n"
             f"cpu_mhz = {self.cpu_mhz}\n"
+            "\n[execution]\n"
+            f"jobs = {self.jobs}\n"
+            f"store = {self.store or ''}\n"
         )
 
     def __repr__(self) -> str:

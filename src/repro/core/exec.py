@@ -1,0 +1,267 @@
+"""Pluggable execution backends and the wave scheduler.
+
+A backend executes batches of :class:`~repro.core.plan.RunTask`\\ s;
+the scheduler (:func:`run_plan`) walks a :class:`CampaignPlan` wave by
+wave, consults the optional :class:`~repro.core.store.RunStore` for
+already-checkpointed runs, applies the activation gates, and hands
+every completed run back in canonical fault-list order.
+
+**Determinism contract.**  Each run boots a fresh simulated machine
+seeded from ``(base seed, workload, middleware, fault key)`` and shares
+no state with any other run, so campaigns are embarrassingly parallel
+per run: :class:`ProcessPoolBackend` results are bit-identical to
+:class:`SerialBackend` results, whatever the worker count or completion
+order.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import multiprocessing
+import os
+from typing import Callable, Optional, Sequence
+
+from .collector import RunResult
+from .plan import CampaignPlan, RunTask, TaskKind
+from .runner import RunConfig, execute_run
+from .store import config_fingerprint
+from .workload import MiddlewareKind, WorkloadSpec, get_workload
+
+OnResult = Callable[[RunTask, RunResult], None]
+
+
+class ExecutionBackend:
+    """Executes batches of run tasks; results align with the batch."""
+
+    def run_tasks(self, tasks: Sequence[RunTask], workload: WorkloadSpec,
+                  middleware: MiddlewareKind, config: RunConfig,
+                  on_result: Optional[OnResult] = None) -> list[RunResult]:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release worker resources (no-op for in-process backends)."""
+
+    def __enter__(self) -> "ExecutionBackend":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class SerialBackend(ExecutionBackend):
+    """In-process, one run at a time — the reference implementation."""
+
+    def run_tasks(self, tasks, workload, middleware, config,
+                  on_result=None) -> list[RunResult]:
+        results = []
+        for task in tasks:
+            run = execute_run(workload, middleware, task.fault, config)
+            if on_result is not None:
+                on_result(task, run)
+            results.append(run)
+        return results
+
+    def __repr__(self) -> str:
+        return "<SerialBackend>"
+
+
+def _run_chunk(workload_name: str, middleware_value: str,
+               faults: list, config: RunConfig) -> list[RunResult]:
+    """Worker body: execute one chunk of faults in a pool process."""
+    workload = get_workload(workload_name)
+    middleware = MiddlewareKind(middleware_value)
+    return [execute_run(workload, middleware, fault, config)
+            for fault in faults]
+
+
+class ProcessPoolBackend(ExecutionBackend):
+    """Dispatches runs across a ``concurrent.futures`` process pool.
+
+    Tasks are submitted in chunks (one IPC round-trip per chunk, not
+    per run) and results are collected in submission order, so the
+    caller sees the same sequence a serial backend would produce.
+
+    Workloads cross the process boundary *by name*: workers resolve
+    them from the registry, which the fork start method copies from the
+    parent — plugin workloads registered before the first dispatch are
+    therefore fully supported on POSIX platforms.
+    """
+
+    def __init__(self, jobs: Optional[int] = None,
+                 chunk_size: Optional[int] = None):
+        self.jobs = jobs if jobs is not None else (os.cpu_count() or 1)
+        if self.jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {self.jobs}")
+        self.chunk_size = chunk_size
+        self._pool = None
+
+    # ------------------------------------------------------------------
+    def _ensure_pool(self) -> concurrent.futures.ProcessPoolExecutor:
+        if self._pool is None:
+            context = None
+            if "fork" in multiprocessing.get_all_start_methods():
+                context = multiprocessing.get_context("fork")
+            self._pool = concurrent.futures.ProcessPoolExecutor(
+                max_workers=self.jobs, mp_context=context)
+        return self._pool
+
+    def _chunks(self, tasks: Sequence[RunTask]) -> list[list[RunTask]]:
+        size = self.chunk_size
+        if size is None:
+            # Aim for a few chunks per worker so stragglers rebalance.
+            size = max(1, len(tasks) // (self.jobs * 4) + 1)
+        return [list(tasks[start:start + size])
+                for start in range(0, len(tasks), size)]
+
+    def run_tasks(self, tasks, workload, middleware, config,
+                  on_result=None) -> list[RunResult]:
+        if not tasks:
+            return []
+        pool = self._ensure_pool()
+        chunks = self._chunks(tasks)
+        futures = [
+            pool.submit(_run_chunk, workload.name, middleware.value,
+                        [task.fault for task in chunk], config)
+            for chunk in chunks
+        ]
+        results: list[RunResult] = []
+        for chunk, future in zip(chunks, futures):
+            runs = future.result()
+            for task, run in zip(chunk, runs):
+                if on_result is not None:
+                    on_result(task, run)
+                results.append(run)
+        return results
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def __repr__(self) -> str:
+        return f"<ProcessPoolBackend jobs={self.jobs}>"
+
+
+# ----------------------------------------------------------------------
+# Progress guarding
+# ----------------------------------------------------------------------
+class SafeProgress:
+    """Shields the campaign from exceptions in user progress code.
+
+    The first exception disables further reporting; the campaign grid
+    itself is never aborted by a broken progress bar.
+    """
+
+    def __init__(self, callback):
+        self._callback = callback
+        self.broken = callback is None
+
+    def __call__(self, done: int, total: int,
+                 run: Optional[RunResult]) -> None:
+        if self.broken:
+            return
+        try:
+            self._callback(done, total, run)
+        except Exception:
+            self.broken = True
+
+
+# ----------------------------------------------------------------------
+# The scheduler
+# ----------------------------------------------------------------------
+class PlanExecution:
+    """What :func:`run_plan` hands back to the campaign facade."""
+
+    __slots__ = ("profile_run", "runs", "skipped_functions",
+                 "total", "executed_count", "cached_count")
+
+    def __init__(self):
+        self.profile_run: Optional[RunResult] = None
+        self.runs: list[RunResult] = []
+        self.skipped_functions: set[str] = set()
+        self.total = 0
+        self.executed_count = 0
+        self.cached_count = 0
+
+
+def run_plan(plan: CampaignPlan, workload: WorkloadSpec,
+             middleware: MiddlewareKind, config: RunConfig,
+             backend: Optional[ExecutionBackend] = None,
+             store=None, progress=None,
+             fingerprint: Optional[str] = None,
+             mechanism: str = "parameter") -> PlanExecution:
+    """Execute a campaign plan wave by wave.
+
+    Completed runs are checkpointed to ``store`` (when given) before
+    the progress callback fires, so an interrupt never loses a finished
+    run; runs already present in the store are served from it and not
+    re-executed.
+    """
+    backend = backend or SerialBackend()
+    if store is not None and fingerprint is None:
+        fingerprint = config_fingerprint(workload.name, middleware, config,
+                                         mechanism)
+    execution = PlanExecution()
+    safe_progress = SafeProgress(progress)
+    results: dict[str, RunResult] = {}
+    state = {"done": 0}
+
+    def dispatch(tasks: Sequence[RunTask], count: bool) -> None:
+        pending = []
+        for task in tasks:
+            cached = (store.get(fingerprint, task.fault)
+                      if store is not None else None)
+            if cached is not None:
+                results[task.task_id] = cached
+                execution.cached_count += 1
+                if count:
+                    state["done"] += 1
+                    safe_progress(state["done"], execution.total, cached)
+            else:
+                pending.append(task)
+
+        def record(task: RunTask, run: RunResult) -> None:
+            if store is not None:
+                store.put(fingerprint, task.fault, run)
+            results[task.task_id] = run
+            execution.executed_count += 1
+            if count:
+                state["done"] += 1
+                safe_progress(state["done"], execution.total, run)
+
+        backend.run_tasks(pending, workload, middleware, config,
+                          on_result=record)
+
+    # --- Wave 0: the fault-free profiling run --------------------------
+    eligible = list(plan.functions)
+    if plan.profile_task is not None:
+        dispatch([plan.profile_task], count=False)
+        execution.profile_run = results[plan.profile_task.task_id]
+        called = set(execution.profile_run.called_functions)
+        eligible = [name for name in plan.functions if name in called]
+        execution.skipped_functions = set(plan.functions) - set(eligible)
+
+    execution.total = sum(1 + len(plan.releases[name])
+                          for name in eligible)
+
+    # --- Wave 1: probes (one fault per function) -----------------------
+    dispatch([plan.probes[name] for name in eligible], count=True)
+
+    # --- Activation gate: release the rest of each activated function --
+    released = []
+    for name in eligible:
+        probe_run = results[plan.probes[name].task_id]
+        if probe_run.activated:
+            released.extend(plan.releases[name])
+        else:
+            # The paper's shortcut: the function is not called, so its
+            # remaining faults would not activate either.
+            execution.skipped_functions.add(name)
+            state["done"] += len(plan.releases[name])
+
+    # --- Wave 2: released faults ---------------------------------------
+    dispatch(released, count=True)
+
+    execution.runs = [results[task.task_id] for task in plan.tasks
+                      if task.task_id in results]
+    return execution

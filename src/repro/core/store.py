@@ -1,0 +1,247 @@
+"""The reducer / run store: checkpointed, resumable campaign results.
+
+Every completed run is appended to a JSONL file keyed by
+``(config fingerprint, fault key)``.  The fingerprint digests every
+parameter that influences a run's behaviour (workload, middleware,
+seeds, timeouts, mechanism, …), so a store can safely be shared across
+campaigns: re-running Figure 3 after Figure 2 finds every overlapping
+run already present and re-executes nothing, and a campaign killed
+mid-grid resumes from the last checkpointed run.
+
+Because each line is flushed as soon as its run completes, a store
+interrupted mid-write loses at most the in-flight line; malformed
+trailing lines are skipped on load.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Optional, Union
+
+from ..clients.record import AttemptResult, ClientRecord, RequestRecord
+from .collector import RunResult
+from .faults import FaultSpec, FaultType
+from .outcomes import FailureMode, Outcome
+from .return_injector import ReturnFaultSpec
+from .runner import RunConfig
+from .workload import MiddlewareKind
+
+# Bumped whenever the serialized shape changes; stale stores miss.
+STORE_FORMAT = 1
+
+PROFILE_KEY = "profile"
+
+
+# ----------------------------------------------------------------------
+# Fault keys and serialization
+# ----------------------------------------------------------------------
+def fault_key_str(fault) -> str:
+    """Canonical store key for a fault (``profile`` for fault-free)."""
+    if fault is None:
+        return PROFILE_KEY
+    if isinstance(fault, ReturnFaultSpec):
+        return (f"return:{fault.function}:{fault.fault_type.value}"
+                f":{fault.invocation}")
+    return (f"param:{fault.function}:{fault.param_index}"
+            f":{fault.fault_type.value}:{fault.invocation}")
+
+
+def fault_to_dict(fault) -> Optional[dict]:
+    if fault is None:
+        return None
+    if isinstance(fault, ReturnFaultSpec):
+        return {"mechanism": "return", "function": fault.function,
+                "fault_type": fault.fault_type.value,
+                "invocation": fault.invocation}
+    return {"mechanism": "parameter", "function": fault.function,
+            "param_index": fault.param_index,
+            "fault_type": fault.fault_type.value,
+            "invocation": fault.invocation}
+
+
+def fault_from_dict(data: Optional[dict]):
+    if data is None:
+        return None
+    fault_type = FaultType(data["fault_type"])
+    if data["mechanism"] == "return":
+        return ReturnFaultSpec(data["function"], fault_type,
+                               data["invocation"])
+    return FaultSpec(data["function"], data["param_index"], fault_type,
+                     data["invocation"])
+
+
+def client_record_to_dict(record: ClientRecord) -> dict:
+    return {
+        "started_at": record.started_at,
+        "finished_at": record.finished_at,
+        "requests": [
+            {"description": request.description,
+             "succeeded": request.succeeded,
+             "attempts": [attempt.value for attempt in request.attempts]}
+            for request in record.requests
+        ],
+    }
+
+
+def client_record_from_dict(data: dict) -> ClientRecord:
+    record = ClientRecord()
+    record.started_at = data["started_at"]
+    record.finished_at = data["finished_at"]
+    for entry in data["requests"]:
+        request = RequestRecord(entry["description"])
+        request.succeeded = entry["succeeded"]
+        request.attempts = [AttemptResult(value)
+                            for value in entry["attempts"]]
+        record.requests.append(request)
+    return record
+
+
+def run_result_to_dict(result: RunResult) -> dict:
+    """A :class:`RunResult` as plain JSON-serializable data."""
+    return {
+        "workload": result.workload_name,
+        "middleware": result.middleware.value,
+        "fault": fault_to_dict(result.fault),
+        "activated": result.activated,
+        "activated_as_noop": result.activated_as_noop,
+        "outcome": result.outcome.value,
+        "failure_mode": result.failure_mode.value,
+        "response_time": result.response_time,
+        "restarts_detected": result.restarts_detected,
+        "retries_used": result.retries_used,
+        "server_came_up": result.server_came_up,
+        "called_functions": sorted(result.called_functions),
+        "client_record": client_record_to_dict(result.client_record),
+        "watchd_version": result.watchd_version,
+    }
+
+
+def run_result_from_dict(data: dict) -> RunResult:
+    return RunResult(
+        workload_name=data["workload"],
+        middleware=MiddlewareKind(data["middleware"]),
+        fault=fault_from_dict(data["fault"]),
+        activated=data["activated"],
+        activated_as_noop=data["activated_as_noop"],
+        outcome=Outcome(data["outcome"]),
+        failure_mode=FailureMode(data["failure_mode"]),
+        response_time=data["response_time"],
+        restarts_detected=data["restarts_detected"],
+        retries_used=data["retries_used"],
+        server_came_up=data["server_came_up"],
+        called_functions=set(data["called_functions"]),
+        client_record=client_record_from_dict(data["client_record"]),
+        watchd_version=data["watchd_version"],
+    )
+
+
+# ----------------------------------------------------------------------
+# Config fingerprint
+# ----------------------------------------------------------------------
+def config_fingerprint(workload_name: str, middleware: MiddlewareKind,
+                       config: RunConfig,
+                       mechanism: str = "parameter") -> str:
+    """Digest of everything that determines a run's behaviour.
+
+    Two campaigns with the same fingerprint produce bit-identical
+    results for the same fault key, so their runs are interchangeable.
+    """
+    payload = {
+        "format": STORE_FORMAT,
+        "workload": workload_name,
+        "middleware": middleware.value,
+        "mechanism": mechanism,
+        "base_seed": config.base_seed,
+        "server_up_timeout": config.server_up_timeout,
+        "client_timeout": config.client_timeout,
+        "watchd_version": config.watchd_version,
+        "cpu_mhz": config.cpu_mhz,
+        "keep_full_trace": config.keep_full_trace,
+        "scm_lock_enabled": config.scm_lock_enabled,
+    }
+    digest = hashlib.sha256(
+        json.dumps(payload, sort_keys=True).encode("ascii"))
+    return digest.hexdigest()[:16]
+
+
+# ----------------------------------------------------------------------
+# The JSONL store
+# ----------------------------------------------------------------------
+class RunStore:
+    """Append-only JSONL store of completed runs, indexed in memory.
+
+    One line per run::
+
+        {"fp": "<fingerprint>", "key": "<fault key>", "run": {...}}
+
+    ``get`` deserializes lazily so loading a large store stays cheap.
+    """
+
+    def __init__(self, path: Union[str, Path]):
+        self.path = Path(path)
+        self._index: dict[tuple[str, str], dict] = {}
+        self._handle = None
+        self._load()
+
+    # ------------------------------------------------------------------
+    def _load(self) -> None:
+        if not self.path.exists():
+            return
+        with open(self.path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entry = json.loads(line)
+                except ValueError:
+                    # A kill mid-write leaves a truncated final line.
+                    continue
+                self._index[(entry["fp"], entry["key"])] = entry["run"]
+
+    # ------------------------------------------------------------------
+    def get(self, fingerprint: str, fault) -> Optional[RunResult]:
+        """The checkpointed result for (fingerprint, fault), if any.
+
+        ``fault`` may be a spec object, ``None`` (the profiling run) or
+        an already-built key string.
+        """
+        key = fault if isinstance(fault, str) else fault_key_str(fault)
+        data = self._index.get((fingerprint, key))
+        if data is None:
+            return None
+        return run_result_from_dict(data)
+
+    def put(self, fingerprint: str, fault, result: RunResult) -> None:
+        """Checkpoint one completed run (flushed immediately)."""
+        key = fault if isinstance(fault, str) else fault_key_str(fault)
+        data = run_result_to_dict(result)
+        self._index[(fingerprint, key)] = data
+        if self._handle is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = open(self.path, "a", encoding="utf-8")
+        self._handle.write(json.dumps({"fp": fingerprint, "key": key,
+                                       "run": data}) + "\n")
+        self._handle.flush()
+
+    def __contains__(self, key: tuple[str, str]) -> bool:
+        return key in self._index
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "RunStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"<RunStore {self.path} entries={len(self._index)}>"

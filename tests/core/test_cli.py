@@ -77,6 +77,68 @@ class TestRun:
         assert "activated faults : 3" in text
 
 
+class TestRunExecutionOptions:
+    def _config_path(self, tmp_path):
+        from repro.core.config import DtsConfig
+
+        path = tmp_path / "dts.ini"
+        path.write_text(DtsConfig(workload="IIS").to_text())
+        return str(path)
+
+    def test_progress_line_reports_throughput_and_eta(self, tmp_path):
+        code, text = _run(["run", "--config", self._config_path(tmp_path),
+                           "--functions", "SetErrorMode,GetACP"])
+        assert code == 0
+        assert "runs/s" in text
+        assert "ETA" in text
+
+    def test_jobs_option_matches_serial_outcomes(self, tmp_path):
+        config = self._config_path(tmp_path)
+        argv = ["run", "--config", config,
+                "--functions", "SetErrorMode,CreateEventA"]
+        code_serial, text_serial = _run(argv)
+        code_pool, text_pool = _run(argv + ["--jobs", "2"])
+        assert code_serial == code_pool == 0
+        # Identical outcome distribution and summary lines.
+        assert text_serial.splitlines()[-3:] == text_pool.splitlines()[-3:]
+
+    def test_store_checkpoint_and_resume(self, tmp_path):
+        config = self._config_path(tmp_path)
+        store = str(tmp_path / "runs.jsonl")
+        argv = ["run", "--config", config, "--functions", "SetErrorMode",
+                "--store", store]
+        code, text = _run(argv)
+        assert code == 0
+        assert "0 cached" in text
+
+        # Without --resume an existing store is refused, not reused.
+        code, text = _run(argv)
+        assert code == 2
+        assert "--resume" in text
+
+        code, text = _run(argv + ["--resume"])
+        assert code == 0
+        assert "0 executed" in text
+
+    def test_resume_without_store_rejected(self, tmp_path):
+        code, text = _run(["run", "--config", self._config_path(tmp_path),
+                           "--functions", "SetErrorMode", "--resume"])
+        assert code == 2
+        assert "run store" in text
+
+    def test_execution_section_supplies_defaults(self, tmp_path):
+        from repro.core.config import DtsConfig
+
+        store = tmp_path / "cfg-runs.jsonl"
+        config = DtsConfig(workload="IIS", jobs=1, store=str(store))
+        path = tmp_path / "dts.ini"
+        path.write_text(config.to_text())
+        code, text = _run(["run", "--config", str(path),
+                           "--functions", "SetErrorMode"])
+        assert code == 0
+        assert store.exists()
+
+
 def test_unknown_command_rejected():
     with pytest.raises(SystemExit):
         _run(["explode"])

@@ -59,6 +59,31 @@ def test_workload_spec_resolution():
         DtsConfig(workload="Netscape").workload_spec()
 
 
+def test_execution_defaults():
+    config = DtsConfig()
+    assert config.jobs == 1
+    assert config.store is None
+
+
+def test_execution_section_roundtrip():
+    original = DtsConfig(workload="IIS", jobs=4, store="runs.jsonl")
+    parsed = DtsConfig.from_text(original.to_text())
+    assert parsed.jobs == 4
+    assert parsed.store == "runs.jsonl"
+
+
+def test_missing_execution_section_uses_defaults():
+    config = DtsConfig.from_text("[dts]\nworkload = IIS\n")
+    assert config.jobs == 1
+    assert config.store is None
+
+
+def test_empty_store_value_means_none():
+    config = DtsConfig.from_text("[execution]\njobs = 2\nstore =\n")
+    assert config.jobs == 2
+    assert config.store is None
+
+
 def test_bad_middleware_rejected():
     with pytest.raises(ValueError):
         DtsConfig.from_text("[dts]\nmiddleware = chaosmonkey\n")

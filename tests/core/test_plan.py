@@ -1,0 +1,90 @@
+"""Tests for the campaign planner (the wave-scheduled task DAG)."""
+
+from repro.core.faultlist import generate_fault_list
+from repro.core.faults import FaultSpec, FaultType
+from repro.core.plan import (
+    PROFILE_TASK_ID,
+    TaskKind,
+    plan_campaign,
+)
+
+
+def _faults():
+    # ReadFile: 5 params x 3 types; SetEvent: 1 param x 3 types.
+    return generate_fault_list(["ReadFile", "SetEvent"])
+
+
+def test_probe_release_structure():
+    faults = _faults()
+    plan = plan_campaign(faults)
+    assert plan.injection_count == 18
+    assert plan.functions == ("ReadFile", "SetEvent")
+    probe = plan.probes["ReadFile"]
+    assert probe.kind is TaskKind.PROBE
+    assert probe.fault == faults[0]
+    assert len(plan.releases["ReadFile"]) == 14
+    assert len(plan.releases["SetEvent"]) == 2
+
+
+def test_releases_depend_on_their_probe():
+    plan = plan_campaign(_faults())
+    for function in plan.functions:
+        probe = plan.probes[function]
+        for task in plan.releases[function]:
+            assert task.kind is TaskKind.RELEASE
+            assert task.deps == (probe.task_id,)
+
+
+def test_profile_gates_probes():
+    plan = plan_campaign(_faults(), profile_first=True)
+    assert plan.profile_task is not None
+    assert plan.profile_task.task_id == PROFILE_TASK_ID
+    assert plan.profile_task.fault is None
+    for function in plan.functions:
+        assert plan.probes[function].deps == (PROFILE_TASK_ID,)
+
+
+def test_no_profile_means_ungated_probes():
+    plan = plan_campaign(_faults(), profile_first=False)
+    assert plan.profile_task is None
+    for function in plan.functions:
+        assert plan.probes[function].deps == ()
+
+
+def test_wave_schedule_shape():
+    plan = plan_campaign(_faults())
+    waves = list(plan.waves())
+    assert [task.kind for task in waves[0]] == [TaskKind.PROFILE]
+    assert all(task.kind is TaskKind.PROBE for task in waves[1])
+    assert all(task.kind is TaskKind.RELEASE for task in waves[2])
+    assert len(waves[1]) == 2
+    assert len(waves[2]) == 16
+
+
+def test_canonical_order_matches_fault_list():
+    faults = _faults()
+    plan = plan_campaign(faults)
+    ordered = sorted(plan.tasks, key=lambda task: task.order)
+    assert [task.fault for task in ordered] == faults
+
+
+def test_duplicate_equal_faults_stay_distinct_tasks():
+    # Regression for the old list.index() accounting: two faults that
+    # compare equal must still be two schedulable tasks.
+    fault = FaultSpec("SetEvent", 0, FaultType.ZERO)
+    twin = FaultSpec("SetEvent", 0, FaultType.ZERO)
+    other = FaultSpec("SetEvent", 0, FaultType.ONES)
+    plan = plan_campaign([fault, twin, other])
+    assert plan.injection_count == 3
+    assert len(plan.releases["SetEvent"]) == 2
+    task_ids = [task.task_id for task in plan.tasks]
+    assert len(set(task_ids)) == 3
+
+
+def test_return_fault_specs_plan_too():
+    from repro.core.return_injector import generate_return_fault_list
+
+    faults = generate_return_fault_list(["GetACP", "SetEvent"])
+    plan = plan_campaign(faults)
+    assert plan.injection_count == 6
+    assert set(plan.functions) == {"GetACP", "SetEvent"}

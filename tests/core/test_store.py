@@ -1,0 +1,295 @@
+"""Tests for the run store: serialization, checkpointing, resume.
+
+``RunResult`` JSON round-trips are exercised both on synthetic results
+covering every outcome class and on real results from a tiny campaign
+against the Echo plugin workload (the ``examples/custom_workload.py``
+server).
+"""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.clients.record import AttemptResult, ClientRecord, RequestRecord
+from repro.core.campaign import Campaign
+from repro.core.collector import RunResult
+from repro.core.exec import SerialBackend
+from repro.core.faults import FaultSpec, FaultType
+from repro.core.outcomes import FailureMode, Outcome
+from repro.core.return_injector import ReturnFaultSpec
+from repro.core.runner import RunConfig
+from repro.core.store import (
+    RunStore,
+    config_fingerprint,
+    fault_key_str,
+    fault_from_dict,
+    fault_to_dict,
+    run_result_from_dict,
+    run_result_to_dict,
+)
+from repro.core.workload import (
+    MiddlewareKind,
+    register_workload,
+    unregister_workload,
+)
+
+
+# ----------------------------------------------------------------------
+# Fault keys and fault serialization
+# ----------------------------------------------------------------------
+def test_fault_key_strings():
+    fault = FaultSpec("ReadFile", 2, FaultType.ZERO, 1)
+    assert fault_key_str(fault) == "param:ReadFile:2:zero:1"
+    assert fault_key_str(ReturnFaultSpec("GetACP", FaultType.FLIP, 2)) == \
+        "return:GetACP:flip:2"
+    assert fault_key_str(None) == "profile"
+
+
+@pytest.mark.parametrize("fault", [
+    None,
+    FaultSpec("CreateFileA", 0, FaultType.ONES, 2),
+    ReturnFaultSpec("GetVersion", FaultType.ZERO, 1),
+])
+def test_fault_dict_roundtrip(fault):
+    data = fault_to_dict(fault)
+    if fault is None:
+        assert data is None
+    else:
+        data = json.loads(json.dumps(data))
+    assert fault_from_dict(data) == fault
+
+
+# ----------------------------------------------------------------------
+# RunResult serialization — one synthetic result per outcome class
+# ----------------------------------------------------------------------
+def _synthetic_result(outcome: Outcome) -> RunResult:
+    record = ClientRecord()
+    record.started_at = 0.0
+    record.finished_at = 21.5 if outcome is not Outcome.FAILURE else None
+    request = RequestRecord("GET /index.html")
+    if outcome is Outcome.FAILURE:
+        request.attempts = [AttemptResult.TIMEOUT, AttemptResult.RESET,
+                            AttemptResult.REFUSED]
+    elif outcome.involves_retry:
+        request.attempts = [AttemptResult.RESET, AttemptResult.OK]
+        request.succeeded = True
+    else:
+        request.attempts = [AttemptResult.OK]
+        request.succeeded = True
+    record.requests.append(request)
+    restarts = 2 if outcome.involves_restart else 0
+    return RunResult(
+        workload_name="IIS", middleware=MiddlewareKind.WATCHD,
+        fault=FaultSpec("ReadFile", 2, FaultType.ZERO),
+        activated=True, activated_as_noop=False,
+        outcome=outcome,
+        failure_mode=(FailureMode.NO_RESPONSE
+                      if outcome is Outcome.FAILURE else FailureMode.NONE),
+        response_time=record.finished_at,
+        restarts_detected=restarts,
+        retries_used=request.retries_used,
+        server_came_up=True,
+        called_functions={"ReadFile", "CreateFileA", "CloseHandle"},
+        client_record=record, watchd_version=3)
+
+
+def _assert_equivalent(original: RunResult, restored: RunResult) -> None:
+    assert restored.workload_name == original.workload_name
+    assert restored.middleware is original.middleware
+    assert restored.fault == original.fault
+    assert restored.activated == original.activated
+    assert restored.activated_as_noop == original.activated_as_noop
+    assert restored.outcome is original.outcome
+    assert restored.failure_mode is original.failure_mode
+    assert restored.response_time == original.response_time
+    assert restored.restarts_detected == original.restarts_detected
+    assert restored.retries_used == original.retries_used
+    assert restored.server_came_up == original.server_came_up
+    assert restored.called_functions == original.called_functions
+    assert restored.watchd_version == original.watchd_version
+    assert restored.counts_for_statistics == original.counts_for_statistics
+    theirs, ours = restored.client_record, original.client_record
+    assert theirs.started_at == ours.started_at
+    assert theirs.finished_at == ours.finished_at
+    assert theirs.completed == ours.completed
+    assert theirs.all_succeeded == ours.all_succeeded
+    assert theirs.total_retries == ours.total_retries
+    assert theirs.any_response_received == ours.any_response_received
+    assert [(r.description, r.succeeded, r.attempts)
+            for r in theirs.requests] == \
+        [(r.description, r.succeeded, r.attempts) for r in ours.requests]
+
+
+@pytest.mark.parametrize("outcome", list(Outcome),
+                         ids=[o.value for o in Outcome])
+def test_roundtrip_preserves_every_outcome_class(outcome):
+    original = _synthetic_result(outcome)
+    payload = json.loads(json.dumps(run_result_to_dict(original)))
+    _assert_equivalent(original, run_result_from_dict(payload))
+
+
+# ----------------------------------------------------------------------
+# RunResult serialization — real results from an Echo campaign
+# ----------------------------------------------------------------------
+def _load_echo_workload():
+    path = Path(__file__).resolve().parents[2] / "examples" / \
+        "custom_workload.py"
+    spec = importlib.util.spec_from_file_location("custom_workload", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module.ECHO
+
+
+@pytest.fixture
+def echo_workload():
+    workload = register_workload(_load_echo_workload())
+    yield workload
+    unregister_workload("Echo")
+
+
+def test_roundtrip_on_real_echo_campaign(echo_workload):
+    result = Campaign("Echo", MiddlewareKind.WATCHD,
+                      functions=["GetVersion", "CreateFileA", "ReadFile"],
+                      config=RunConfig(base_seed=5)).run()
+    assert result.runs
+    observed = set()
+    for run in [result.profile_run, *result.runs]:
+        payload = json.loads(json.dumps(run_result_to_dict(run)))
+        _assert_equivalent(run, run_result_from_dict(payload))
+        observed.add(run.outcome)
+    # The tiny campaign really exercises distinct outcome classes.
+    assert Outcome.NORMAL_SUCCESS in observed
+    assert len(observed) >= 2
+
+
+# ----------------------------------------------------------------------
+# Config fingerprints
+# ----------------------------------------------------------------------
+def test_fingerprint_stable_and_sensitive():
+    config = RunConfig(base_seed=2000)
+    base = config_fingerprint("IIS", MiddlewareKind.NONE, config)
+    assert base == config_fingerprint("IIS", MiddlewareKind.NONE, config)
+    assert base != config_fingerprint("SQL", MiddlewareKind.NONE, config)
+    assert base != config_fingerprint("IIS", MiddlewareKind.WATCHD, config)
+    assert base != config_fingerprint("IIS", MiddlewareKind.NONE,
+                                      RunConfig(base_seed=2001))
+    assert base != config_fingerprint("IIS", MiddlewareKind.NONE, config,
+                                      mechanism="return")
+    assert base != config_fingerprint(
+        "IIS", MiddlewareKind.NONE, RunConfig(base_seed=2000,
+                                              watchd_version=2))
+
+
+# ----------------------------------------------------------------------
+# The JSONL store
+# ----------------------------------------------------------------------
+def test_store_persists_across_reopen(tmp_path):
+    path = tmp_path / "runs.jsonl"
+    original = _synthetic_result(Outcome.RESTART_SUCCESS)
+    fingerprint = "abcd" * 4
+    with RunStore(path) as store:
+        store.put(fingerprint, original.fault, original)
+        assert len(store) == 1
+    with RunStore(path) as reopened:
+        restored = reopened.get(fingerprint, original.fault)
+        assert restored is not None
+        _assert_equivalent(original, restored)
+        assert reopened.get("other" * 4, original.fault) is None
+
+
+def test_store_tolerates_truncated_tail(tmp_path):
+    path = tmp_path / "runs.jsonl"
+    original = _synthetic_result(Outcome.NORMAL_SUCCESS)
+    with RunStore(path) as store:
+        store.put("fp", original.fault, original)
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write('{"fp": "fp", "key": "param:X:0:z')  # killed mid-write
+    with RunStore(path) as store:
+        assert len(store) == 1
+        assert store.get("fp", original.fault) is not None
+
+
+def test_campaign_checkpoints_and_resumes(tmp_path):
+    config = RunConfig(base_seed=2000)
+    functions = ["SetErrorMode", "CreateEventA"]
+    path = tmp_path / "runs.jsonl"
+
+    with RunStore(path) as store:
+        first = Campaign("IIS", MiddlewareKind.NONE, functions=functions,
+                         config=config, store=store).run()
+    assert first.cached_count == 0
+    assert first.executed_count == len(first.runs) + 1  # + profile
+
+    with RunStore(path) as store:
+        second = Campaign("IIS", MiddlewareKind.NONE, functions=functions,
+                          config=config, store=store).run()
+    assert second.executed_count == 0
+    assert second.cached_count == len(first.runs) + 1
+    assert [r.fault.key for r in second.runs] == \
+        [r.fault.key for r in first.runs]
+    assert second.outcome_counts() == first.outcome_counts()
+
+
+def test_interrupted_campaign_resumes_only_missing_runs(tmp_path):
+    """Kill a campaign mid-grid; the rerun executes only what's left."""
+    config = RunConfig(base_seed=2000)
+    functions = ["SetErrorMode", "CreateEventA", "CreateFileA"]
+    path = tmp_path / "runs.jsonl"
+
+    reference = Campaign("IIS", MiddlewareKind.NONE, functions=functions,
+                         config=config).run()
+    total = len(reference.runs)
+
+    class Killed(BaseException):
+        """Stands in for SIGINT: not caught by the progress guard."""
+
+    def kill_after(done, total, run):
+        if done == 4:
+            raise Killed
+
+    with RunStore(path) as store:
+        with pytest.raises(Killed):
+            Campaign("IIS", MiddlewareKind.NONE, functions=functions,
+                     config=config, store=store, progress=kill_after).run()
+
+    class CountingBackend(SerialBackend):
+        def __init__(self):
+            self.dispatched = 0
+
+        def run_tasks(self, tasks, *args, **kwargs):
+            self.dispatched += len(tasks)
+            return super().run_tasks(tasks, *args, **kwargs)
+
+    backend = CountingBackend()
+    with RunStore(path) as store:
+        resumed = Campaign("IIS", MiddlewareKind.NONE, functions=functions,
+                           config=config, store=store,
+                           backend=backend).run()
+    # 4 injection runs and the profile were checkpointed before the kill.
+    assert resumed.cached_count == 5
+    assert backend.dispatched == total - 4
+    assert [r.fault.key for r in resumed.runs] == \
+        [r.fault.key for r in reference.runs]
+    assert resumed.outcome_counts() == reference.outcome_counts()
+
+
+def test_store_shared_across_campaign_configs(tmp_path):
+    """Cross-campaign caching: a Figure-3 slice after a Figure-2 slice
+    re-executes nothing for the shared (workload, middleware) cell."""
+    config = RunConfig(base_seed=2000)
+    path = tmp_path / "runs.jsonl"
+
+    with RunStore(path) as store:
+        Campaign("IIS", MiddlewareKind.NONE, functions=["SetErrorMode"],
+                 config=config, store=store).run()
+        again = Campaign("IIS", MiddlewareKind.NONE,
+                         functions=["SetErrorMode"], config=config,
+                         store=store).run()
+        assert again.executed_count == 0
+        # A different middleware is a different fingerprint: no reuse.
+        other = Campaign("IIS", MiddlewareKind.WATCHD,
+                         functions=["SetErrorMode"], config=config,
+                         store=store).run()
+        assert other.executed_count > 0
