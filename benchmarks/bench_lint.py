@@ -1,0 +1,112 @@
+#!/usr/bin/env python
+"""Lint wall-time against worker count (files/sec at 1/2/4/8).
+
+Not a paper artifact — this measures the analyzer itself: the full
+seven-rule suite (including the whole-program race and determinism
+families) runs over ``src`` and ``examples`` serially and through the
+``--jobs`` process pool, and every configuration is checked to produce
+identical findings (the analyzer honours the same determinism contract
+it enforces).
+
+As a script it writes the measurements to JSON for CI trending::
+
+    python benchmarks/bench_lint.py --smoke -o BENCH_lint.json
+
+Under pytest it runs serial vs 2 workers once and asserts the
+identical-findings contract plus non-zero throughput.  Speedup is
+hardware-dependent (per-file analysis is tens of milliseconds, so the
+pool's fork cost dominates on small trees); the JSON records
+``cpu_count`` so CI numbers are read in context.
+"""
+
+import argparse
+import json
+import os
+import time
+
+from repro.lint import default_rules, run_lint
+
+DEFAULT_PATHS = ["src", "examples"]
+SMOKE_PATHS = [os.path.join("src", "repro", "lint"),
+               os.path.join("src", "repro", "servers")]
+DEFAULT_WORKERS = (1, 2, 4, 8)
+
+
+def measure(jobs: int, paths):
+    """One full lint pass at the given worker count -> (stats, result)."""
+    started = time.perf_counter()
+    result = run_lint(paths, rules=default_rules(), jobs=jobs)
+    elapsed = time.perf_counter() - started
+    stats = {"jobs": jobs, "files": result.files_checked,
+             "seconds": round(elapsed, 3),
+             "files_per_sec": round(result.files_checked / elapsed, 1)}
+    return stats, result
+
+
+def fingerprint(result) -> list:
+    """Order-stable identity of a lint run's findings."""
+    return [(f.rule, f.path, f.line, f.message) for f in result.findings]
+
+
+def run_scaling(workers, paths) -> dict:
+    """Measure every worker count and verify identical findings."""
+    results = []
+    reference = None
+    for jobs in workers:
+        stats, result = measure(jobs, paths)
+        findings = fingerprint(result)
+        if reference is None:
+            reference = findings
+        elif findings != reference:
+            raise AssertionError(
+                f"jobs={jobs} broke determinism: "
+                f"{len(findings)} findings != {len(reference)}")
+        results.append(stats)
+    return {
+        "benchmark": "lint-parallel-scaling",
+        "paths": list(paths),
+        "rules": sorted(rule.name for rule in default_rules()),
+        "cpu_count": os.cpu_count(),
+        "findings": len(reference),
+        "results": results,
+    }
+
+
+def test_lint_scaling_smoke():
+    """Pytest entry: pool findings match serial, throughput is real."""
+    report = run_scaling((1, 2), SMOKE_PATHS)
+    assert all(entry["files_per_sec"] > 0 for entry in report["results"])
+    assert report["results"][0]["files"] == report["results"][1]["files"]
+
+
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workers", default=None,
+                        help="comma-separated worker counts "
+                             f"(default {','.join(map(str, DEFAULT_WORKERS))})")
+    parser.add_argument("--smoke", action="store_true",
+                        help="lint only the lint/servers packages")
+    parser.add_argument("-o", "--output", default=None, metavar="PATH",
+                        help="write the measurements to this JSON file")
+    args = parser.parse_args(argv)
+
+    workers = (tuple(int(n) for n in args.workers.split(","))
+               if args.workers else DEFAULT_WORKERS)
+    paths = SMOKE_PATHS if args.smoke else DEFAULT_PATHS
+    report = run_scaling(workers, paths)
+    report["smoke"] = args.smoke
+
+    print(f"lint scaling — {len(report['rules'])} rules over "
+          f"{', '.join(report['paths'])}, {os.cpu_count()} CPU(s)")
+    for entry in report["results"]:
+        print(f"  jobs={entry['jobs']:<2d} {entry['files']:>4d} files in "
+              f"{entry['seconds']:7.2f}s  -> {entry['files_per_sec']:8.1f} "
+              f"files/s")
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2)
+        print(f"wrote {args.output}")
+
+
+if __name__ == "__main__":
+    main()

@@ -38,7 +38,7 @@ def main(argv=None) -> None:
     backend = ProcessPoolBackend(args.jobs) if args.jobs > 1 else None
     store = RunStore(args.store) if args.store else None
 
-    started = time.time()
+    started = time.monotonic()
     suite = ExperimentSuite(base_seed=2000,
                             log=lambda message: print(f"  {message}",
                                                       flush=True),
@@ -56,7 +56,7 @@ def main(argv=None) -> None:
 
     print(report)
     print(f"shape claims: {held}/{len(checks)} hold "
-          f"(total wall time {time.time() - started:.1f}s)")
+          f"(total wall time {time.monotonic() - started:.1f}s)")
 
     if args.write_report:
         path = Path(__file__).resolve().parent.parent / "EXPERIMENTS.md"

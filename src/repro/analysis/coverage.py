@@ -35,7 +35,7 @@ class CoverageSummary:
         return all(
             self.coverage.get((w, MiddlewareKind.WATCHD), 0.0)
             >= self.coverage.get((w, MiddlewareKind.MSCS), 1.0)
-            for w in workloads
+            for w in sorted(workloads)
         )
 
     def render(self) -> str:

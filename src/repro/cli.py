@@ -77,11 +77,13 @@ def build_parser() -> argparse.ArgumentParser:
     lint = commands.add_parser(
         "lint", help="DTS-aware static analysis (signature conformance, "
                      "unchecked returns, handle leaks, sim hangs, "
-                     "fault-space validity)")
+                     "yield-point races, determinism, fault-space "
+                     "validity)")
     lint.add_argument("paths", nargs="*", default=None, metavar="PATH",
                       help="files or directories to analyse "
                            "(default: src examples)")
-    lint.add_argument("--format", choices=("text", "json"), default="text",
+    lint.add_argument("--format", choices=("text", "json", "sarif"),
+                      default="text",
                       dest="output_format", help="report format")
     lint.add_argument("--baseline", default=None, metavar="FILE",
                       help="baseline of accepted findings (default: "
@@ -90,6 +92,12 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--write-baseline", default=None, metavar="FILE",
                       help="write every current finding to FILE as the new "
                            "baseline and exit 0")
+    lint.add_argument("--update-baseline", action="store_true",
+                      help="regenerate the active baseline file in place "
+                           "(deterministic: sorted keys, stable counts)")
+    lint.add_argument("--jobs", type=int, default=1, metavar="N",
+                      help="analyse files through a process pool of N "
+                           "workers (default: 1, serial)")
     lint.add_argument("--rules", default=None,
                       help="comma-separated rule subset to run")
     return parser
@@ -286,11 +294,23 @@ def cmd_lint(args, out) -> int:
 
     paths = args.paths or ["src", "examples"]
 
+    if args.update_baseline and args.write_baseline:
+        print("--update-baseline and --write-baseline are mutually "
+              "exclusive (the former rewrites the active baseline file)",
+              file=out)
+        return 2
+    if args.jobs < 1:
+        print("--jobs must be >= 1", file=out)
+        return 2
+
     baseline = {}
     baseline_path = args.baseline
     if baseline_path is None and os.path.exists("lint-baseline.json"):
         baseline_path = "lint-baseline.json"
-    if baseline_path and baseline_path != "none":
+    if args.update_baseline:
+        if not baseline_path or baseline_path == "none":
+            baseline_path = "lint-baseline.json"
+    elif baseline_path and baseline_path != "none":
         try:
             baseline = load_baseline(baseline_path)
         except (OSError, ValueError) as exc:
@@ -302,10 +322,21 @@ def cmd_lint(args, out) -> int:
         baseline = {}
 
     try:
-        result = run_lint(paths, rules=rules, baseline=baseline)
+        result = run_lint(paths, rules=rules, baseline=baseline,
+                          jobs=args.jobs)
     except FileNotFoundError as exc:
         print(f"no such path: {exc.args[0]}", file=out)
         return 2
+
+    if args.update_baseline:
+        # `dump_baseline` sorts keys and counts occurrences, so the
+        # regenerated file is deterministic and a round-trip on an
+        # unchanged tree is a no-op.
+        with open(baseline_path, "w", encoding="utf-8") as handle:
+            handle.write(dump_baseline(result.findings))
+        print(f"regenerated {baseline_path} with "
+              f"{len(result.findings)} finding(s)", file=out)
+        return 0
 
     if args.write_baseline:
         with open(args.write_baseline, "w", encoding="utf-8") as handle:
@@ -316,6 +347,9 @@ def cmd_lint(args, out) -> int:
 
     if args.output_format == "json":
         print(result.render_json(), file=out)
+    elif args.output_format == "sarif":
+        from .lint.sarif import render_sarif
+        print(render_sarif(result, rules), file=out)
     else:
         print(result.render_text(), file=out)
     return 0 if result.clean else 1

@@ -1,7 +1,12 @@
 """``repro.lint`` — DTS-aware static analysis for the reproduction.
 
-Five passes over the codebase, each rooted in a failure class the
-paper measured at runtime, checked here before anything runs:
+Seven passes over the codebase, each rooted in a property the paper's
+method depends on, checked here before anything runs.  Five are
+per-file pattern matchers; the two newest (``yield-race``,
+``determinism``) sit on a shared whole-program engine
+(:mod:`repro.lint.engine`) that models the cooperative substrate:
+per-generator segment CFGs cut at ``yield`` points, module symbol
+tables, and delegation-aware suspension reachability.
 
 ==========================  ==========================================
 rule                        catches
@@ -13,14 +18,25 @@ rule                        catches
                             library calls (error-propagation hazard)
 ``handle-leak``             acquisitions never released or handed off
 ``sim-hang``                generator loops that never yield to the
-                            discrete-event engine
+                            discrete-event engine (delegation-aware:
+                            ``yield from`` only counts if the delegate
+                            can actually suspend)
+``yield-race``              shared state carried across a suspension
+                            point without re-validation — lost
+                            updates and check-then-act races between
+                            cooperatively scheduled coroutines
+``determinism``             serial-vs-pool bit-identity breakers:
+                            wall clock / entropy reads, process-global
+                            RNG, hash-salted set iteration order,
+                            iterated ``id()``-keyed containers
 ``fault-space``             fault-list files / inline FaultSpecs that
                             name faults the registry cannot inject
 ==========================  ==========================================
 
-Run via ``python -m repro lint [--format json|text]
-[--baseline lint-baseline.json] [paths...]``; exit code 0 means clean,
-1 means non-baselined findings, 2 means a usage error.
+Run via ``python -m repro lint [--format text|json|sarif] [--jobs N]
+[--baseline lint-baseline.json] [--update-baseline] [paths...]``;
+exit code 0 means clean, 1 means non-baselined findings, 2 means a
+usage error.
 """
 
 from .core import (
@@ -36,17 +52,31 @@ from .core import (
     load_baseline,
     run_lint,
 )
+from .engine import (
+    GeneratorCFG,
+    ModuleIndex,
+    ProjectIndex,
+    build_cfg,
+    module_name_for_path,
+)
+from .sarif import render_sarif
 
 __all__ = [
     "Analyzer",
     "FaultListFile",
     "Finding",
+    "GeneratorCFG",
     "LintResult",
+    "ModuleIndex",
     "ParsedModule",
+    "ProjectIndex",
     "Rule",
     "apply_baseline",
+    "build_cfg",
     "default_rules",
     "dump_baseline",
     "load_baseline",
+    "module_name_for_path",
+    "render_sarif",
     "run_lint",
 ]

@@ -42,34 +42,45 @@ _SKIP_DIR_NAMES = {"__pycache__", ".git", ".pytest_cache"}
 class Finding:
     """One diagnostic produced by a rule."""
 
-    __slots__ = ("rule", "path", "line", "message", "symbol")
+    __slots__ = ("rule", "path", "line", "message", "symbol", "suggestion")
 
     def __init__(self, rule: str, path: str, line: int, message: str,
-                 symbol: str = ""):
+                 symbol: str = "", suggestion: str = ""):
         self.rule = rule
         self.path = path
         self.line = line
         self.message = message
         self.symbol = symbol
+        self.suggestion = suggestion
 
     @property
     def key(self) -> str:
-        """Baseline key: stable across unrelated line-number drift."""
+        """Baseline key: stable across unrelated line-number drift.
+
+        The suggestion is deliberately excluded — rewording a fix-it
+        must not invalidate an existing baseline entry.
+        """
         return f"{self.rule}|{self.path}|{self.symbol}|{self.message}"
 
     def render(self) -> str:
         where = f"{self.path}:{self.line}"
         sym = f" in {self.symbol}" if self.symbol else ""
-        return f"{where}: [{self.rule}] {self.message}{sym}"
+        text = f"{where}: [{self.rule}] {self.message}{sym}"
+        if self.suggestion:
+            text += f"\n    fix: {self.suggestion}"
+        return text
 
     def to_json(self) -> dict:
-        return {
+        payload = {
             "rule": self.rule,
             "path": self.path,
             "line": self.line,
             "symbol": self.symbol,
             "message": self.message,
         }
+        if self.suggestion:
+            payload["suggestion"] = self.suggestion
+        return payload
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Finding {self.render()}>"
@@ -247,6 +258,33 @@ def apply_baseline(findings: Sequence[Finding],
 # ----------------------------------------------------------------------
 # Analyzer
 # ----------------------------------------------------------------------
+def _lint_files(tasks: Sequence[tuple],
+                rules: Sequence[Rule]) -> tuple:
+    """Parse and per-file-check a batch of ``(path, display)`` tasks.
+
+    Module-level so ``ProcessPoolExecutor`` can pickle it; returns the
+    parsed modules (the parent still needs them for project rules) and
+    the findings from every ``check_module`` pass.
+    """
+    modules: list[ParsedModule] = []
+    findings: list[Finding] = []
+    for path, display in tasks:
+        with open(path, "r", encoding="utf-8") as handle:
+            source = handle.read()
+        try:
+            tree = ast.parse(source, filename=path)
+        except SyntaxError as exc:
+            findings.append(Finding(
+                "parse-error", display, exc.lineno or 1,
+                f"syntax error: {exc.msg}"))
+            continue
+        modules.append(ParsedModule(display, tree, source))
+    for module in modules:
+        for rule in rules:
+            findings.extend(rule.check_module(module))
+    return modules, findings
+
+
 class LintResult:
     """Outcome of one analyzer run."""
 
@@ -324,27 +362,14 @@ class Analyzer:
         return path.replace(os.sep, "/")
 
     # ------------------------------------------------------------------
-    def run(self, paths: Sequence[str]) -> LintResult:
+    def run(self, paths: Sequence[str], jobs: int = 1) -> LintResult:
         py_files, fault_files = self.collect(paths)
-        findings: list[Finding] = []
-        modules: list[ParsedModule] = []
+        tasks = [(path, self._display_path(path)) for path in py_files]
+        if jobs > 1 and len(tasks) > 1:
+            modules, findings = self._run_parallel(tasks, jobs)
+        else:
+            modules, findings = _lint_files(tasks, self.rules)
 
-        for path in py_files:
-            display = self._display_path(path)
-            with open(path, "r", encoding="utf-8") as handle:
-                source = handle.read()
-            try:
-                tree = ast.parse(source, filename=path)
-            except SyntaxError as exc:
-                findings.append(Finding(
-                    "parse-error", display, exc.lineno or 1,
-                    f"syntax error: {exc.msg}"))
-                continue
-            modules.append(ParsedModule(display, tree, source))
-
-        for module in modules:
-            for rule in self.rules:
-                findings.extend(rule.check_module(module))
         for rule in self.rules:
             findings.extend(rule.check_project(modules))
         for path in fault_files:
@@ -360,12 +385,46 @@ class Analyzer:
         return LintResult(fresh, suppressed,
                           len(py_files) + len(fault_files))
 
+    # ------------------------------------------------------------------
+    def _run_parallel(self, tasks: Sequence[tuple], jobs: int) -> tuple:
+        """Fan per-file analysis out over worker processes.
+
+        Same chunking idiom as ``repro.core.exec.ProcessPoolBackend``:
+        chunks a few times smaller than an even split keep the workers
+        busy when file sizes are skewed.  Results are collected in
+        submission order and the caller sorts the merged finding list,
+        so the output is bit-identical to a serial run.
+        """
+        import multiprocessing
+        from concurrent.futures import ProcessPoolExecutor
+
+        chunk_size = max(1, len(tasks) // (jobs * 4) + 1)
+        chunks = [list(tasks[i:i + chunk_size])
+                  for i in range(0, len(tasks), chunk_size)]
+        try:
+            mp_context = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX hosts
+            mp_context = None
+        modules: list[ParsedModule] = []
+        findings: list[Finding] = []
+        with ProcessPoolExecutor(max_workers=min(jobs, len(chunks)),
+                                 mp_context=mp_context) as pool:
+            futures = [pool.submit(_lint_files, chunk, self.rules)
+                       for chunk in chunks]
+            for future in futures:
+                chunk_modules, chunk_findings = future.result()
+                modules.extend(chunk_modules)
+                findings.extend(chunk_findings)
+        return modules, findings
+
 
 def default_rules() -> list[Rule]:
-    """The five passes of the suite, in reporting order."""
+    """The seven passes of the suite, in reporting order."""
     from .conformance import SignatureConformanceRule
+    from .determinism import DeterminismRule
     from .faultspace import FaultSpaceRule
     from .handles import HandleLeakRule
+    from .races import YieldRaceRule
     from .returns import UncheckedReturnRule
     from .simhang import SimHangRule
 
@@ -374,14 +433,17 @@ def default_rules() -> list[Rule]:
         UncheckedReturnRule(),
         HandleLeakRule(),
         SimHangRule(),
+        YieldRaceRule(),
+        DeterminismRule(),
         FaultSpaceRule(),
     ]
 
 
 def run_lint(paths: Sequence[str],
              rules: Optional[Sequence[Rule]] = None,
-             baseline: Optional[dict[str, int]] = None) -> LintResult:
+             baseline: Optional[dict[str, int]] = None,
+             jobs: int = 1) -> LintResult:
     """Convenience entry point used by the CLI and tests."""
     analyzer = Analyzer(rules if rules is not None else default_rules(),
                         baseline)
-    return analyzer.run(paths)
+    return analyzer.run(paths, jobs=jobs)

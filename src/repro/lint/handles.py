@@ -156,7 +156,7 @@ class HandleLeakRule(Rule):
                 arg_names |= _names_in(arg)
             for keyword in call.keywords:
                 arg_names |= _names_in(keyword.value)
-            for name in arg_names & by_name.keys():
+            for name in sorted(arg_names & by_name.keys()):
                 for acq in by_name[name]:
                     if export in acq.closers:
                         acq.closed = True
@@ -188,6 +188,6 @@ class HandleLeakRule(Rule):
     @staticmethod
     def _mark_escaped(names: set[str],
                       by_name: dict[str, list[_Acquisition]]) -> None:
-        for name in names & by_name.keys():
+        for name in sorted(names & by_name.keys()):
             for acq in by_name[name]:
                 acq.escaped = True

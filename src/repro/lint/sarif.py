@@ -1,0 +1,101 @@
+"""SARIF 2.1.0 output for the linter.
+
+SARIF is the interchange format GitHub code scanning ingests
+(``github/codeql-action/upload-sarif``), so findings annotate the PR
+diff instead of hiding in a job log.  The emitted document is
+*deterministic*: no timestamps, no absolute paths, no GUIDs — two runs
+over the same tree serialise byte-identically, keeping the output
+diffable and cache-friendly (the same property
+:mod:`repro.lint.determinism` polices in the simulator itself).
+
+Only the baseline-surviving findings are emitted — suppressed,
+paper-faithful sloppiness stays out of code scanning, same as the text
+and JSON formats.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, Sequence
+
+from .core import Finding, LintResult, Rule
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+                "master/Schemata/sarif-schema-2.1.0.json")
+
+TOOL_NAME = "repro-lint"
+TOOL_URI = "https://github.com/paper-repro/nt-reliability"
+
+# Parse failures make every downstream verdict meaningless; everything
+# else is a warning (the campaign, not the linter, is the arbiter).
+_ERROR_RULES = frozenset({"parse-error"})
+
+
+def _rule_descriptor(rule: Rule) -> dict:
+    return {
+        "id": rule.name,
+        "shortDescription": {"text": rule.description or rule.name},
+        "defaultConfiguration": {
+            "level": "error" if rule.name in _ERROR_RULES else "warning",
+        },
+    }
+
+
+def _result(finding: Finding) -> dict:
+    message = finding.message
+    if finding.symbol:
+        message = f"{message} [in {finding.symbol}]"
+    if finding.suggestion:
+        message = f"{message} Fix: {finding.suggestion}."
+    return {
+        "ruleId": finding.rule,
+        "level": "error" if finding.rule in _ERROR_RULES else "warning",
+        "message": {"text": message},
+        "locations": [{
+            "physicalLocation": {
+                "artifactLocation": {
+                    "uri": finding.path,
+                    "uriBaseId": "%SRCROOT%",
+                },
+                "region": {"startLine": max(1, finding.line)},
+            },
+        }],
+        # Baseline keys survive line drift; fingerprints let code
+        # scanning match findings across pushes the same way.
+        "partialFingerprints": {"reproLintKey/v1": finding.key},
+    }
+
+
+def render_sarif(result: LintResult, rules: Sequence[Rule],
+                 extra_rule_ids: Iterable[str] = ("parse-error",)) -> str:
+    """Serialise a lint result as a SARIF 2.1.0 document."""
+    descriptors = [_rule_descriptor(rule) for rule in rules]
+    known = {descriptor["id"] for descriptor in descriptors}
+    for rule_id in extra_rule_ids:
+        if rule_id not in known:
+            descriptors.append({
+                "id": rule_id,
+                "shortDescription": {"text": rule_id},
+                "defaultConfiguration": {
+                    "level": ("error" if rule_id in _ERROR_RULES
+                              else "warning"),
+                },
+            })
+    descriptors.sort(key=lambda descriptor: descriptor["id"])
+    document = {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": TOOL_NAME,
+                    "informationUri": TOOL_URI,
+                    "rules": descriptors,
+                },
+            },
+            "columnKind": "utf16CodeUnits",
+            "results": [_result(finding) for finding in result.findings],
+        }],
+    }
+    return json.dumps(document, indent=2) + "\n"

@@ -13,7 +13,14 @@ the loop spins*.  A yield-less loop's condition can only change if the
 body itself changes it.  So a ``while`` inside a generator function is
 flagged unless its body (nested scopes excluded):
 
-- yields (control returns to the engine each iteration), or
+- yields (control returns to the engine each iteration) — where a
+  ``yield from`` only counts if its delegate can actually suspend:
+  ``yield from ()`` runs to completion synchronously, and so does
+  delegation to a helper generator that itself never reaches a bare
+  ``yield`` (:meth:`repro.lint.engine.ModuleIndex.yield_from_suspends`
+  follows same-module delegation chains; out-of-module targets like
+  the servers' ``yield from k32.Sleep(...)`` idiom are assumed to
+  suspend), or
 - can leave the loop structurally (``break`` / ``return`` / ``raise``),
   or
 - assigns a name or attribute that appears in the loop condition
@@ -29,7 +36,10 @@ from __future__ import annotations
 import ast
 from typing import Iterable, Iterator
 
+from typing import Optional
+
 from .core import Finding, ParsedModule, Rule, is_generator, iter_functions, walk_in_scope
+from .engine import ModuleIndex
 
 RULE = "sim-hang"
 
@@ -45,11 +55,18 @@ def _subnodes(node: ast.AST) -> Iterator[ast.AST]:
             yield from walk_in_scope(stmt)
 
 
-def _loop_can_progress(loop: ast.While) -> bool:
+def _loop_can_progress(loop: ast.While, index: ModuleIndex,
+                       class_name: Optional[str]) -> bool:
     body = list(_subnodes(loop))
     for node in body:
-        if isinstance(node, (ast.Yield, ast.YieldFrom)):
+        if isinstance(node, ast.Yield):
             return True
+        if isinstance(node, ast.YieldFrom):
+            # Delegation is only progress if the delegate can suspend:
+            # `yield from ()` (and helper chains that never reach a
+            # bare yield) run synchronously and the loop still spins.
+            if index.yield_from_suspends(node, class_name):
+                return True
         if isinstance(node, (ast.Break, ast.Return, ast.Raise)):
             return True
         # `continue` alone does not help: the loop still spins.
@@ -87,11 +104,15 @@ class SimHangRule(Rule):
 
     def check_module(self, module: ParsedModule) -> Iterable[Finding]:
         findings: list[Finding] = []
+        index = ModuleIndex(module.path, module.tree)
         for qualname, fn in iter_functions(module.tree):
             if isinstance(fn, ast.AsyncFunctionDef) or not is_generator(fn):
                 continue
+            info = index.functions.get(qualname)
+            class_name = info.class_name if info is not None else None
             for node in walk_in_scope(fn):
-                if isinstance(node, ast.While) and not _loop_can_progress(node):
+                if isinstance(node, ast.While) and \
+                        not _loop_can_progress(node, index, class_name):
                     findings.append(Finding(
                         RULE, module.path, node.lineno,
                         "while-loop in a generator process body neither "

@@ -1,0 +1,42 @@
+"""Seeded `yield from` delegation — sim-hang's false-negative trap.
+
+A loop whose only "yield" delegates to a generator that never actually
+suspends spins forever without handing control to the engine.  The
+negative cases model the servers' ``yield from k32.Sleep(...)`` idiom.
+Line positions are asserted by ``tests/lint/test_simhang.py``.
+"""
+
+
+def _empty_delegate():
+    yield from ()
+
+
+def _chained_empty():
+    yield from _empty_delegate()
+
+
+def _real_delegate(k32):
+    yield from k32.Sleep(10)
+
+
+def hang_empty_literal(flag):
+    # `yield from ()` completes synchronously: the loop never suspends.
+    while flag:
+        yield from ()
+
+
+def hang_never_suspending_helper(flag):
+    # Delegating through a chain that never reaches a bare yield.
+    while flag:
+        yield from _chained_empty()
+
+
+def ok_delegated_sleep(flag, k32):
+    # Out-of-module delegate (the k32 idiom): assumed to suspend.
+    while flag:
+        yield from _real_delegate(k32)
+
+
+def ok_direct_yield(flag):
+    while flag:
+        yield

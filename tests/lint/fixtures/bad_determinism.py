@@ -1,0 +1,49 @@
+"""Seeded nondeterminism — every shape the determinism rule flags.
+
+Each statement is one hazard; line positions are asserted by
+``tests/lint/test_determinism.py``, so keep the shapes stable.
+"""
+
+import os
+import random
+import time
+from datetime import datetime
+
+
+def wallclock_stamp():
+    started = time.time()              # host clock
+    stamp = datetime.now()             # host clock, classmethod shape
+    token = os.urandom(8)              # host entropy
+    return started, stamp, token
+
+
+def global_rng():
+    roll = random.random()             # process-global generator
+    rng = random.Random()              # unseeded: OS-derived state
+    return roll, rng
+
+
+def scheduling_order(events):
+    ready = {event for event in events if event.due}
+    order = []
+    for event in ready:                # salted set order
+        order.append(event)
+    return order
+
+
+def id_keyed_scan(objects):
+    by_id = {}
+    for obj in objects:
+        by_id[id(obj)] = obj
+    return [by_id[key] for key in sorted(by_id)]   # address order
+
+
+def allowed_shapes(events, seed):
+    # Everything here is deterministic and must stay unflagged.
+    clock = time.monotonic()           # host-side measurement only
+    rng = random.Random(seed)          # seeded: reproducible
+    ready = {event for event in events if event.due}
+    ordered = sorted(ready)            # sorted() launders set order
+    table = {event: True for event in events}
+    names = [key for key in table]     # dict order is insertion order
+    return clock, rng, ordered, names

@@ -1,0 +1,50 @@
+"""Seeded yield-point races — every shape the yield-race rule flags.
+
+Each function is one hazard; line positions are asserted by
+``tests/lint/test_races.py``, so keep the shapes stable.
+"""
+
+REQUEST_TOTAL = 0
+
+
+class LeakyServer:
+    """Cooperative server process with textbook suspension races."""
+
+    def __init__(self):
+        self.request_count = 0
+        self.worker = None
+        self.backlog = []
+
+    def lost_update(self, k32):
+        # read -> suspend -> write-back: the classic lost update.
+        count = self.request_count
+        yield from k32.Sleep(100)
+        self.request_count = count + 1
+
+    def check_then_act(self, k32):
+        # the None check is stale by the time the write runs.
+        if self.worker is None:
+            handle = yield from k32.CreateEventA(None, 1, 0, "w")
+            self.worker = handle
+
+    def cross_aug(self, k32):
+        # the augmented assignment itself suspends mid read-modify-write.
+        self.request_count += (yield from k32.GetTickCount())
+
+    def revalidated_ok(self, k32):
+        # re-reading after the suspension keeps the update atomic.
+        yield from k32.Sleep(100)
+        self.request_count = self.request_count + 1
+
+    def same_segment_ok(self, k32):
+        # read and write share a segment: no suspension between them.
+        count = self.request_count
+        self.request_count = count + 1
+        yield from k32.Sleep(100)
+
+
+def global_lost_update(k32):
+    global REQUEST_TOTAL
+    snapshot = REQUEST_TOTAL
+    yield from k32.Sleep(5)
+    REQUEST_TOTAL = snapshot + 1

@@ -85,6 +85,16 @@ class TestOutputFormats:
         assert "fault-space" in rules
         assert "sim-hang" in rules
 
+    def test_sarif_output_parses_and_carries_findings(self):
+        code, text = run_cli("--format", "sarif", FIXTURES)
+        assert code == 1
+        document = json.loads(text)
+        assert document["version"] == "2.1.0"
+        rules = {result["ruleId"]
+                 for result in document["runs"][0]["results"]}
+        assert "yield-race" in rules
+        assert "determinism" in rules
+
     def test_text_output_names_rule_and_location(self):
         code, text = run_cli(os.path.join(FIXTURES, "bad_simproc.py"))
         assert "bad_simproc.py" in text
@@ -133,3 +143,55 @@ class TestBaseline:
         code = main(["lint", "--baseline", str(baseline), str(source)],
                     out=out)
         assert code == 1
+
+    def test_update_baseline_round_trip_is_a_noop(self, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        out = StringIO()
+        code = main(["lint", "--baseline", str(baseline),
+                     "--update-baseline", FIXTURES], out=out)
+        assert code == 0
+        first = baseline.read_text(encoding="utf-8")
+        assert json.loads(first)["suppress"]  # fixtures are seeded bad
+
+        out = StringIO()
+        code = main(["lint", "--baseline", str(baseline),
+                     "--update-baseline", FIXTURES], out=out)
+        assert code == 0
+        assert baseline.read_text(encoding="utf-8") == first
+
+        # The regenerated baseline fully covers the tree it captured.
+        out = StringIO()
+        code = main(["lint", "--baseline", str(baseline), FIXTURES],
+                    out=out)
+        assert code == 0
+
+    def test_update_baseline_is_sorted(self, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        out = StringIO()
+        assert main(["lint", "--baseline", str(baseline),
+                     "--update-baseline", FIXTURES], out=out) == 0
+        keys = list(json.loads(
+            baseline.read_text(encoding="utf-8"))["suppress"])
+        assert keys == sorted(keys)
+
+    def test_update_baseline_conflicts_with_write_baseline(self, tmp_path):
+        out = StringIO()
+        code = main(["lint", "--update-baseline",
+                     "--write-baseline", str(tmp_path / "b.json"),
+                     FIXTURES], out=out)
+        assert code == 2
+        assert "mutually exclusive" in out.getvalue()
+
+
+class TestJobs:
+    def test_parallel_findings_match_serial(self):
+        serial_code, serial_text = run_cli("--format", "json", FIXTURES)
+        parallel_code, parallel_text = run_cli("--format", "json",
+                                               "--jobs", "4", FIXTURES)
+        assert serial_code == parallel_code == 1
+        assert json.loads(serial_text) == json.loads(parallel_text)
+
+    def test_zero_jobs_exits_two(self):
+        code, text = run_cli("--jobs", "0", FIXTURES)
+        assert code == 2
+        assert "--jobs" in text

@@ -111,7 +111,8 @@ class TestAnalyzer:
         assert payload["findings"] == []
         assert payload["files_checked"] == 1
 
-    def test_default_rules_are_the_five_passes(self):
+    def test_default_rules_are_the_seven_passes(self):
         names = {rule.name for rule in default_rules()}
         assert names == {"signature-conformance", "unchecked-return",
-                         "handle-leak", "sim-hang", "fault-space"}
+                         "handle-leak", "sim-hang", "yield-race",
+                         "determinism", "fault-space"}

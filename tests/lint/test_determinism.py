@@ -1,0 +1,199 @@
+"""Determinism rule: serial-vs-pool bit-identity breakers."""
+
+import os
+
+from repro.lint import run_lint
+from repro.lint.determinism import DeterminismRule
+
+RULES = [DeterminismRule()]
+
+FIXTURE = os.path.join(os.path.dirname(__file__), "fixtures",
+                       "bad_determinism.py")
+
+
+class TestWallclock:
+    def test_time_time_is_flagged(self, lint_source):
+        findings = lint_source("""
+            import time
+
+            def stamp():
+                return time.time()
+        """, rules=RULES)
+        assert len(findings) == 1
+        assert "wall clock" in findings[0].message
+        assert "engine.now" in findings[0].suggestion
+
+    def test_time_monotonic_is_allowed(self, lint_source):
+        findings = lint_source("""
+            import time
+
+            def measure():
+                return time.monotonic()
+        """, rules=RULES)
+        assert findings == []
+
+    def test_datetime_now_from_import(self, lint_source):
+        findings = lint_source("""
+            from datetime import datetime
+
+            def stamp():
+                return datetime.now()
+        """, rules=RULES)
+        assert len(findings) == 1
+
+    def test_datetime_now_module_attribute(self, lint_source):
+        findings = lint_source("""
+            import datetime
+
+            def stamp():
+                return datetime.datetime.now()
+        """, rules=RULES)
+        assert len(findings) == 1
+
+    def test_os_urandom_is_flagged(self, lint_source):
+        findings = lint_source("""
+            import os
+
+            def token():
+                return os.urandom(16)
+        """, rules=RULES)
+        assert len(findings) == 1
+        assert "repro.sim.rng" in findings[0].suggestion
+
+
+class TestGlobalRandom:
+    def test_module_level_random_call(self, lint_source):
+        findings = lint_source("""
+            import random
+
+            def roll():
+                return random.random()
+        """, rules=RULES)
+        assert len(findings) == 1
+        assert "process-global" in findings[0].message
+
+    def test_unseeded_random_instance(self, lint_source):
+        findings = lint_source("""
+            import random
+
+            def make_rng():
+                return random.Random()
+        """, rules=RULES)
+        assert len(findings) == 1
+        assert "without a seed" in findings[0].message
+
+    def test_seeded_random_instance_is_allowed(self, lint_source):
+        # The repro.sim.rng idiom: explicit seed, reproducible stream.
+        findings = lint_source("""
+            import random
+
+            def make_rng(seed):
+                return random.Random(seed)
+        """, rules=RULES)
+        assert findings == []
+
+
+class TestSetOrder:
+    def test_for_loop_over_set_literal_local(self, lint_source):
+        findings = lint_source("""
+            def order(events):
+                ready = {event for event in events}
+                out = []
+                for event in ready:
+                    out.append(event)
+                return out
+        """, rules=RULES)
+        assert len(findings) == 1
+        assert "salted" in findings[0].message
+        assert "sorted" in findings[0].suggestion
+
+    def test_set_algebra_with_dict_view(self, lint_source):
+        findings = lint_source("""
+            def match(names, table):
+                hits = []
+                for name in set(names) & table.keys():
+                    hits.append(name)
+                return hits
+        """, rules=RULES)
+        assert len(findings) == 1
+
+    def test_annotated_set_parameter(self, lint_source):
+        findings = lint_source("""
+            def drain(names: set, table):
+                for name in names & table.keys():
+                    table.pop(name)
+        """, rules=RULES)
+        assert len(findings) == 1
+
+    def test_sorted_wrapping_silences(self, lint_source):
+        findings = lint_source("""
+            def order(events):
+                ready = {event for event in events}
+                return [event for event in sorted(ready)]
+        """, rules=RULES)
+        assert findings == []
+
+    def test_plain_dict_iteration_is_allowed(self, lint_source):
+        # Dict order is insertion order: deterministic by construction.
+        findings = lint_source("""
+            def names(table):
+                return [key for key in table.keys()]
+        """, rules=RULES)
+        assert findings == []
+
+    def test_self_attribute_set_is_tracked(self, lint_source):
+        findings = lint_source("""
+            class Pool:
+                def __init__(self):
+                    self.idle = set()
+
+                def reap(self):
+                    for worker in self.idle:
+                        worker.kill()
+        """, rules=RULES)
+        assert len(findings) == 1
+
+
+class TestIdKeys:
+    def test_id_keyed_dict_iterated_is_flagged(self, lint_source):
+        findings = lint_source("""
+            def scan(objects):
+                by_id = {}
+                for obj in objects:
+                    by_id[id(obj)] = obj
+                return [by_id[key] for key in sorted(by_id)]
+        """, rules=RULES)
+        assert len(findings) == 1
+        assert "memory addresses" in findings[0].message
+
+    def test_id_keyed_lookup_only_is_allowed(self, lint_source):
+        # The repro.nt.memory idiom: id() interning with no iteration.
+        findings = lint_source("""
+            class AddressSpace:
+                def __init__(self):
+                    self._by_id = {}
+
+                def intern(self, obj):
+                    self._by_id[id(obj)] = obj
+                    return self._by_id[id(obj)]
+        """, rules=RULES)
+        assert findings == []
+
+
+class TestFixture:
+    def test_every_seeded_hazard_fires_where_expected(self):
+        findings = run_lint([FIXTURE], rules=RULES).findings
+        lines = sorted(finding.line for finding in findings)
+        assert lines == [14, 15, 16, 21, 22, 29, 38]
+        assert all(finding.suggestion for finding in findings)
+
+    def test_allowed_shapes_stay_clean(self):
+        findings = run_lint([FIXTURE], rules=RULES).findings
+        assert all(finding.symbol != "allowed_shapes"
+                   for finding in findings)
+
+    def test_messages_carry_no_line_numbers(self):
+        findings = run_lint([FIXTURE], rules=RULES).findings
+        assert findings
+        for finding in findings:
+            assert not any(char.isdigit() for char in finding.message)

@@ -1,0 +1,166 @@
+"""Yield-race rule: shared state crossing suspension points."""
+
+import os
+
+from repro.lint import run_lint
+from repro.lint.races import YieldRaceRule
+
+RULES = [YieldRaceRule()]
+
+FIXTURE = os.path.join(os.path.dirname(__file__), "fixtures",
+                       "bad_races.py")
+
+
+class TestLostUpdate:
+    def test_captured_value_written_after_yield(self, lint_source):
+        findings = lint_source("""
+            class Server:
+                def handler(self, k32):
+                    count = self.request_count
+                    yield from k32.Sleep(100)
+                    self.request_count = count + 1
+        """, rules=RULES)
+        assert len(findings) == 1
+        assert "lost update" in findings[0].message
+        assert "self.request_count" in findings[0].message
+        assert findings[0].symbol == "Server.handler"
+        assert "re-read self.request_count" in findings[0].suggestion
+
+    def test_module_global_capture(self, lint_source):
+        findings = lint_source("""
+            TOTAL = 0
+
+            def bump(k32):
+                global TOTAL
+                snapshot = TOTAL
+                yield from k32.Sleep(5)
+                TOTAL = snapshot + 1
+        """, rules=RULES)
+        assert len(findings) == 1
+        assert "TOTAL" in findings[0].message
+
+    def test_augmented_assignment_spanning_yield(self, lint_source):
+        findings = lint_source("""
+            class Server:
+                def handler(self, k32):
+                    self.total += (yield from k32.GetTickCount())
+        """, rules=RULES)
+        assert len(findings) == 1
+        assert "augmented assignment itself suspends" in findings[0].message
+
+    def test_in_segment_read_modify_write_is_atomic(self, lint_source):
+        findings = lint_source("""
+            class Server:
+                def handler(self, k32):
+                    yield from k32.Sleep(100)
+                    self.request_count = self.request_count + 1
+        """, rules=RULES)
+        assert findings == []
+
+    def test_single_statement_augassign_is_atomic(self, lint_source):
+        # watchd's `self.restart_count += 1` idiom: no suspension
+        # between the read and the write.
+        findings = lint_source("""
+            class Monitor:
+                def beat(self, k32):
+                    yield from k32.Sleep(100)
+                    self.restart_count += 1
+        """, rules=RULES)
+        assert findings == []
+
+    def test_capture_and_write_in_same_segment_is_fine(self, lint_source):
+        findings = lint_source("""
+            class Server:
+                def handler(self, k32):
+                    count = self.request_count
+                    self.request_count = count + 1
+                    yield from k32.Sleep(100)
+        """, rules=RULES)
+        assert findings == []
+
+    def test_recapture_after_yield_resets_the_clock(self, lint_source):
+        findings = lint_source("""
+            class Server:
+                def handler(self, k32):
+                    count = self.request_count
+                    yield from k32.Sleep(100)
+                    count = self.request_count
+                    self.request_count = count + 1
+        """, rules=RULES)
+        assert findings == []
+
+    def test_locals_only_functions_are_fine(self, lint_source):
+        findings = lint_source("""
+            def worker(k32):
+                done = 0
+                yield from k32.Sleep(1)
+                done = done + 1
+                return done
+        """, rules=RULES)
+        assert findings == []
+
+
+class TestCheckThenAct:
+    def test_stale_none_check_across_yield(self, lint_source):
+        findings = lint_source("""
+            class Server:
+                def spawn(self, k32):
+                    if self.worker is None:
+                        handle = yield from k32.CreateEventA(None, 1, 0, "w")
+                        self.worker = handle
+        """, rules=RULES)
+        assert len(findings) == 1
+        assert "check-then-act" in findings[0].message
+        assert "re-validate self.worker" in findings[0].suggestion
+
+    def test_recheck_after_yield_silences(self, lint_source):
+        findings = lint_source("""
+            class Server:
+                def spawn(self, k32):
+                    if self.worker is None:
+                        handle = yield from k32.CreateEventA(None, 1, 0, "w")
+                        if self.worker is None:
+                            self.worker = handle
+        """, rules=RULES)
+        assert findings == []
+
+    def test_act_before_yield_is_fine(self, lint_source):
+        findings = lint_source("""
+            class Server:
+                def spawn(self, k32):
+                    if self.worker is None:
+                        self.worker = object()
+                        yield from k32.Sleep(1)
+        """, rules=RULES)
+        assert findings == []
+
+    def test_while_condition_counts_as_a_check(self, lint_source):
+        findings = lint_source("""
+            class Server:
+                def drain(self, k32):
+                    while self.backlog:
+                        yield from k32.Sleep(1)
+                        self.backlog.pop()
+        """, rules=RULES)
+        assert len(findings) == 1
+        assert "while test" in findings[0].message
+
+
+class TestFixture:
+    def test_every_seeded_hazard_fires_where_expected(self):
+        findings = run_lint([FIXTURE], rules=RULES).findings
+        located = {(finding.line, finding.symbol) for finding in findings}
+        assert located == {
+            (22, "LeakyServer.lost_update"),
+            (28, "LeakyServer.check_then_act"),
+            (32, "LeakyServer.cross_aug"),
+            (50, "global_lost_update"),
+        }
+        assert all(finding.suggestion for finding in findings)
+
+    def test_messages_carry_no_line_numbers(self):
+        # Baseline keys must survive unrelated line drift.
+        findings = run_lint([FIXTURE], rules=RULES).findings
+        assert findings
+        for finding in findings:
+            assert not any(char.isdigit() for char in finding.message)

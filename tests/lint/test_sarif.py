@@ -1,0 +1,82 @@
+"""SARIF output: valid shape, deterministic serialisation."""
+
+import json
+import os
+
+from repro.lint import default_rules, run_lint
+from repro.lint.sarif import render_sarif
+
+FIXTURES = os.path.join(os.path.dirname(__file__), "fixtures")
+
+
+def sarif_for(paths, rules=None):
+    rules = rules if rules is not None else default_rules()
+    result = run_lint(paths, rules=rules)
+    return json.loads(render_sarif(result, rules))
+
+
+class TestShape:
+    def test_document_skeleton(self):
+        document = sarif_for([FIXTURES])
+        assert document["version"] == "2.1.0"
+        run, = document["runs"]
+        assert run["tool"]["driver"]["name"] == "repro-lint"
+
+    def test_every_default_rule_is_described(self):
+        document = sarif_for([FIXTURES])
+        declared = {rule["id"]
+                    for rule in document["runs"][0]["tool"]["driver"]["rules"]}
+        expected = {rule.name for rule in default_rules()} | {"parse-error"}
+        assert declared == expected
+
+    def test_results_carry_location_and_fingerprint(self):
+        document = sarif_for([FIXTURES])
+        results = document["runs"][0]["results"]
+        assert results
+        for result in results:
+            location = result["locations"][0]["physicalLocation"]
+            assert location["artifactLocation"]["uri"]
+            assert location["region"]["startLine"] >= 1
+            assert "reproLintKey/v1" in result["partialFingerprints"]
+
+    def test_race_and_determinism_findings_reach_sarif(self):
+        document = sarif_for([FIXTURES])
+        rule_ids = {result["ruleId"]
+                    for result in document["runs"][0]["results"]}
+        assert "yield-race" in rule_ids
+        assert "determinism" in rule_ids
+
+    def test_suggestions_are_embedded_in_messages(self):
+        document = sarif_for([os.path.join(FIXTURES, "bad_races.py")])
+        texts = [result["message"]["text"]
+                 for result in document["runs"][0]["results"]]
+        assert any("Fix:" in text for text in texts)
+
+    def test_parse_errors_are_level_error(self, tmp_path):
+        bad = tmp_path / "broken.py"
+        bad.write_text("def broken(:\n", encoding="utf-8")
+        rules = default_rules()
+        result = run_lint([str(bad)], rules=rules)
+        document = json.loads(render_sarif(result, rules))
+        levels = {r["ruleId"]: r["level"]
+                  for r in document["runs"][0]["results"]}
+        assert levels == {"parse-error": "error"}
+
+
+class TestDeterminism:
+    def test_two_renders_are_byte_identical(self):
+        rules = default_rules()
+        first = render_sarif(run_lint([FIXTURES], rules=rules), rules)
+        second = render_sarif(run_lint([FIXTURES], rules=rules), rules)
+        assert first == second
+
+    def test_no_timestamps_or_absolute_paths(self):
+        rules = default_rules()
+        text = render_sarif(run_lint([FIXTURES], rules=rules), rules)
+        document = json.loads(text)
+        run, = document["runs"]
+        assert "invocations" not in run
+        for result in run["results"]:
+            uri = result["locations"][0]["physicalLocation"][
+                "artifactLocation"]["uri"]
+            assert not uri.startswith("/")

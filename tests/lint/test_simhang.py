@@ -1,8 +1,14 @@
 """Sim-hang rule: yield-less loops in generator process bodies."""
 
+import os
+
+from repro.lint import run_lint
 from repro.lint.simhang import SimHangRule
 
 RULES = [SimHangRule()]
+
+DELEGATION_FIXTURE = os.path.join(os.path.dirname(__file__), "fixtures",
+                                  "bad_delegation.py")
 
 
 class TestPositives:
@@ -124,3 +130,72 @@ class TestNegatives:
                         yield 1
         """, rules=RULES)
         assert len(findings) == 1
+
+
+class TestDelegation:
+    """`yield from` only counts as progress if the delegate suspends."""
+
+    def test_empty_literal_delegation_is_flagged(self, lint_source):
+        findings = lint_source("""
+            def main(flag):
+                while flag:
+                    yield from ()
+        """, rules=RULES)
+        assert len(findings) == 1
+        assert "hang" in findings[0].message
+
+    def test_never_suspending_helper_chain_is_flagged(self, lint_source):
+        findings = lint_source("""
+            def helper():
+                yield from ()
+
+            def chained():
+                yield from helper()
+
+            def main(flag):
+                while flag:
+                    yield from chained()
+        """, rules=RULES)
+        assert len(findings) == 1
+        assert findings[0].symbol == "main"
+
+    def test_helper_with_real_yield_is_fine(self, lint_source):
+        findings = lint_source("""
+            def helper():
+                yield 1
+
+            def main(flag):
+                while flag:
+                    yield from helper()
+        """, rules=RULES)
+        assert findings == []
+
+    def test_method_delegation_resolves_through_self(self, lint_source):
+        findings = lint_source("""
+            class Server:
+                def _noop(self):
+                    yield from ()
+
+                def run(self, flag):
+                    while flag:
+                        yield from self._noop()
+        """, rules=RULES)
+        assert len(findings) == 1
+        assert findings[0].symbol == "Server.run"
+
+    def test_k32_delegation_is_assumed_to_suspend(self, lint_source):
+        # The servers/apache.py idiom: delegation out of the module.
+        findings = lint_source("""
+            def _spawn_child(k32):
+                yield from k32.Sleep(10)
+
+            def main(flag, k32):
+                while flag:
+                    yield from _spawn_child(k32)
+        """, rules=RULES)
+        assert findings == []
+
+    def test_fixture_flags_exactly_the_hang_loops(self):
+        findings = run_lint([DELEGATION_FIXTURE], rules=RULES).findings
+        assert sorted(finding.symbol for finding in findings) == [
+            "hang_empty_literal", "hang_never_suspending_helper"]
