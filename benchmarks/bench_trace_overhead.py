@@ -1,0 +1,154 @@
+#!/usr/bin/env python
+"""Tracing overhead per level (off / outcome / calls / full).
+
+Not a paper artifact — this guards the tentpole's "low-overhead" claim:
+the same campaign slice is executed serially at every trace level and
+timed.  The CI gate is on ``outcome`` (the level meant to stay on by
+default): it must cost no more than 5% over ``off``.  The verbose
+levels are measured and reported but not gated — they buy per-call and
+per-scheduling detail and are expected to cost more.
+
+As a script it enforces the gate and writes JSON for CI trending::
+
+    python benchmarks/bench_trace_overhead.py --smoke -o BENCH_trace_overhead.json
+
+Under pytest it runs the smoke slice once and asserts only behavioural
+invariants (identical outcomes across levels, event counts growing with
+the level) — wall-clock thresholds on shared CI runners are flaky, so
+the 5% gate lives in ``main()`` where the dedicated benchmark job runs
+best-of-N measurements.
+"""
+
+import argparse
+import json
+import os
+import sys
+import time
+
+from repro.core.campaign import Campaign
+from repro.core.exec import SerialBackend
+from repro.core.runner import RunConfig
+from repro.core.workload import MiddlewareKind
+from repro.trace import TRACE_LEVEL_NAMES
+
+FUNCTIONS = [
+    "CreateEventA", "CreateFileA", "CreateFileMappingA", "ReadFile",
+    "CloseHandle", "WaitForSingleObject", "SetErrorMode", "Sleep",
+    "LoadLibraryA", "GetModuleHandleA", "HeapAlloc", "GetTickCount",
+]
+SMOKE_FUNCTIONS = FUNCTIONS[:5]
+OUTCOME_OVERHEAD_LIMIT = 0.05  # the 5% CI gate, vs the off baseline
+DEFAULT_REPEATS = 3
+
+
+def measure(level: str, functions, repeats: int, base_seed: int = 2000):
+    """Best-of-N timing of one serial campaign at one trace level."""
+    best = None
+    result = None
+    for _ in range(repeats):
+        backend = SerialBackend()
+        started = time.perf_counter()
+        result = Campaign("IIS", MiddlewareKind.WATCHD,
+                          functions=functions,
+                          config=RunConfig(base_seed=base_seed,
+                                           trace_level=level),
+                          backend=backend).run()
+        elapsed = time.perf_counter() - started
+        best = elapsed if best is None else min(best, elapsed)
+    runs = len(result.runs) + 1  # the profiling run counts too
+    events = sum(len(run.trace) for run in result.runs)
+    stats = {"level": level, "runs": runs, "seconds": round(best, 3),
+             "runs_per_sec": round(runs / best, 1),
+             "trace_events": events}
+    return stats, result
+
+
+def run_overhead(functions, repeats) -> dict:
+    """Measure every level against the ``off`` baseline."""
+    results = []
+    baseline = None
+    reference_outcomes = None
+    # One untimed pass first: the baseline is measured first, so
+    # interpreter warm-up would otherwise be billed to ``off`` and
+    # make every level look faster than no tracing at all.
+    measure("off", functions, repeats=1)
+    for level in TRACE_LEVEL_NAMES:
+        stats, result = measure(level, functions, repeats)
+        outcomes = {outcome.value: count for outcome, count
+                    in result.outcome_counts().items()}
+        if reference_outcomes is None:
+            reference_outcomes = outcomes
+        elif outcomes != reference_outcomes:
+            raise AssertionError(f"trace level {level} changed outcomes: "
+                                 f"{outcomes} != {reference_outcomes}")
+        if baseline is None:
+            baseline = stats["seconds"]
+        stats["overhead"] = round(stats["seconds"] / baseline - 1.0, 4)
+        results.append(stats)
+    return {
+        "benchmark": "trace-overhead",
+        "workload": "IIS/watchd",
+        "functions": len(functions),
+        "repeats": repeats,
+        "cpu_count": os.cpu_count(),
+        "outcome_overhead_limit": OUTCOME_OVERHEAD_LIMIT,
+        "results": results,
+    }
+
+
+def test_trace_overhead_smoke():
+    """Pytest entry: levels agree on outcomes; event volume is
+    monotone in the level; no wall-clock assertions (see module doc)."""
+    report = run_overhead(SMOKE_FUNCTIONS, repeats=1)
+    by_level = {entry["level"]: entry for entry in report["results"]}
+    assert by_level["off"]["trace_events"] == 0
+    assert 0 < by_level["outcome"]["trace_events"] \
+        <= by_level["calls"]["trace_events"] \
+        <= by_level["full"]["trace_events"]
+    assert all(entry["runs"] == by_level["off"]["runs"]
+               for entry in report["results"])
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="small function slice for CI smoke runs")
+    parser.add_argument("--repeats", type=int, default=DEFAULT_REPEATS,
+                        help="best-of-N timing repeats (default "
+                             f"{DEFAULT_REPEATS})")
+    parser.add_argument("-o", "--output", default=None, metavar="PATH",
+                        help="write the measurements to this JSON file")
+    args = parser.parse_args(argv)
+
+    functions = SMOKE_FUNCTIONS if args.smoke else FUNCTIONS
+    report = run_overhead(functions, args.repeats)
+    report["smoke"] = args.smoke
+
+    print(f"trace overhead — IIS/watchd, {report['functions']} functions, "
+          f"best of {args.repeats}")
+    for entry in report["results"]:
+        print(f"  {entry['level']:<8} {entry['runs']:>4d} runs in "
+              f"{entry['seconds']:6.2f}s  {entry['runs_per_sec']:8.1f} "
+              f"runs/s  {entry['trace_events']:>7d} events  "
+              f"overhead {entry['overhead']:+7.1%}")
+
+    outcome = next(entry for entry in report["results"]
+                   if entry["level"] == "outcome")
+    gate_ok = outcome["overhead"] <= OUTCOME_OVERHEAD_LIMIT
+    report["gate_ok"] = gate_ok
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2)
+        print(f"wrote {args.output}")
+    if not gate_ok:
+        print(f"FAIL: outcome-level tracing costs "
+              f"{outcome['overhead']:+.1%} over off "
+              f"(limit {OUTCOME_OVERHEAD_LIMIT:.0%})")
+        return 1
+    print(f"outcome-level overhead {outcome['overhead']:+.1%} "
+          f"within the {OUTCOME_OVERHEAD_LIMIT:.0%} gate")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

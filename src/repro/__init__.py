@@ -18,6 +18,9 @@ Layers (bottom-up):
 - :mod:`repro.clients` — HttpClient / SqlClient.
 - :mod:`repro.core` — DTS itself: fault lists, the injector, the
   Figure-1 campaign flow, outcome classification.
+- :mod:`repro.trace` — structured per-run event tracing: the levelled
+  emitter, canonical JSONL wire format, derived detection/restart
+  metrics, timeline rendering and trace diffing.
 - :mod:`repro.analysis` — the paper's tables/figures and extensions.
 
 Quickstart::

@@ -51,8 +51,9 @@ class ExperimentSuite:
 
     def __init__(self, base_seed: int = 2000,
                  log: Optional[Callable[[str], None]] = None,
-                 backend=None, store=None):
+                 backend=None, store=None, trace_level="off"):
         self.base_seed = base_seed
+        self.trace_level = trace_level
         self._log = log or (lambda message: None)
         self.backend = backend
         self.store = store
@@ -64,7 +65,8 @@ class ExperimentSuite:
     # ------------------------------------------------------------------
     def config(self, watchd_version: int = 3) -> RunConfig:
         return RunConfig(base_seed=self.base_seed,
-                         watchd_version=watchd_version)
+                         watchd_version=watchd_version,
+                         trace_level=self.trace_level)
 
     def workload_set(self, workload: str, middleware: MiddlewareKind,
                      watchd_version: int = 3) -> WorkloadSetResult:

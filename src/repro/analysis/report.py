@@ -10,6 +10,7 @@ criteria, per DESIGN.md).
 from __future__ import annotations
 
 from ..core.workload import MiddlewareKind
+from ..trace import derive_metrics, mean
 from .experiment import ExperimentSuite
 
 _NONE = MiddlewareKind.NONE
@@ -170,6 +171,49 @@ def shape_checks(suite: ExperimentSuite) -> list[ShapeCheck]:
     return checks
 
 
+def detection_latency_lines(suite: ExperimentSuite) -> list[str]:
+    """Mean detection / restart latencies per workload set, measured
+    from trace events — only available when the suite ran with tracing
+    at ``outcome`` level or above (untraced suites return ``[]``).
+    """
+    rows = []
+    for (workload, middleware), result in sorted(
+            suite.figure2_grid().items(),
+            key=lambda item: (item[0][0], item[0][1].value)):
+        if middleware is _NONE:
+            continue
+        metrics = [derive_metrics(run.trace)
+                   for run in result.activated_runs if run.trace]
+        if not metrics:
+            continue
+        ttd = mean(m.time_to_detection for m in metrics
+                   if m.time_to_detection is not None)
+        ttr = mean(m.time_to_restart for m in metrics
+                   if m.time_to_restart is not None)
+        detected = sum(1 for m in metrics if m.detected_at is not None)
+        rows.append(
+            f"| {workload} | {middleware.label} | {len(metrics)} "
+            f"| {detected} "
+            f"| {'n/a' if ttd is None else f'{ttd:.2f} s'} "
+            f"| {'n/a' if ttr is None else f'{ttr:.2f} s'} |")
+    if not rows:
+        return []
+    return [
+        "## Detection and restart latency (traced runs)",
+        "",
+        "Measured from the structured trace: activation -> first "
+        "`mw.detect` (time to detection) and detection -> service "
+        "running again (time to restart).  Means over activated, "
+        "traced runs.",
+        "",
+        "| workload | middleware | traced | detected | mean TTD "
+        "| mean TTR |",
+        "|---|---|---|---|---|---|",
+        *rows,
+        "",
+    ]
+
+
 def generate_experiments_report(suite: ExperimentSuite) -> str:
     """The full EXPERIMENTS.md content."""
     checks = shape_checks(suite)
@@ -229,6 +273,7 @@ def generate_experiments_report(suite: ExperimentSuite) -> str:
         suite.figure5().render(),
         "```",
         "",
+        *detection_latency_lines(suite),
         "## Failure coverage (Section 5)",
         "",
         "```",

@@ -28,6 +28,14 @@ from .core.faultlist import generate_fault_list, write_fault_list_file
 from .core.faults import FaultSpec
 from .core.runner import RunConfig, execute_run
 from .core.workload import WORKLOADS, MiddlewareKind, get_workload
+from .trace import (
+    TRACE_LEVEL_NAMES,
+    TraceLevel,
+    derive_metrics,
+    render_diff,
+    render_metrics,
+    render_timeline,
+)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -74,6 +82,25 @@ def build_parser() -> argparse.ArgumentParser:
                            help="also write the EXPERIMENTS.md report here")
     _add_execution_arguments(reproduce)
 
+    trace = commands.add_parser(
+        "trace", help="inspect stored run traces: timeline, derived "
+                      "metrics, or an event-by-event diff of two runs")
+    trace.add_argument("store", help="path to a JSONL run store")
+    trace.add_argument("key", nargs="?", default=None,
+                       help="fault key, e.g. 'param:CreateFileA:0:zero:1',"
+                            " 'return:ReadFile:ones:2' or 'profile' "
+                            "(omit to list the store's traced runs)")
+    trace.add_argument("--fingerprint", default=None, metavar="PREFIX",
+                       help="campaign fingerprint (prefix) to "
+                            "disambiguate stores holding several "
+                            "campaigns")
+    trace.add_argument("--diff", default=None, metavar="KEY",
+                       help="diff this run's trace against KEY's, "
+                            "event by event")
+    trace.add_argument("--metrics", action="store_true",
+                       help="show derived detection/restart metrics "
+                            "instead of the timeline")
+
     lint = commands.add_parser(
         "lint", help="DTS-aware static analysis (signature conformance, "
                      "unchecked returns, handle leaks, sim hangs, "
@@ -111,6 +138,10 @@ def _add_execution_arguments(sub: argparse.ArgumentParser) -> None:
                      help="checkpoint completed runs to this JSONL run "
                           "store (enables --resume and cross-campaign "
                           "result caching)")
+    sub.add_argument("--trace-level", default=None,
+                     choices=TRACE_LEVEL_NAMES,
+                     help="record a structured event trace per run "
+                          "(default: [trace] level, else off)")
 
 
 def _add_target_arguments(sub: argparse.ArgumentParser) -> None:
@@ -120,11 +151,15 @@ def _add_target_arguments(sub: argparse.ArgumentParser) -> None:
     sub.add_argument("--watchd-version", type=int, default=3,
                      choices=(1, 2, 3))
     sub.add_argument("--seed", type=int, default=2000)
+    sub.add_argument("--trace-level", default="off",
+                     choices=TRACE_LEVEL_NAMES,
+                     help="record a structured event trace of the run")
 
 
 def _run_config(args: argparse.Namespace) -> RunConfig:
     return RunConfig(base_seed=args.seed,
-                     watchd_version=args.watchd_version)
+                     watchd_version=args.watchd_version,
+                     trace_level=args.trace_level or "off")
 
 
 def _middleware(args: argparse.Namespace) -> MiddlewareKind:
@@ -208,11 +243,17 @@ def cmd_inject(args, out) -> int:
     print(f"resp. time : {rt}", file=out)
     print(f"restarts   : {result.restarts_detected}", file=out)
     print(f"retries    : {result.retries_used}", file=out)
+    if result.trace:
+        print(f"\ntrace ({result.trace_level.label}, "
+              f"{len(result.trace)} events):", file=out)
+        print(render_timeline(result.trace), file=out)
     return 0
 
 
 def cmd_run(args, out) -> int:
     config = DtsConfig.from_file(args.config)
+    if args.trace_level is not None:
+        config.trace_level = TraceLevel.parse(args.trace_level)
     functions = args.functions.split(",") if args.functions else None
     jobs = args.jobs if args.jobs is not None else config.jobs
     store, error = _open_store(args.store or config.store, args.resume, out)
@@ -257,7 +298,8 @@ def cmd_reproduce(args, out) -> int:
     suite = ExperimentSuite(
         base_seed=2000,
         log=lambda message: print(f"  {message}", file=out, flush=True),
-        backend=backend, store=store)
+        backend=backend, store=store,
+        trace_level=args.trace_level or "off")
     try:
         report = generate_experiments_report(suite)
         checks = shape_checks(suite)
@@ -274,6 +316,79 @@ def cmd_reproduce(args, out) -> int:
         print(f"wrote {args.write_report}", file=out)
     print(f"shape claims: {held}/{len(checks)} hold", file=out)
     return 0 if held == len(checks) else 1
+
+
+def _lookup_traced_run(store, key: str, fingerprint, out):
+    """Resolve one stored run by fault key (and fingerprint prefix);
+    returns ``(result, error_code)`` with exactly one set."""
+    matches = store.find(key)
+    if fingerprint:
+        matches = [(fp, run) for fp, run in matches
+                   if fp.startswith(fingerprint)]
+    if not matches:
+        print(f"no stored run for key {key!r}"
+              + (f" under fingerprint {fingerprint}*" if fingerprint
+                 else ""), file=out)
+        return None, 1
+    if len(matches) > 1:
+        print(f"key {key!r} is ambiguous across campaigns; pass "
+              f"--fingerprint one of:", file=out)
+        for fp, _run in matches:
+            print(f"  {fp}", file=out)
+        return None, 2
+    return matches[0][1], None
+
+
+def cmd_trace(args, out) -> int:
+    from .core.store import RunStore
+
+    if not os.path.exists(args.store):
+        print(f"no such run store: {args.store}", file=out)
+        return 2
+
+    with RunStore(args.store) as store:
+        if args.key is None:
+            # Listing mode: every stored run, traced ones annotated.
+            for fp, key in store.keys():
+                result = store.get(fp, key)
+                mark = (f"{result.trace_level.label:<7} "
+                        f"{len(result.trace):5d} events"
+                        if result.trace else "untraced")
+                print(f"  {fp}  {key:<40} {mark}", file=out)
+            print(f"{len(store)} stored runs", file=out)
+            return 0
+
+        result, error = _lookup_traced_run(store, args.key,
+                                           args.fingerprint, out)
+        if error is not None:
+            return error
+        if not result.trace:
+            print(f"run {args.key!r} was stored untraced; re-run it "
+                  f"with --trace-level outcome (or higher)", file=out)
+            return 1
+
+        if args.diff is not None:
+            other, error = _lookup_traced_run(store, args.diff,
+                                              args.fingerprint, out)
+            if error is not None:
+                return error
+            if not other.trace:
+                print(f"run {args.diff!r} was stored untraced", file=out)
+                return 1
+            print(render_diff(result.trace, other.trace,
+                              left_label=args.key,
+                              right_label=args.diff), file=out)
+            from .trace import diff_traces
+            return 0 if diff_traces(result.trace, other.trace) is None \
+                else 1
+
+        if args.metrics:
+            print(render_metrics(derive_metrics(result.trace)), file=out)
+        else:
+            print(f"{args.key} ({result.trace_level.label}, "
+                  f"{len(result.trace)} events)", file=out)
+            print(render_timeline(result.trace), file=out)
+        return 0
 
 
 def cmd_lint(args, out) -> int:
@@ -361,6 +476,7 @@ _COMMANDS = {
     "inject": cmd_inject,
     "run": cmd_run,
     "reproduce": cmd_reproduce,
+    "trace": cmd_trace,
     "lint": cmd_lint,
 }
 

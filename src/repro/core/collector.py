@@ -14,6 +14,7 @@ from typing import Optional
 from ..clients.record import ClientRecord
 from ..middleware.mscs import EVENT_ID_RESTART, EVENT_SOURCE as MSCS_SOURCE
 from ..nt.machine import Machine
+from ..trace import TraceLevel, count_restarts_from_trace
 from .faults import FaultSpec
 from .outcomes import FailureMode, Outcome, classify, classify_failure_mode
 from .workload import MiddlewareKind, WorkloadSpec
@@ -29,7 +30,9 @@ class RunResult:
                  response_time: Optional[float], restarts_detected: int,
                  retries_used: int, server_came_up: bool,
                  called_functions: set[str], client_record: ClientRecord,
-                 watchd_version: int):
+                 watchd_version: int,
+                 trace: tuple = (),
+                 trace_level: TraceLevel = TraceLevel.OFF):
         self.workload_name = workload_name
         self.middleware = middleware
         self.fault = fault
@@ -44,6 +47,10 @@ class RunResult:
         self.called_functions = called_functions
         self.client_record = client_record
         self.watchd_version = watchd_version
+        # The structured event trace (tuple of TraceEvent), empty when
+        # the run was executed with tracing off.
+        self.trace = trace
+        self.trace_level = TraceLevel.parse(trace_level)
 
     @property
     def counts_for_statistics(self) -> bool:
@@ -63,6 +70,12 @@ def count_restarts(machine: Machine, middleware: MiddlewareKind,
     ``until`` bounds the evidence to the workload's lifetime, so the
     middleware reacting to the *termination* of the workload at the end
     of the run is not misread as an injection-induced restart.
+
+    When the run is traced, the collector prefers the structured
+    ``mw.restart`` events (see :func:`collect`): middleware emits one at
+    exactly each site it writes restart evidence to its log channel, so
+    both derivations must agree — the trace path merely avoids
+    re-parsing log text.
     """
     if until is None:
         until = float("inf")
@@ -84,7 +97,13 @@ def collect(machine: Machine, workload: WorkloadSpec,
             watchd_version: int) -> RunResult:
     """Assemble a :class:`RunResult` from a finished run's artifacts."""
     record: ClientRecord = client.record
-    restarts = count_restarts(machine, middleware, until=record.finished_at)
+    tracer = machine.tracer
+    if tracer is not None and tracer.outcome_enabled:
+        restarts = count_restarts_from_trace(tracer.events,
+                                             until=record.finished_at)
+    else:
+        restarts = count_restarts(machine, middleware,
+                                  until=record.finished_at)
     retries = record.total_retries
 
     all_ok = record.completed and record.all_succeeded

@@ -24,6 +24,9 @@ workload parameters."*  This is that file, in INI form::
     [execution]
     jobs = 4
     store = runs.jsonl
+
+    [trace]
+    level = outcome
 """
 
 from __future__ import annotations
@@ -31,6 +34,7 @@ from __future__ import annotations
 import configparser
 from typing import Optional
 
+from ..trace import TraceLevel
 from .runner import (
     DEFAULT_CLIENT_TIMEOUT,
     DEFAULT_SERVER_UP_TIMEOUT,
@@ -53,7 +57,8 @@ class DtsConfig:
                  retry_wait: float = 15.0,
                  cpu_mhz: int = 100,
                  jobs: int = 1,
-                 store: Optional[str] = None):
+                 store: Optional[str] = None,
+                 trace_level="off"):
         self.workload = workload
         self.middleware = middleware
         self.watchd_version = watchd_version
@@ -66,6 +71,7 @@ class DtsConfig:
         self.cpu_mhz = cpu_mhz
         self.jobs = jobs
         self.store = store
+        self.trace_level = TraceLevel.parse(trace_level)
 
     # ------------------------------------------------------------------
     def workload_spec(self) -> WorkloadSpec:
@@ -78,6 +84,7 @@ class DtsConfig:
             client_timeout=self.client_timeout,
             watchd_version=self.watchd_version,
             cpu_mhz=self.cpu_mhz,
+            trace_level=self.trace_level,
         )
 
     # ------------------------------------------------------------------
@@ -90,6 +97,7 @@ class DtsConfig:
         machine = parser["machine"] if parser.has_section("machine") else {}
         execution = (parser["execution"]
                      if parser.has_section("execution") else {})
+        trace = parser["trace"] if parser.has_section("trace") else {}
         middleware = MiddlewareKind(dts.get("middleware", "none").lower())
         return cls(
             workload=dts.get("workload", "Apache1"),
@@ -106,6 +114,7 @@ class DtsConfig:
             cpu_mhz=int(machine.get("cpu_mhz", 100)),
             jobs=int(execution.get("jobs", 1)),
             store=execution.get("store") or None,
+            trace_level=trace.get("level", "off"),
         )
 
     @classmethod
@@ -131,6 +140,8 @@ class DtsConfig:
             "\n[execution]\n"
             f"jobs = {self.jobs}\n"
             f"store = {self.store or ''}\n"
+            "\n[trace]\n"
+            f"level = {self.trace_level.label}\n"
         )
 
     def __repr__(self) -> str:

@@ -79,6 +79,16 @@ class Injector(CallHook):
         corrupted = self.fault.fault_type.apply(original)
         self.original_raw = original
         self.corrupted_raw = corrupted
+        machine = process.machine
+        tracer = machine.tracer
+        if tracer is not None and tracer.outcome_enabled:
+            # total_calls has not yet counted the call being corrupted.
+            tracer.emit(machine.engine.now, "fault", "activated",
+                        pid=process.pid, function=sig.name,
+                        invocation=invocation, param_index=self.fault.param_index,
+                        original=original, corrupted=corrupted,
+                        noop=corrupted == original,
+                        call_index=machine.interception.total_calls + 1)
         if corrupted == original:
             # e.g. zeroing a parameter that is already zero: the fault
             # is activated but is a semantic no-op, as on the real tool.

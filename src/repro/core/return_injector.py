@@ -82,6 +82,16 @@ class ReturnInjector(ReturnHook):
         corrupted = self.fault.fault_type.apply(result & 0xFFFFFFFF)
         self.original_result = result
         self.corrupted_result = corrupted
+        machine = process.machine
+        tracer = machine.tracer
+        if tracer is not None and tracer.outcome_enabled:
+            # Return hooks run after dispatch counted this call.
+            tracer.emit(machine.engine.now, "fault", "activated",
+                        pid=process.pid, function=sig.name,
+                        invocation=invocation, original=result,
+                        corrupted=corrupted,
+                        noop=corrupted == (result & 0xFFFFFFFF),
+                        call_index=machine.interception.total_calls)
         if corrupted == (result & 0xFFFFFFFF):
             return None  # value-preserving: activated but a no-op
         return corrupted

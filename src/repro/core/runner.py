@@ -17,6 +17,7 @@ from typing import Optional
 
 from ..nt.machine import Machine
 from ..sim import derive_seed
+from ..trace import TraceLevel, Tracer
 from .collector import RunResult, collect
 from .faults import FaultSpec
 from .injector import Injector
@@ -40,7 +41,8 @@ class RunConfig:
                  watchd_version: int = 3,
                  cpu_mhz: int = 100,
                  keep_full_trace: bool = False,
-                 scm_lock_enabled: bool = True):
+                 scm_lock_enabled: bool = True,
+                 trace_level="off"):
         self.base_seed = base_seed
         self.server_up_timeout = server_up_timeout
         self.client_timeout = client_timeout
@@ -48,6 +50,10 @@ class RunConfig:
         self.cpu_mhz = cpu_mhz
         self.keep_full_trace = keep_full_trace
         self.scm_lock_enabled = scm_lock_enabled
+        # Deliberately excluded from the store's config fingerprint:
+        # tracing observes a run without influencing it, so results
+        # recorded at different trace levels stay interchangeable.
+        self.trace_level = TraceLevel.parse(trace_level)
 
     def seed_for(self, workload: WorkloadSpec, middleware: MiddlewareKind,
                  fault: Optional[FaultSpec]) -> int:
@@ -63,10 +69,27 @@ def execute_run(workload: WorkloadSpec, middleware: MiddlewareKind,
     """Run one fault injection (or a fault-free profiling run when
     ``fault`` is None) and return the collected result."""
     config = config or RunConfig()
+    level = TraceLevel.parse(config.trace_level)
+    tracer = Tracer(level) if level is not TraceLevel.OFF else None
     machine = Machine(seed=config.seed_for(workload, middleware, fault),
                       cpu_mhz=config.cpu_mhz,
                       keep_full_trace=config.keep_full_trace,
-                      scm_lock_enabled=config.scm_lock_enabled)
+                      scm_lock_enabled=config.scm_lock_enabled,
+                      tracer=tracer)
+    if tracer is not None:
+        tracer.emit(0.0, "run", "start", workload=workload.name,
+                    middleware=middleware.value, seed=machine.seed,
+                    watchd_version=config.watchd_version)
+        if fault is not None:
+            armed = {"function": fault.function,
+                     "fault_type": fault.fault_type.value,
+                     "invocation": fault.invocation}
+            if isinstance(fault, ReturnFaultSpec):
+                armed["mechanism"] = "return"
+            else:
+                armed["mechanism"] = "parameter"
+                armed["param_index"] = fault.param_index
+            tracer.emit(0.0, "fault", "armed", **armed)
     workload.setup(machine)
 
     injector = None
@@ -89,13 +112,20 @@ def execute_run(workload: WorkloadSpec, middleware: MiddlewareKind,
             not machine.transport.is_listening(workload.port):
         machine.run(until=min(machine.now + _POLL_STEP, deadline))
     server_came_up = machine.transport.is_listening(workload.port)
+    if tracer is not None:
+        tracer.emit(machine.now, "run", "server-up", came_up=server_came_up)
 
     # --- Run the client -------------------------------------------------
     client = workload.make_client()
+    if tracer is not None:
+        tracer.emit(machine.now, "run", "client-start")
     client_process = machine.processes.spawn(client, role="dts-client")
     client_deadline = machine.now + config.client_timeout
     while client_process.alive and machine.now < client_deadline:
         machine.run(until=min(machine.now + 2.0, client_deadline))
+    if tracer is not None:
+        tracer.emit(machine.now, "run", "client-end",
+                    completed=not client_process.alive)
 
     # --- Workload termination -------------------------------------------
     # Monitoring stops first (as DTS tears the workload down), so the
@@ -116,6 +146,14 @@ def execute_run(workload: WorkloadSpec, middleware: MiddlewareKind,
         server_came_up=server_came_up,
         watchd_version=config.watchd_version,
     )
+    if tracer is not None:
+        tracer.emit(machine.now, "run", "end",
+                    outcome=result.outcome.value,
+                    failure_mode=result.failure_mode.value,
+                    restarts=result.restarts_detected,
+                    activated=result.activated)
+        result.trace = tuple(tracer.events)
+        result.trace_level = level
     machine.shutdown()
     return result
 

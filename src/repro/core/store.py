@@ -21,6 +21,7 @@ from pathlib import Path
 from typing import Optional, Union
 
 from ..clients.record import AttemptResult, ClientRecord, RequestRecord
+from ..trace import TraceLevel, trace_from_lists, trace_to_lists
 from .collector import RunResult
 from .faults import FaultSpec, FaultType
 from .outcomes import FailureMode, Outcome
@@ -29,7 +30,8 @@ from .runner import RunConfig
 from .workload import MiddlewareKind
 
 # Bumped whenever the serialized shape changes; stale stores miss.
-STORE_FORMAT = 1
+# 2: runs optionally carry a structured event trace.
+STORE_FORMAT = 2
 
 PROFILE_KEY = "profile"
 
@@ -99,8 +101,13 @@ def client_record_from_dict(data: dict) -> ClientRecord:
 
 
 def run_result_to_dict(result: RunResult) -> dict:
-    """A :class:`RunResult` as plain JSON-serializable data."""
-    return {
+    """A :class:`RunResult` as plain JSON-serializable data.
+
+    Untraced runs carry no ``trace`` keys at all, so a store written
+    with tracing off is byte-for-byte what format 1 produced (modulo
+    the fingerprint's format field).
+    """
+    data = {
         "workload": result.workload_name,
         "middleware": result.middleware.value,
         "fault": fault_to_dict(result.fault),
@@ -116,6 +123,10 @@ def run_result_to_dict(result: RunResult) -> dict:
         "client_record": client_record_to_dict(result.client_record),
         "watchd_version": result.watchd_version,
     }
+    if result.trace_level is not TraceLevel.OFF:
+        data["trace_level"] = result.trace_level.label
+        data["trace"] = trace_to_lists(result.trace)
+    return data
 
 
 def run_result_from_dict(data: dict) -> RunResult:
@@ -134,6 +145,8 @@ def run_result_from_dict(data: dict) -> RunResult:
         called_functions=set(data["called_functions"]),
         client_record=client_record_from_dict(data["client_record"]),
         watchd_version=data["watchd_version"],
+        trace=trace_from_lists(data.get("trace", ())),
+        trace_level=TraceLevel.parse(data.get("trace_level", "off")),
     )
 
 
@@ -225,6 +238,18 @@ class RunStore:
         self._handle.write(json.dumps({"fp": fingerprint, "key": key,
                                        "run": data}) + "\n")
         self._handle.flush()
+
+    def keys(self) -> list[tuple[str, str]]:
+        """All ``(fingerprint, fault key)`` pairs, sorted."""
+        return sorted(self._index)
+
+    def find(self, fault_key: str) -> list[tuple[str, RunResult]]:
+        """All stored runs for one fault key, across fingerprints
+        (the trace CLI's lookup: a key names the run, the fingerprint
+        disambiguates which campaign configuration produced it)."""
+        return [(fp, run_result_from_dict(data))
+                for (fp, key), data in sorted(self._index.items())
+                if key == fault_key]
 
     def __contains__(self, key: tuple[str, str]) -> bool:
         return key in self._index

@@ -31,6 +31,20 @@ class MiddlewareLogEntry:
         return f"[{self.time:8.3f}] {self.source}: {self.message}"
 
 
+def trace_middleware(ctx, name: str, **data) -> None:
+    """Emit one ``mw.*`` trace event (heartbeat / detect / restart /
+    monitor / …) on the machine's tracer, if tracing is on.
+
+    The restart events in particular are load-bearing: the data
+    collector re-derives its restart count from them when tracing is
+    enabled, so middleware must emit ``mw.restart`` at exactly the
+    points it writes restart evidence to its log channel.
+    """
+    tracer = ctx.machine.tracer
+    if tracer is not None and tracer.outcome_enabled:
+        tracer.emit(ctx.machine.engine.now, "mw", name, **data)
+
+
 def probe_service(ctx, port: int, reply_timeout: float = 12.0):
     """One liveness probe: connect, ping, await pong.
 

@@ -26,6 +26,7 @@ from ..nt.eventlog import EventType
 from ..nt.scm import ServiceState
 from ..servers.base import CLUSTER_ENV_MARKER
 from ..sim import Sleep
+from .base import trace_middleware
 
 EVENT_SOURCE = "ClusSvc"
 EVENT_ID_ONLINE = 1200
@@ -73,11 +74,15 @@ class ClusterService:
         while True:
             yield Sleep(self.poll_interval)
             state = scm.query_service_state(self.service_name)
+            trace_middleware(ctx, "poll", service=self.service_name,
+                             state=None if state is None else state.value)
             if state is ServiceState.RUNNING:
                 continue  # LooksAlive: healthy as far as the monitor can tell
             if state in (ServiceState.START_PENDING, ServiceState.STOP_PENDING):
                 continue  # the SCM database is locked; check again later
             # The service stopped: attempt a restart.
+            trace_middleware(ctx, "detect", service=self.service_name,
+                             reason="stopped")
             if self.restart_count >= self.restart_threshold:
                 if not self.resource_failed:
                     self.resource_failed = True
@@ -85,6 +90,8 @@ class ClusterService:
                               EVENT_ID_RESOURCE_FAILED,
                               f"Resource {self.service_name} failed: "
                               f"restart threshold exceeded.")
+                    trace_middleware(ctx, "resource-failed",
+                                     service=self.service_name)
                 continue
             error = scm.start_service(self.service_name)
             if error == ERROR_SUCCESS:
@@ -92,6 +99,8 @@ class ClusterService:
                 self._log(machine, EventType.WARNING, EVENT_ID_RESTART,
                           f"Restarting resource {self.service_name} "
                           f"(attempt {self.restart_count}).")
+                trace_middleware(ctx, "restart", service=self.service_name,
+                                 count=self.restart_count)
             elif error == ERROR_SERVICE_ALREADY_RUNNING:
                 continue
             # A locked database is retried at the next poll, silently.

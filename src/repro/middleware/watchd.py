@@ -47,7 +47,12 @@ from ..nt.errors import (
 from ..nt.scm import ServiceState
 from ..servers.base import WATCHD_ENV_MARKER
 from ..sim import Sleep
-from .base import MiddlewareLogEntry, probe_service, wait_for_exit
+from .base import (
+    MiddlewareLogEntry,
+    probe_service,
+    trace_middleware,
+    wait_for_exit,
+)
 
 LOG_SOURCE = "watchd"
 
@@ -93,6 +98,7 @@ class Watchd:
             if process is None:
                 self.gave_up = True
                 self._log(ctx, f"giving up on {self.service_name}")
+                trace_middleware(ctx, "giveup", service=self.service_name)
                 return
             process = yield from self._monitor(ctx, process)
             # _monitor returns the replacement process after a restart,
@@ -122,6 +128,8 @@ class Watchd:
             self._log(ctx, "getServiceInfo failed: no process handle")
             return None
         self._log(ctx, f"monitoring {self.service_name} pid={process.pid}")
+        trace_middleware(ctx, "monitor", service=self.service_name,
+                         pid=process.pid)
         return process
 
     def _start_v2(self, ctx):
@@ -140,6 +148,8 @@ class Watchd:
                     process is not None and process.alive:
                 self._log(ctx,
                           f"monitoring {self.service_name} pid={process.pid}")
+                trace_middleware(ctx, "monitor", service=self.service_name,
+                                 pid=process.pid)
                 return process
             if process is not None and not process.alive:
                 if service.running_since is not None:
@@ -148,6 +158,9 @@ class Watchd:
                     # captured handle is exactly what v1's race lost.
                     self._log(ctx, f"{self.service_name} died right "
                                    f"after start; handle retained")
+                    trace_middleware(ctx, "monitor",
+                                     service=self.service_name,
+                                     pid=process.pid)
                     return process
                 if service.state is ServiceState.STOPPED:
                     self._log(ctx, "service died before running")
@@ -184,6 +197,8 @@ class Watchd:
                 self._log(ctx, f"restarting {self.service_name} "
                                f"(validated start, restart "
                                f"#{self.restart_count})")
+                trace_middleware(ctx, "restart", service=self.service_name,
+                                 count=self.restart_count)
             service = scm.get_service(self.service_name)
             process = service.process
             waited = 0.0
@@ -195,6 +210,9 @@ class Watchd:
                         scm.service_process(self.service_name) is process:
                     self._log(ctx, f"monitoring {self.service_name} "
                                    f"pid={process.pid} (verified)")
+                    trace_middleware(ctx, "monitor",
+                                     service=self.service_name,
+                                     pid=process.pid)
                     return process
                 yield Sleep(0.5)
                 waited += 0.5
@@ -217,6 +235,8 @@ class Watchd:
             if died:
                 self._log(ctx, f"{self.service_name} pid={process.pid} died "
                                f"(exit={process.exit_code})")
+                trace_middleware(ctx, "detect", service=self.service_name,
+                                 reason="died", pid=process.pid)
                 return (yield from self._restart(ctx))
             if self.probe_port is None:
                 continue
@@ -225,6 +245,8 @@ class Watchd:
                 continue
             time_to_probe = PROBE_INTERVAL
             healthy = yield from probe_service(ctx, self.probe_port)
+            trace_middleware(ctx, "heartbeat", service=self.service_name,
+                             port=self.probe_port, healthy=healthy)
             if healthy:
                 probe_failures = 0
                 continue
@@ -234,6 +256,8 @@ class Watchd:
             if probe_failures >= PROBE_FAILURES_TO_RESTART:
                 self._log(ctx, f"{self.service_name} unresponsive; "
                                f"forcing restart")
+                trace_middleware(ctx, "detect", service=self.service_name,
+                                 reason="hung")
                 if process.alive:
                     process.terminate(exit_code=1)
                 yield Sleep(0.5)  # let the SCM observe the death
@@ -247,6 +271,8 @@ class Watchd:
             self.restart_count += 1
             self._log(ctx, f"restarting {self.service_name} "
                            f"(restart #{self.restart_count})")
+            trace_middleware(ctx, "restart", service=self.service_name,
+                             count=self.restart_count)
         # (v3 logs its restarts inside the validated start loop, which
         # is the only place it ever respawns the server.)
         if self.version in (1, 2):

@@ -122,6 +122,11 @@ class InterceptionLayer:
 
         self._called_by_role.setdefault(process.role, set()).add(sig.name)
         self._call_counts[sig.name] = self._call_counts.get(sig.name, 0) + 1
+        tracer = process.machine.tracer
+        if tracer is not None and tracer.calls_enabled:
+            tracer.emit(process.machine.engine.now, "call", "enter",
+                        pid=process.pid, role=process.role, func=sig.name,
+                        invocation=invocation, injected=injected)
         if self.keep_full_trace:
             self.trace.append(CallRecord(
                 process.machine.engine.now, process.pid, process.role,
@@ -132,13 +137,18 @@ class InterceptionLayer:
     def dispatch_return(self, process: "NTProcess", sig: FunctionSig,
                         result):
         """Run return hooks over one completed call's result."""
-        if not self.return_hooks or not isinstance(result, int):
-            return result
-        invocation = self._invocations.get((process.pid, sig.name), 0)
-        for hook in self.return_hooks:
-            replacement = hook.on_return(process, sig, invocation, result)
-            if replacement is not None:
-                result = replacement
+        if self.return_hooks and isinstance(result, int):
+            invocation = self._invocations.get((process.pid, sig.name), 0)
+            for hook in self.return_hooks:
+                replacement = hook.on_return(process, sig, invocation, result)
+                if replacement is not None:
+                    result = replacement
+        tracer = process.machine.tracer
+        if tracer is not None and tracer.calls_enabled:
+            data = {"pid": process.pid, "func": sig.name}
+            if result is None or isinstance(result, (int, float, str)):
+                data["result"] = result
+            tracer.emit(process.machine.engine.now, "call", "exit", **data)
         return result
 
     # ------------------------------------------------------------------
@@ -159,6 +169,12 @@ class InterceptionLayer:
     def call_count(self, func: str) -> int:
         """Total calls of ``func`` across all processes."""
         return self._call_counts.get(func, 0)
+
+    @property
+    def total_calls(self) -> int:
+        """All intercepted calls so far, machine-wide (the trace layer's
+        call-index clock)."""
+        return sum(self._call_counts.values())
 
     def invocation_count(self, pid: int, func: str) -> int:
         return self._invocations.get((pid, func), 0)

@@ -33,10 +33,14 @@ class Machine:
     """One simulated Windows NT 4.0 Enterprise Server box."""
 
     def __init__(self, seed: int = 0, cpu_mhz: int = DEFAULT_CPU_MHZ,
-                 keep_full_trace: bool = True, scm_lock_enabled: bool = True):
+                 keep_full_trace: bool = True, scm_lock_enabled: bool = True,
+                 tracer=None):
         self.seed = seed
         self.cpu_mhz = cpu_mhz
-        self.engine = Engine()
+        # The structured run tracer (repro.trace.Tracer), or None when
+        # tracing is off — every subsystem gates on that None test.
+        self.tracer = tracer
+        self.engine = Engine(tracer=tracer)
         self.rng = RandomStreams(seed)
         self.address_space = AddressSpace()
         self.handles = HandleTable()

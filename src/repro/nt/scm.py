@@ -132,6 +132,14 @@ class ServiceControlManager:
     # ------------------------------------------------------------------
     def start_service(self, name: str) -> int:
         """Attempt to start a service; returns a Win32 error code."""
+        error = self._start_service(name)
+        tracer = self.machine.tracer
+        if tracer is not None and tracer.outcome_enabled:
+            tracer.emit(self.machine.engine.now, "scm", "start",
+                        service=name, error=error)
+        return error
+
+    def _start_service(self, name: str) -> int:
         service = self.services.get(name)
         if service is None:
             return ERROR_SERVICE_DOES_NOT_EXIST
@@ -229,6 +237,10 @@ class ServiceControlManager:
     def _set_state(self, service: Service, state: ServiceState) -> None:
         service.state = state
         service.history.append((self.machine.engine.now, state))
+        tracer = self.machine.tracer
+        if tracer is not None and tracer.outcome_enabled:
+            tracer.emit(self.machine.engine.now, "scm", "state",
+                        service=service.name, state=state.value)
 
     def _cancel_pending_timer(self, service: Service) -> None:
         if service.pending_timer is not None:

@@ -67,15 +67,20 @@ class Engine:
 
     Callbacks scheduled at equal times run in FIFO scheduling order,
     which keeps runs reproducible.
+
+    ``tracer`` (a :class:`repro.trace.Tracer`) records scheduling and
+    dispatch events at trace level ``full``; the hot path pays one
+    ``None`` test per operation when tracing is off.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, tracer=None) -> None:
         self._now = 0.0
         self._queue: list[Timer] = []
         self._seq = itertools.count()
         self._running = False
         self._stopped = False
         self._events_processed = 0
+        self.tracer = tracer
 
     # ------------------------------------------------------------------
     # Clock
@@ -111,6 +116,12 @@ class Engine:
             )
         timer = Timer(time, next(self._seq), callback, args)
         heapq.heappush(self._queue, timer)
+        tracer = self.tracer
+        if tracer is not None and tracer.full_enabled:
+            from ..trace import callback_label
+
+            tracer.emit(self._now, "engine", "schedule", at=time,
+                        callback=callback_label(callback))
         return timer
 
     # ------------------------------------------------------------------
@@ -129,6 +140,12 @@ class Engine:
             callback, args = timer.callback, timer.args
             timer.cancel()  # mark consumed so .active is False afterwards
             self._events_processed += 1
+            tracer = self.tracer
+            if tracer is not None and tracer.full_enabled:
+                from ..trace import callback_label
+
+                tracer.emit(self._now, "engine", "fire",
+                            callback=callback_label(callback))
             callback(*args)
             return True
         return False

@@ -149,6 +149,9 @@ class SimProcess:
     # ------------------------------------------------------------------
     def _advance(self, step) -> None:
         """Run one resume of the generator and arm its next wait."""
+        tracer = self.engine.tracer
+        if tracer is not None and tracer.full_enabled:
+            tracer.emit(self.engine.now, "proc", "switch", name=self.name)
         try:
             command = step()
         except StopIteration as stop:
@@ -216,6 +219,11 @@ class SimProcess:
             return
         self._resumed = True
         self._clear_pending()
+        if value is TIMED_OUT:
+            tracer = self.engine.tracer
+            if tracer is not None and tracer.full_enabled:
+                tracer.emit(self.engine.now, "proc", "timeout",
+                            name=self.name)
         self._advance(lambda: self.generator.send(value))
 
     def _clear_pending(self) -> None:

@@ -1,0 +1,67 @@
+"""repro.trace — structured, low-overhead run tracing.
+
+A :class:`Tracer` rides on the simulated machine and records a
+deterministic stream of :class:`TraceEvent`\\ s from every layer of a
+fault-injection run — the event engine, the interception layer and
+injector, the SCM, and the middleware monitors.  The stream is captured
+into the run store alongside each :class:`~repro.core.collector.RunResult`,
+rendered by ``python -m repro trace``, and used as the *oracle* of the
+differential test suite: serial and process-pool campaigns must produce
+byte-identical traces.
+
+Levels (``[trace] level`` in the config): ``off`` < ``outcome`` <
+``calls`` < ``full`` — see :class:`TraceLevel`.
+"""
+
+from .events import (
+    TRACE_LEVEL_NAMES,
+    TraceEvent,
+    TraceLevel,
+    encode_event,
+    event_from_list,
+    event_to_list,
+    trace_from_jsonl,
+    trace_from_lists,
+    trace_to_jsonl,
+    trace_to_lists,
+)
+from .metrics import (
+    RunMetrics,
+    count_restarts_from_trace,
+    derive_metrics,
+    mean,
+)
+from .timeline import (
+    TraceDivergence,
+    diff_traces,
+    format_event,
+    render_diff,
+    render_metrics,
+    render_timeline,
+)
+from .tracer import Tracer, callback_label
+
+__all__ = [
+    "TRACE_LEVEL_NAMES",
+    "TraceLevel",
+    "TraceEvent",
+    "Tracer",
+    "callback_label",
+    "encode_event",
+    "event_to_list",
+    "event_from_list",
+    "trace_to_jsonl",
+    "trace_from_jsonl",
+    "trace_to_lists",
+    "trace_from_lists",
+    "RunMetrics",
+    "derive_metrics",
+    "count_restarts_from_trace",
+    "mean",
+    "TraceDivergence",
+    "diff_traces",
+    "format_event",
+    "render_diff",
+    "render_metrics",
+    "render_timeline",
+]

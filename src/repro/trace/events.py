@@ -1,0 +1,145 @@
+"""The trace event model and its wire format.
+
+A run's trace is an ordered sequence of :class:`TraceEvent`\\ s, each
+stamped with the virtual time it occurred at and a ``category.name``
+pair from the schema in DESIGN.md (``run.start``, ``fault.activated``,
+``call.enter``, ``scm.state``, ``mw.restart``, ``engine.fire``, …).
+
+Everything here is deterministic by construction: event payloads are
+restricted to JSON scalars, sequence numbers are densely assigned in
+emission order, and the JSONL encoding sorts keys — so two runs with
+the same seed produce *byte-identical* trace streams whatever process
+or worker executed them.  That is what lets the differential test
+suite use traces as an oracle for the serial-vs-pool contract.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from typing import Iterable, Optional, Union
+
+
+class TraceLevel(enum.IntEnum):
+    """How much of a run is recorded (``[trace] level`` in the config).
+
+    Levels are cumulative: each one records everything below it.
+
+    - ``off`` — no events at all; the emitter short-circuits.
+    - ``outcome`` — run lifecycle, fault armed/activated (with the
+      corrupted value before/after), SCM state transitions, middleware
+      heartbeat/detection/restart.  Cheap enough to stay on by default.
+    - ``calls`` — adds every intercepted library call (entry and exit).
+    - ``full`` — adds engine scheduling and process context switches.
+    """
+
+    OFF = 0
+    OUTCOME = 1
+    CALLS = 2
+    FULL = 3
+
+    @classmethod
+    def parse(cls, value: Union[str, int, "TraceLevel"]) -> "TraceLevel":
+        if isinstance(value, cls):
+            return value
+        if isinstance(value, int):
+            return cls(value)
+        try:
+            return cls[str(value).strip().upper()]
+        except KeyError:
+            names = ", ".join(level.name.lower() for level in cls)
+            raise ValueError(
+                f"unknown trace level {value!r} (expected one of {names})"
+            ) from None
+
+    @property
+    def label(self) -> str:
+        return self.name.lower()
+
+
+TRACE_LEVEL_NAMES = tuple(level.label for level in TraceLevel)
+
+# Payload values are restricted to JSON scalars so every event encodes
+# deterministically and round-trips exactly.
+Scalar = Union[str, int, float, bool, None]
+
+
+class TraceEvent:
+    """One structured event in a run's trace stream."""
+
+    __slots__ = ("seq", "time", "category", "name", "data")
+
+    def __init__(self, seq: int, time: float, category: str, name: str,
+                 data: Optional[dict] = None):
+        self.seq = seq
+        self.time = time
+        self.category = category
+        self.name = name
+        self.data = data if data is not None else {}
+
+    @property
+    def kind(self) -> str:
+        """The schema identifier, e.g. ``fault.activated``."""
+        return f"{self.category}.{self.name}"
+
+    def __eq__(self, other) -> bool:
+        return (isinstance(other, TraceEvent)
+                and self.seq == other.seq and self.time == other.time
+                and self.category == other.category
+                and self.name == other.name and self.data == other.data)
+
+    def __hash__(self) -> int:
+        return hash((self.seq, self.time, self.category, self.name,
+                     tuple(sorted(self.data.items()))))
+
+    def __repr__(self) -> str:
+        return (f"<TraceEvent #{self.seq} t={self.time:.3f} "
+                f"{self.kind} {self.data!r}>")
+
+
+# ----------------------------------------------------------------------
+# Wire format
+# ----------------------------------------------------------------------
+def event_to_list(event: TraceEvent) -> list:
+    """The compact JSON shape: ``[time, category, name, data]``.
+
+    The sequence number is implicit (it equals the event's position in
+    the stream), which keeps stored traces small.
+    """
+    return [event.time, event.category, event.name, event.data]
+
+
+def event_from_list(seq: int, entry: Iterable) -> TraceEvent:
+    time, category, name, data = entry
+    return TraceEvent(seq, time, category, name, dict(data))
+
+
+def encode_event(event: TraceEvent) -> str:
+    """One canonical JSONL line (sorted keys, no whitespace)."""
+    return json.dumps(event_to_list(event), sort_keys=True,
+                      separators=(",", ":"))
+
+
+def trace_to_jsonl(events: Iterable[TraceEvent]) -> str:
+    """The canonical byte representation of a whole trace stream."""
+    return "".join(encode_event(event) + "\n" for event in events)
+
+
+def trace_from_jsonl(text: str) -> list[TraceEvent]:
+    events = []
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        events.append(event_from_list(len(events), json.loads(line)))
+    return events
+
+
+def trace_to_lists(events: Iterable[TraceEvent]) -> list[list]:
+    """The embeddable JSON shape used inside run-store records."""
+    return [event_to_list(event) for event in events]
+
+
+def trace_from_lists(entries: Iterable[Iterable]) -> list[TraceEvent]:
+    return [event_from_list(seq, entry)
+            for seq, entry in enumerate(entries)]

@@ -1,0 +1,128 @@
+"""Per-run metrics derived from a trace stream.
+
+The paper's Figures 4 and 5 argue about *why* runs end the way they do
+— how quickly the middleware noticed a corrupted server and how long
+the restart took.  With a trace these stop being inferences and become
+measurements:
+
+- **time to detection** — fault activation (``fault.activated``) to the
+  middleware's first detection event (``mw.detect``);
+- **time to restart** — detection to the service demonstrably running
+  again (the next ``scm.state`` → ``running`` transition, or the
+  middleware re-establishing monitoring);
+- **activated-fault index** — the invocation at which the armed fault
+  fired;
+- **calls until activation** — how many intercepted library calls the
+  workload made before the fault activated.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from .events import TraceEvent
+
+
+class RunMetrics:
+    """What one run's trace says about detection and recovery."""
+
+    __slots__ = ("activated_at", "activated_function",
+                 "activation_invocation", "calls_until_activation",
+                 "detected_at", "detection_reason", "restarted_at",
+                 "restart_count", "outcome")
+
+    def __init__(self):
+        self.activated_at: Optional[float] = None
+        self.activated_function: Optional[str] = None
+        self.activation_invocation: Optional[int] = None
+        self.calls_until_activation: Optional[int] = None
+        self.detected_at: Optional[float] = None
+        self.detection_reason: Optional[str] = None
+        self.restarted_at: Optional[float] = None
+        self.restart_count = 0
+        self.outcome: Optional[str] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def time_to_detection(self) -> Optional[float]:
+        """Fault activation -> middleware detection (virtual seconds)."""
+        if self.activated_at is None or self.detected_at is None:
+            return None
+        return self.detected_at - self.activated_at
+
+    @property
+    def time_to_restart(self) -> Optional[float]:
+        """Middleware detection -> service running again."""
+        if self.detected_at is None or self.restarted_at is None:
+            return None
+        return self.restarted_at - self.detected_at
+
+    def __repr__(self) -> str:
+        return (f"<RunMetrics activated_at={self.activated_at} "
+                f"ttd={self.time_to_detection} ttr={self.time_to_restart} "
+                f"restarts={self.restart_count}>")
+
+
+def derive_metrics(events: Iterable[TraceEvent]) -> RunMetrics:
+    """Walk one run's trace and extract the derived metrics.
+
+    Requires at least ``outcome``-level events; call-level detail is
+    not needed (the activation event carries its own call index).
+    """
+    metrics = RunMetrics()
+    for event in events:
+        category, name = event.category, event.name
+        if category == "fault" and name == "activated":
+            if metrics.activated_at is None:
+                metrics.activated_at = event.time
+                metrics.activated_function = event.data.get("function")
+                metrics.activation_invocation = event.data.get("invocation")
+                metrics.calls_until_activation = event.data.get("call_index")
+        elif category == "mw":
+            if name == "detect":
+                if (metrics.detected_at is None
+                        and metrics.activated_at is not None
+                        and event.time >= metrics.activated_at):
+                    metrics.detected_at = event.time
+                    metrics.detection_reason = event.data.get("reason")
+            elif name == "restart":
+                metrics.restart_count += 1
+            elif name == "monitor":
+                # watchd re-established monitoring: recovery complete.
+                if (metrics.detected_at is not None
+                        and metrics.restarted_at is None
+                        and event.time > metrics.detected_at):
+                    metrics.restarted_at = event.time
+        elif category == "scm" and name == "state":
+            if (event.data.get("state") == "running"
+                    and metrics.detected_at is not None
+                    and metrics.restarted_at is None
+                    and event.time > metrics.detected_at):
+                metrics.restarted_at = event.time
+        elif category == "run" and name == "end":
+            metrics.outcome = event.data.get("outcome")
+    return metrics
+
+
+def count_restarts_from_trace(events: Iterable[TraceEvent],
+                              until: Optional[float] = None) -> int:
+    """Restart evidence from the trace stream itself.
+
+    The middleware emits one ``mw.restart`` event at exactly the points
+    it writes a restart line to its log channel, so this agrees with
+    :func:`repro.core.collector.count_restarts`'s post-hoc reading of
+    the event log / watchd log — a property the test suite pins.
+    """
+    if until is None:
+        until = float("inf")
+    return sum(1 for event in events
+               if event.category == "mw" and event.name == "restart"
+               and event.time <= until)
+
+
+def mean(values: Iterable[float]) -> Optional[float]:
+    """Arithmetic mean, or None for an empty sequence."""
+    values = list(values)
+    if not values:
+        return None
+    return sum(values) / len(values)

@@ -1,0 +1,113 @@
+"""Human-readable timeline rendering and event-by-event trace diffing.
+
+Backs ``python -m repro trace <store> <run-key>``: render one run's
+trace as an indented timeline, or align two traces and show where they
+diverge (the debugging view for failed reproductions and backend
+nondeterminism).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from .events import TraceEvent
+from .metrics import RunMetrics
+
+
+def _format_data(data: dict) -> str:
+    return " ".join(f"{key}={value!r}" for key, value in data.items())
+
+
+def format_event(event: TraceEvent) -> str:
+    kind = f"{event.category}.{event.name}"
+    return f"{event.time:10.3f}  {kind:<18} {_format_data(event.data)}".rstrip()
+
+
+def render_timeline(events: Sequence[TraceEvent]) -> str:
+    """The full trace as one line per event, time-ordered."""
+    if not events:
+        return "(empty trace)"
+    lines = [f"{'time':>10}  {'event':<18} data", "-" * 64]
+    lines.extend(format_event(event) for event in events)
+    return "\n".join(lines)
+
+
+def render_metrics(metrics: RunMetrics) -> str:
+    """The derived per-run metrics as a small report."""
+    def fmt(value, suffix="s"):
+        return "n/a" if value is None else f"{value:.3f}{suffix}"
+
+    lines = [
+        f"activated at        : {fmt(metrics.activated_at)}",
+        f"activated function  : {metrics.activated_function or 'n/a'}",
+        f"activation invocation: {metrics.activation_invocation or 'n/a'}",
+        f"calls until activation: {metrics.calls_until_activation or 'n/a'}",
+        f"detected at         : {fmt(metrics.detected_at)}"
+        + (f" ({metrics.detection_reason})" if metrics.detection_reason
+           else ""),
+        f"time to detection   : {fmt(metrics.time_to_detection)}",
+        f"restarted at        : {fmt(metrics.restarted_at)}",
+        f"time to restart     : {fmt(metrics.time_to_restart)}",
+        f"restarts            : {metrics.restart_count}",
+        f"outcome             : {metrics.outcome or 'n/a'}",
+    ]
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Diffing
+# ----------------------------------------------------------------------
+class TraceDivergence:
+    """The first position where two traces stop agreeing."""
+
+    __slots__ = ("index", "left", "right")
+
+    def __init__(self, index: int, left: Optional[TraceEvent],
+                 right: Optional[TraceEvent]):
+        self.index = index
+        self.left = left
+        self.right = right
+
+    def __repr__(self) -> str:
+        return f"<TraceDivergence at #{self.index}>"
+
+
+def _events_equal(left: TraceEvent, right: TraceEvent) -> bool:
+    return (left.time == right.time and left.category == right.category
+            and left.name == right.name and left.data == right.data)
+
+
+def diff_traces(left: Sequence[TraceEvent],
+                right: Sequence[TraceEvent]) -> Optional[TraceDivergence]:
+    """First event-by-event divergence, or None when identical."""
+    for index in range(max(len(left), len(right))):
+        a = left[index] if index < len(left) else None
+        b = right[index] if index < len(right) else None
+        if a is None or b is None or not _events_equal(a, b):
+            return TraceDivergence(index, a, b)
+    return None
+
+
+def render_diff(left: Sequence[TraceEvent], right: Sequence[TraceEvent],
+                left_label: str = "left", right_label: str = "right",
+                context: int = 3) -> str:
+    """Aligned diff report: shared prefix context, then the divergence."""
+    divergence = diff_traces(left, right)
+    if divergence is None:
+        return (f"traces are identical "
+                f"({len(left)} events, byte-identical streams)")
+    index = divergence.index
+    lines = [f"traces diverge at event #{index} "
+             f"({len(left)} vs {len(right)} events)"]
+    start = max(0, index - context)
+    if start > 0:
+        lines.append(f"  ... {start} identical event(s) ...")
+    for position in range(start, index):
+        lines.append(f"    {format_event(left[position])}")
+    lines.append(f"- [{left_label}] "
+                 + (format_event(divergence.left).strip()
+                    if divergence.left is not None else "(stream ended)"))
+    lines.append(f"+ [{right_label}] "
+                 + (format_event(divergence.right).strip()
+                    if divergence.right is not None else "(stream ended)"))
+    return "\n".join(lines)

@@ -1,0 +1,65 @@
+"""The per-run trace emitter.
+
+One :class:`Tracer` is built per fault-injection run and handed to the
+:class:`~repro.nt.machine.Machine`, which exposes it to every subsystem
+(the engine, the interception layer, the SCM, middleware programs).
+
+Emission is designed to cost nothing when it is not wanted:
+
+- at level ``off`` no tracer is attached at all (``machine.tracer is
+  None``), so hot paths pay a single attribute load and ``None`` test;
+- call sites gate on the precomputed ``outcome_enabled`` /
+  ``calls_enabled`` / ``full_enabled`` booleans rather than comparing
+  levels per event;
+- :meth:`Tracer.emit` itself short-circuits below ``outcome``, so even
+  a mis-gated call site cannot record events on an off-level tracer.
+"""
+
+from __future__ import annotations
+
+from .events import TraceEvent, TraceLevel, trace_to_jsonl
+
+
+class Tracer:
+    """Collects one run's ordered event stream."""
+
+    __slots__ = ("level", "events", "outcome_enabled", "calls_enabled",
+                 "full_enabled")
+
+    def __init__(self, level: TraceLevel | str = TraceLevel.OUTCOME):
+        self.level = TraceLevel.parse(level)
+        self.events: list[TraceEvent] = []
+        self.outcome_enabled = self.level >= TraceLevel.OUTCOME
+        self.calls_enabled = self.level >= TraceLevel.CALLS
+        self.full_enabled = self.level >= TraceLevel.FULL
+
+    def emit(self, time: float, category: str, name: str, /, **data) -> None:
+        """Record one event (a no-op below level ``outcome``).
+
+        The positional parameters are positional-only so payload keys
+        named ``time``/``category``/``name`` cannot collide with them.
+        """
+        if not self.outcome_enabled:
+            return
+        events = self.events
+        events.append(TraceEvent(len(events), time, category, name, data))
+
+    def jsonl(self) -> str:
+        """The canonical byte representation of the stream so far."""
+        return trace_to_jsonl(self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __repr__(self) -> str:
+        return f"<Tracer level={self.level.label} events={len(self.events)}>"
+
+
+def callback_label(callback) -> str:
+    """A deterministic display name for an engine callback.
+
+    ``repr`` would leak memory addresses; qualified names are stable
+    across processes, which full-level traces rely on.
+    """
+    label = getattr(callback, "__qualname__", None)
+    return label if label else type(callback).__name__

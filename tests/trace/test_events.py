@@ -1,0 +1,127 @@
+"""Property tests for the trace event model and wire format.
+
+Two properties carry the tentpole's weight: *any* event sequence
+round-trips exactly through the canonical JSONL encoding (so stored
+traces are lossless), and a tracer at level ``off`` is a true no-op
+(so untraced campaigns pay nothing and can never leak an event).
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.trace import (
+    TRACE_LEVEL_NAMES,
+    TraceEvent,
+    TraceLevel,
+    Tracer,
+    encode_event,
+    trace_from_jsonl,
+    trace_from_lists,
+    trace_to_jsonl,
+    trace_to_lists,
+)
+
+# Payloads are JSON scalars by the schema's own rule; keys are short
+# identifiers in practice but the format must not care.
+scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2 ** 63), max_value=2 ** 64),
+    st.floats(allow_nan=False, allow_infinity=False),
+    st.text(max_size=40),
+)
+names = st.text(
+    alphabet=st.characters(codec="utf-8", exclude_characters="\x00"),
+    min_size=1, max_size=20)
+payloads = st.dictionaries(names, scalars, max_size=5)
+times = st.floats(min_value=0, allow_nan=False, allow_infinity=False,
+                  max_value=1e9)
+
+
+@st.composite
+def traces(draw, max_events=20):
+    entries = draw(st.lists(st.tuples(times, names, names, payloads),
+                            max_size=max_events))
+    return [TraceEvent(seq, time, category, name, dict(data))
+            for seq, (time, category, name, data) in enumerate(entries)]
+
+
+@given(traces())
+@settings(max_examples=200)
+def test_jsonl_round_trip_is_exact(events):
+    decoded = trace_from_jsonl(trace_to_jsonl(events))
+    assert decoded == events
+    assert [e.seq for e in decoded] == list(range(len(events)))
+
+
+@given(traces())
+def test_store_shape_round_trip_is_exact(events):
+    assert trace_from_lists(trace_to_lists(events)) == events
+
+
+@given(traces())
+def test_round_trip_preserves_bytes(events):
+    # Encoding is canonical: re-encoding a decoded stream reproduces
+    # the original bytes, so byte comparison == semantic comparison.
+    text = trace_to_jsonl(events)
+    assert trace_to_jsonl(trace_from_jsonl(text)) == text
+
+
+@given(traces(max_events=5))
+def test_encoding_is_single_line_json(events):
+    for event in events:
+        line = encode_event(event)
+        assert "\n" not in line
+        assert json.loads(line) == [event.time, event.category, event.name,
+                                    event.data]
+
+
+@given(st.lists(st.tuples(times, names, names, payloads), max_size=30))
+def test_off_level_emits_nothing(entries):
+    tracer = Tracer(TraceLevel.OFF)
+    assert not tracer.outcome_enabled
+    assert not tracer.calls_enabled and not tracer.full_enabled
+    for time, category, name, data in entries:
+        tracer.emit(time, category, name, **data)
+    assert len(tracer.events) == 0
+    assert trace_to_jsonl(tracer.events) == ""
+
+
+@given(st.lists(st.tuples(times, names, names, payloads), min_size=1,
+                max_size=30))
+def test_enabled_tracer_keeps_emission_order_and_dense_seq(entries):
+    tracer = Tracer(TraceLevel.OUTCOME)
+    for time, category, name, data in entries:
+        tracer.emit(time, category, name, **data)
+    assert [e.seq for e in tracer.events] == list(range(len(entries)))
+    assert [(e.time, e.category, e.name, e.data)
+            for e in tracer.events] == [
+        (time, category, name, data)
+        for time, category, name, data in entries]
+
+
+def test_levels_are_ordered_and_cumulative():
+    assert TraceLevel.OFF < TraceLevel.OUTCOME < TraceLevel.CALLS \
+        < TraceLevel.FULL
+    calls = Tracer(TraceLevel.CALLS)
+    assert calls.outcome_enabled and calls.calls_enabled
+    assert not calls.full_enabled
+    full = Tracer(TraceLevel.FULL)
+    assert full.outcome_enabled and full.calls_enabled and full.full_enabled
+
+
+@pytest.mark.parametrize("label", TRACE_LEVEL_NAMES)
+def test_parse_accepts_every_label_and_itself(label):
+    level = TraceLevel.parse(label)
+    assert level.label == label
+    assert TraceLevel.parse(level) is level
+    assert TraceLevel.parse(int(level)) is level
+    assert TraceLevel.parse(label.upper()) is level
+
+
+def test_parse_rejects_unknown_levels():
+    with pytest.raises(ValueError, match="unknown trace level"):
+        TraceLevel.parse("verbose")

@@ -1,0 +1,100 @@
+"""Derived per-run metrics and the timeline/diff renderers."""
+
+from repro.trace import (
+    TraceDivergence,
+    TraceEvent,
+    derive_metrics,
+    diff_traces,
+    format_event,
+    mean,
+    render_diff,
+    render_metrics,
+    render_timeline,
+)
+
+
+def _trace():
+    return [
+        TraceEvent(0, 0.0, "run", "start", {"workload": "Apache1"}),
+        TraceEvent(1, 0.0, "fault", "armed", {"function": "ReadFile"}),
+        TraceEvent(2, 3.0, "mw", "monitor", {"service": "Apache",
+                                             "pid": 100}),
+        TraceEvent(3, 5.0, "fault", "activated",
+                   {"function": "ReadFile", "invocation": 2,
+                    "call_index": 17}),
+        TraceEvent(4, 12.0, "mw", "detect", {"reason": "died"}),
+        TraceEvent(5, 12.5, "mw", "restart", {"count": 1}),
+        TraceEvent(6, 18.0, "scm", "state", {"service": "Apache",
+                                             "state": "running"}),
+        TraceEvent(7, 30.0, "run", "end", {"outcome": "restart-success"}),
+    ]
+
+
+def test_derive_metrics_reads_the_paper_quantities():
+    metrics = derive_metrics(_trace())
+    assert metrics.activated_at == 5.0
+    assert metrics.activated_function == "ReadFile"
+    assert metrics.activation_invocation == 2
+    assert metrics.calls_until_activation == 17
+    assert metrics.detected_at == 12.0
+    assert metrics.detection_reason == "died"
+    assert metrics.time_to_detection == 7.0
+    assert metrics.restarted_at == 18.0
+    assert metrics.time_to_restart == 6.0
+    assert metrics.restart_count == 1
+    assert metrics.outcome == "restart-success"
+
+
+def test_detection_before_activation_is_not_counted():
+    events = _trace()
+    # A detect event before the fault fired (e.g. middleware noise)
+    # must not become the detection latency anchor.
+    events.insert(2, TraceEvent(9, 1.0, "mw", "detect",
+                                {"reason": "died"}))
+    metrics = derive_metrics(events)
+    assert metrics.detected_at == 12.0
+
+
+def test_metrics_of_an_untraced_or_uneventful_run_are_empty():
+    metrics = derive_metrics([])
+    assert metrics.activated_at is None
+    assert metrics.time_to_detection is None
+    assert metrics.time_to_restart is None
+    assert metrics.restart_count == 0
+    assert "n/a" in render_metrics(metrics)
+
+
+def test_mean_handles_empty_sequences():
+    assert mean([]) is None
+    assert mean([1.0, 2.0, 3.0]) == 2.0
+
+
+def test_render_timeline_lists_every_event():
+    text = render_timeline(_trace())
+    assert text.count("\n") == len(_trace()) + 1  # header + rule
+    assert "fault.activated" in text
+    assert render_timeline([]) == "(empty trace)"
+    assert format_event(_trace()[3]).startswith("     5.000")
+
+
+def test_diff_traces_identical_and_divergent():
+    left = _trace()
+    assert diff_traces(left, _trace()) is None
+    assert "identical" in render_diff(left, _trace())
+
+    right = _trace()
+    right[5] = TraceEvent(5, 12.5, "mw", "restart", {"count": 2})
+    divergence = diff_traces(left, right)
+    assert isinstance(divergence, TraceDivergence)
+    assert divergence.index == 5
+    report = render_diff(left, right, "serial", "pool")
+    assert "diverge at event #5" in report
+    assert "serial" in report and "pool" in report
+
+
+def test_diff_traces_length_mismatch():
+    left = _trace()
+    divergence = diff_traces(left, left[:-1])
+    assert divergence.index == len(left) - 1
+    assert divergence.right is None
+    assert "(stream ended)" in render_diff(left, left[:-1])

@@ -1,0 +1,75 @@
+"""Restart counting: the post-hoc log reading vs the trace derivation.
+
+``collect`` historically counted restarts by re-reading middleware log
+channels (NT event log for MSCS, watchd's own log for watchd).  With
+tracing on it derives the same number from ``mw.restart`` events
+instead.  These tests pin the two paths to each other on real restart
+scenarios, and the ``until`` bound on synthetic streams.
+"""
+
+import pytest
+
+from repro.core.faults import FaultSpec, FaultType
+from repro.core.runner import RunConfig, execute_run
+from repro.core.workload import MiddlewareKind, get_workload
+from repro.trace import TraceEvent, count_restarts_from_trace
+
+# A fault that reliably kills the Apache service and drives watchd
+# through a restart (see the differential suite's Figure-2 slice).
+RESTART_FAULT = FaultSpec("CreateFileA", 0, FaultType.ZERO, 1)
+
+
+def _run(middleware, level, watchd_version=3):
+    config = RunConfig(base_seed=2000, trace_level=level,
+                       watchd_version=watchd_version)
+    return execute_run(get_workload("Apache1"), middleware,
+                       RESTART_FAULT, config)
+
+
+@pytest.mark.parametrize("middleware",
+                         [MiddlewareKind.WATCHD, MiddlewareKind.MSCS])
+def test_both_paths_count_the_same_restarts(middleware):
+    from_logs = _run(middleware, "off")
+    from_trace = _run(middleware, "outcome")
+    assert from_logs.restarts_detected == from_trace.restarts_detected
+    assert from_logs.outcome == from_trace.outcome
+    assert from_logs.response_time == from_trace.response_time
+
+
+def test_watchd_scenario_actually_restarts():
+    result = _run(MiddlewareKind.WATCHD, "outcome")
+    assert result.restarts_detected > 0
+    restart_events = [event for event in result.trace
+                      if event.kind == "mw.restart"]
+    assert restart_events, "a counted restart must appear in the trace"
+    # Every restart event carries the middleware's own running count.
+    assert [event.data["count"] for event in restart_events] == \
+        list(range(1, len(restart_events) + 1))
+
+
+@pytest.mark.parametrize("version", [1, 2, 3])
+def test_paths_agree_across_watchd_versions(version):
+    from_logs = _run(MiddlewareKind.WATCHD, "off", watchd_version=version)
+    from_trace = _run(MiddlewareKind.WATCHD, "outcome",
+                      watchd_version=version)
+    assert from_logs.restarts_detected == from_trace.restarts_detected
+
+
+def _mw_restart(seq, time):
+    return TraceEvent(seq, time, "mw", "restart",
+                      {"service": "Apache", "count": seq + 1})
+
+
+def test_count_restarts_from_trace_respects_until():
+    events = [
+        TraceEvent(0, 0.0, "run", "start", {}),
+        _mw_restart(1, 10.0),
+        _mw_restart(2, 20.0),
+        TraceEvent(3, 25.0, "mw", "detect", {"reason": "died"}),
+        _mw_restart(4, 30.0),
+    ]
+    assert count_restarts_from_trace(events) == 3
+    assert count_restarts_from_trace(events, until=None) == 3
+    assert count_restarts_from_trace(events, until=20.0) == 2
+    assert count_restarts_from_trace(events, until=9.9) == 0
+    assert count_restarts_from_trace([]) == 0
