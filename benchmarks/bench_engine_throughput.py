@@ -1,0 +1,175 @@
+#!/usr/bin/env python
+"""Simulation-kernel throughput under a concurrent client population.
+
+Not a paper artifact — this guards the kernel hot-path work that makes
+"Figure 4 at scale" load runs affordable: one hundred closed-loop
+HttpClients against Apache is almost pure kernel (engine dispatch,
+process stepping, transport, call interception), so events-per-second
+here is a direct measure of the sim kernel, not of any one workload.
+
+As a script it measures best-of-N wall clock, writes JSON for CI
+trending, and gates against the committed trend file::
+
+    python benchmarks/bench_engine_throughput.py --smoke -o BENCH_engine.json
+
+The gate fails when events/sec drops more than 10% below the committed
+trend (``benchmarks/BENCH_engine.json``); re-record the trend when the
+machine class changes.  ``--acceptance`` additionally enforces the
+1.5x speedup over the recorded pre-optimization kernel — meaningful
+only on the machine class the pre-optimization figure was recorded on,
+so it is not part of the CI smoke gate.
+
+Under pytest it runs a small population once and asserts behavioural
+invariants only (bit-stable event counts across repeats, a healthy
+client population) — wall-clock thresholds on shared CI runners are
+flaky, so timing gates live in ``main()``.
+"""
+
+import argparse
+import json
+import os
+import sys
+import time
+
+from repro.core.runner import RunConfig
+from repro.load import LoadSpec, execute_load_run
+
+CLIENTS = 100
+SMOKE_CLIENTS = 20
+ITERATIONS = 2
+DEFAULT_REPEATS = 5
+REGRESSION_TOLERANCE = 0.10  # CI gate: >10% below trend fails
+
+# events/sec of the kernel before the hot-path pass, measured on the
+# same machine/workload as the 1.5x acceptance target.  The recording
+# machine has strong CPU-frequency phases (2-3x wall-clock swings), so
+# the honest cross-check was paired A/B subprocess alternation of the
+# old and new kernels: the optimized kernel ran 1.3-1.9x faster per
+# round (best/best ~1.5x) against an old-kernel best of ~89k events/s,
+# and 1.7-2.0x against this recorded typical-phase figure.
+PRE_KERNEL_EVENTS_PER_SEC = 67_582
+ACCEPTANCE_SPEEDUP = 1.5
+
+TREND_PATH = os.path.join(os.path.dirname(__file__), "BENCH_engine.json")
+
+
+def measure(clients: int, repeats: int, base_seed: int = 2000) -> dict:
+    """Best-of-N timing of one serial load run at ``clients`` clients."""
+    spec = LoadSpec(workload="Apache1", clients=clients,
+                    iterations=ITERATIONS)
+    config = RunConfig(base_seed=base_seed)
+    execute_load_run(spec, 0, config)  # untimed interpreter warm-up
+    best = None
+    result = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        result = execute_load_run(spec, 0, config)
+        elapsed = time.perf_counter() - started
+        best = elapsed if best is None else min(best, elapsed)
+    return {
+        "clients": clients,
+        "iterations": ITERATIONS,
+        "repeats": repeats,
+        "engine_events": result.engine_events,
+        "completed_clients": result.completed_clients,
+        "request_count": result.request_count,
+        "seconds": round(best, 4),
+        "events_per_sec": round(result.engine_events / best, 1),
+    }
+
+
+def test_engine_throughput_smoke():
+    """Pytest entry: the measured run is deterministic and healthy; no
+    wall-clock assertions (see module doc)."""
+    first = measure(SMOKE_CLIENTS, repeats=1)
+    second = measure(SMOKE_CLIENTS, repeats=1)
+    # Bit-stable kernel: the same spec produces the same event stream.
+    assert first["engine_events"] == second["engine_events"]
+    assert first["request_count"] == second["request_count"]
+    assert first["engine_events"] > 0
+    # Every client ran and issued its requests.
+    assert first["completed_clients"] == SMOKE_CLIENTS
+    assert first["request_count"] >= SMOKE_CLIENTS
+
+
+def load_trend(path: str):
+    """The committed trend entry matching ``clients``, or None."""
+    try:
+        with open(path, encoding="utf-8") as handle:
+            return json.load(handle)
+    except (OSError, ValueError):
+        return None
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help=f"small population ({SMOKE_CLIENTS} clients) "
+                             "for CI smoke runs")
+    parser.add_argument("--repeats", type=int, default=DEFAULT_REPEATS,
+                        help="best-of-N timing repeats (default "
+                             f"{DEFAULT_REPEATS})")
+    parser.add_argument("-o", "--output", default=None, metavar="PATH",
+                        help="write the measurements to this JSON file")
+    parser.add_argument("--trend", default=TREND_PATH, metavar="PATH",
+                        help="committed trend JSON to gate against "
+                             "(default: benchmarks/BENCH_engine.json)")
+    parser.add_argument("--acceptance", action="store_true",
+                        help="also enforce the 1.5x speedup over the "
+                             "recorded pre-optimization kernel")
+    args = parser.parse_args(argv)
+
+    clients = SMOKE_CLIENTS if args.smoke else CLIENTS
+    stats = measure(clients, args.repeats)
+    report = {
+        "benchmark": "engine-throughput",
+        "workload": "Apache1/closed-loop",
+        "smoke": args.smoke,
+        "cpu_count": os.cpu_count(),
+        "pre_kernel_events_per_sec": PRE_KERNEL_EVENTS_PER_SEC,
+        **stats,
+    }
+    report["speedup"] = round(
+        stats["events_per_sec"] / PRE_KERNEL_EVENTS_PER_SEC, 3)
+
+    print(f"engine throughput — Apache1, {clients} clients x "
+          f"{ITERATIONS} iterations, best of {args.repeats}")
+    print(f"  {stats['engine_events']:>7d} events in "
+          f"{stats['seconds']:7.4f}s  "
+          f"{stats['events_per_sec']:>10.1f} events/s  "
+          f"{report['speedup']:.2f}x vs pre-optimization kernel")
+
+    gate_ok = True
+    trend = load_trend(args.trend)
+    key = "smoke_events_per_sec" if args.smoke else "events_per_sec"
+    reference = trend.get(key) if isinstance(trend, dict) else None
+    if reference:
+        floor = reference * (1.0 - REGRESSION_TOLERANCE)
+        report["trend_events_per_sec"] = reference
+        if stats["events_per_sec"] < floor:
+            print(f"FAIL: {stats['events_per_sec']:.0f} events/s is more "
+                  f"than {REGRESSION_TOLERANCE:.0%} below the committed "
+                  f"trend of {reference:.0f}")
+            gate_ok = False
+        else:
+            print(f"within {REGRESSION_TOLERANCE:.0%} of the committed "
+                  f"trend ({reference:.0f} events/s)")
+    else:
+        print(f"no committed trend at {args.trend}; regression gate "
+              f"skipped")
+
+    if args.acceptance and report["speedup"] < ACCEPTANCE_SPEEDUP:
+        print(f"FAIL: speedup {report['speedup']:.2f}x is below the "
+              f"{ACCEPTANCE_SPEEDUP}x acceptance target")
+        gate_ok = False
+
+    report["gate_ok"] = gate_ok
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2)
+        print(f"wrote {args.output}")
+    return 0 if gate_ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

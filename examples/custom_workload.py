@@ -84,9 +84,12 @@ class EchoClient:
             if conn is None:
                 request.attempts.append(AttemptResult.REFUSED)
             else:
-                transport.send(conn, Side.CLIENT, "ping")
-                reply = yield from transport.recv(conn, Side.CLIENT,
-                                                  timeout=15.0)
+                try:
+                    transport.send(conn, Side.CLIENT, "ping")
+                    reply = yield from transport.recv(conn, Side.CLIENT,
+                                                      timeout=15.0)
+                finally:
+                    transport.close(conn, Side.CLIENT)
                 if reply == "echo:ping":
                     request.attempts.append(AttemptResult.OK)
                     request.succeeded = True

@@ -1,0 +1,102 @@
+"""Figure 4 at scale: response time vs. client count, per middleware.
+
+Figure 4 of the paper plots average client response times with 95 %
+confidence error bars for one client per run.  The load generator
+makes the client count a free axis; this module aggregates a grid of
+:class:`~repro.load.LoadRunResult`\\ s into the scaled-up figure — one
+row per (middleware, client count) cell with mean latency, CI
+half-width, and request success fraction.
+
+The CI is taken over per-repetition mean latencies (the independent
+samples); with a single repetition it falls back to the per-request
+sample, flagged in the rendered table, since requests within one run
+share the machine and are not independent.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from .stats import MeanCI, mean_ci95
+
+
+class LoadScalePoint:
+    """One (middleware, client count) cell of the scaled figure."""
+
+    __slots__ = ("middleware", "clients", "latency", "per_request",
+                 "success_fraction", "completed_clients", "reps")
+
+    def __init__(self, middleware: str, clients: int,
+                 latency: Optional[MeanCI], per_request: bool,
+                 success_fraction: float, completed_clients: float,
+                 reps: int):
+        self.middleware = middleware
+        self.clients = clients
+        self.latency = latency
+        self.per_request = per_request
+        self.success_fraction = success_fraction
+        self.completed_clients = completed_clients
+        self.reps = reps
+
+
+def aggregate_load_runs(runs: Sequence) -> list[LoadScalePoint]:
+    """Group load runs into figure points, one per middleware/clients.
+
+    Rows come out sorted by middleware label then client count, so the
+    rendered table reads as one curve per middleware.
+    """
+    cells: dict[tuple[str, int], list] = {}
+    for run in runs:
+        key = (run.spec.middleware.value, run.spec.clients)
+        cells.setdefault(key, []).append(run)
+
+    points = []
+    for (middleware, clients), cell in sorted(cells.items()):
+        rep_means = [run.mean_latency() for run in cell]
+        rep_means = [value for value in rep_means if value is not None]
+        per_request = False
+        if len(rep_means) >= 2:
+            latency = mean_ci95(rep_means)
+        else:
+            # One usable repetition: CI over its requests instead.
+            per_request = True
+            requests = [latency for run in cell
+                        for latency in run.all_latencies()]
+            latency = mean_ci95(requests)
+        total = sum(run.request_count for run in cell)
+        succeeded = sum(run.succeeded_requests for run in cell)
+        completed = (sum(run.completed_clients for run in cell) /
+                     len(cell))
+        points.append(LoadScalePoint(
+            middleware=middleware, clients=clients, latency=latency,
+            per_request=per_request,
+            success_fraction=succeeded / total if total else 0.0,
+            completed_clients=completed, reps=len(cell)))
+    return points
+
+
+def render_load_scale(points: Sequence[LoadScalePoint],
+                      title: str = "Response time vs. client count "
+                                   "(Figure 4 at scale)") -> str:
+    """The figure as an aligned text table (also valid Markdown-ish)."""
+    lines = [title, ""]
+    header = (f"{'middleware':<10} {'clients':>7} {'mean (s)':>9} "
+              f"{'95% CI':>12} {'ok':>6} {'done':>7} {'reps':>4}")
+    lines.append(header)
+    lines.append("-" * len(header))
+    for point in points:
+        if point.latency is None:
+            mean_text, ci_text = "-", "-"
+        else:
+            mean_text = f"{point.latency.mean:.2f}"
+            ci_text = f"±{point.latency.half_width:.2f}"
+            if point.per_request:
+                ci_text += "*"
+        lines.append(
+            f"{point.middleware:<10} {point.clients:>7} {mean_text:>9} "
+            f"{ci_text:>12} {point.success_fraction:>6.0%} "
+            f"{point.completed_clients:>7.1f} {point.reps:>4}")
+    if any(point.per_request for point in points):
+        lines.append("")
+        lines.append("* single repetition: CI over per-request latencies")
+    return "\n".join(lines)

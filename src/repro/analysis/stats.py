@@ -8,6 +8,7 @@ normal approximation for large samples).
 
 from __future__ import annotations
 
+import bisect
 import math
 from typing import Optional, Sequence
 
@@ -22,6 +23,33 @@ _T_TABLE = {
     7: 2.365, 8: 2.306, 9: 2.262, 10: 2.228, 12: 2.179, 15: 2.131,
     20: 2.086, 25: 2.060, 30: 2.042, 40: 2.021, 60: 2.000, 120: 1.980,
 }
+_T_DOFS = tuple(sorted(_T_TABLE))
+_T_NORMAL = 1.96  # the dof -> infinity asymptote
+
+
+def _t_fallback_95(dof: int) -> float:
+    """Table-based t critical value used when scipy is unavailable.
+
+    Between table entries the quantile is interpolated in 1/dof, which
+    the true t quantile is nearly linear in; above the last table entry
+    the same interpolation runs toward the normal asymptote (1/dof = 0).
+    Never rounds dof *up* to a larger table entry — that borrows the
+    smaller critical value of a bigger sample and narrows the interval.
+    """
+    value = _T_TABLE.get(dof)
+    if value is not None:
+        return value
+    last = _T_DOFS[-1]
+    if dof > last:
+        low_dof, low_value = last, _T_TABLE[last]
+        high_inv, high_value = 0.0, _T_NORMAL
+    else:
+        index = bisect.bisect_left(_T_DOFS, dof)
+        low_dof, high_dof = _T_DOFS[index - 1], _T_DOFS[index]
+        low_value, high_value = _T_TABLE[low_dof], _T_TABLE[high_dof]
+        high_inv = 1.0 / high_dof
+    frac = (1.0 / low_dof - 1.0 / dof) / (1.0 / low_dof - high_inv)
+    return low_value + (high_value - low_value) * frac
 
 
 def t_critical_95(dof: int) -> float:
@@ -30,10 +58,7 @@ def t_critical_95(dof: int) -> float:
         raise ValueError("need at least two samples for an interval")
     if _scipy_stats is not None:
         return float(_scipy_stats.t.ppf(0.975, dof))
-    for table_dof in sorted(_T_TABLE):
-        if dof <= table_dof:
-            return _T_TABLE[table_dof]
-    return 1.96
+    return _t_fallback_95(dof)
 
 
 def mean(values: Sequence[float]) -> float:

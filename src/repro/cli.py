@@ -28,6 +28,11 @@ from .core.faultlist import generate_fault_list, write_fault_list_file
 from .core.faults import FaultSpec
 from .core.runner import RunConfig, execute_run
 from .core.workload import WORKLOADS, MiddlewareKind, get_workload
+from .load.spec import (
+    DEFAULT_ARRIVAL_RATE,
+    DEFAULT_STAGGER,
+    DEFAULT_THINK_TIME,
+)
 from .trace import (
     TRACE_LEVEL_NAMES,
     TraceLevel,
@@ -100,6 +105,53 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--metrics", action="store_true",
                        help="show derived detection/restart metrics "
                             "instead of the timeline")
+
+    load = commands.add_parser(
+        "load", help="concurrent multi-client load run (Figure 4 at "
+                     "scale): N simulated clients against one workload, "
+                     "optionally under injection")
+    load.add_argument("--workload", required=True,
+                      help="workload name or alias: apache, apache2, iis, "
+                           "sql (case-insensitive), or a registry name")
+    load.add_argument("--middleware", default="none",
+                      help="none, mscs, watchd, or watchd1/2/3 "
+                           "(the suffix selects the watchd version)")
+    load.add_argument("--watchd-version", type=int, default=None,
+                      choices=(1, 2, 3),
+                      help="watchd version when --middleware is 'watchd' "
+                           "(default 3; watchdN implies N)")
+    load.add_argument("--clients", type=int, default=10, metavar="N",
+                      help="size of the client population (default 10)")
+    load.add_argument("--sweep", default=None, metavar="N,N,...",
+                      help="comma-separated client counts to sweep "
+                           "(overrides --clients)")
+    load.add_argument("--mode", choices=("closed", "open"),
+                      default="closed",
+                      help="closed: fixed population with think time; "
+                           "open: fixed arrival rate, one cycle each")
+    load.add_argument("--iterations", type=int, default=1,
+                      help="request cycles per closed-loop client")
+    load.add_argument("--think-time", type=float,
+                      default=DEFAULT_THINK_TIME, metavar="SECONDS",
+                      help="closed-loop think time between cycles")
+    load.add_argument("--stagger", type=float, default=DEFAULT_STAGGER,
+                      metavar="SECONDS",
+                      help="closed-loop arrival spacing between clients")
+    load.add_argument("--arrival-rate", type=float,
+                      default=DEFAULT_ARRIVAL_RATE, metavar="PER_SECOND",
+                      help="open-loop client arrival rate")
+    load.add_argument("--reps", type=int, default=1,
+                      help="independent repetitions per configuration "
+                           "(each re-seeded; >=2 gives real error bars)")
+    load.add_argument("--fault", default=None,
+                      help="arm a fault for every run: '<function> "
+                           "<param> <zero|ones|flip> <invocation>' or "
+                           "'<function> <zero|ones|flip> <invocation>' "
+                           "for a return-value fault")
+    load.add_argument("--seed", type=int, default=2000)
+    _add_execution_arguments(load)
+    load.add_argument("--resume", action="store_true",
+                      help="reuse runs already checkpointed in the store")
 
     lint = commands.add_parser(
         "lint", help="DTS-aware static analysis (signature conformance, "
@@ -391,6 +443,133 @@ def cmd_trace(args, out) -> int:
         return 0
 
 
+_WORKLOAD_ALIASES = {"apache": "Apache1", "sqlserver": "SQL"}
+
+
+def _resolve_load_workload(name: str, out) -> Optional[str]:
+    """Map a CLI workload name or alias to a registry name."""
+    if name in WORKLOADS:
+        return name
+    lowered = name.lower()
+    alias = _WORKLOAD_ALIASES.get(lowered)
+    if alias is not None:
+        return alias
+    for registered in WORKLOADS:
+        if registered.lower() == lowered:
+            return registered
+    known = sorted(WORKLOADS) + sorted(_WORKLOAD_ALIASES)
+    print(f"unknown workload {name!r}; known: {', '.join(known)}",
+          file=out)
+    return None
+
+
+def _resolve_load_middleware(value: str, watchd_version, out):
+    """Parse none|mscs|watchd|watchdN into (kind, version) or None."""
+    lowered = value.lower()
+    if lowered.startswith("watchd") and lowered[6:] in ("1", "2", "3"):
+        implied = int(lowered[6:])
+        if watchd_version is not None and watchd_version != implied:
+            print(f"--middleware {value} conflicts with "
+                  f"--watchd-version {watchd_version}", file=out)
+            return None
+        return MiddlewareKind.WATCHD, implied
+    try:
+        kind = MiddlewareKind(lowered)
+    except ValueError:
+        print(f"unknown middleware {value!r}; known: none, mscs, watchd, "
+              f"watchd1, watchd2, watchd3", file=out)
+        return None
+    return kind, (watchd_version if watchd_version is not None else 3)
+
+
+def _parse_load_fault(line: str, out):
+    """A fault-list line (4 tokens) or a return-fault line (3 tokens).
+
+    Returns ``(fault, ok)`` — a fault of either mechanism, or
+    ``(None, False)`` on a parse error.
+    """
+    from .core.faults import FaultType
+    from .core.return_injector import ReturnFaultSpec
+
+    parts = line.split()
+    try:
+        if len(parts) == 3:
+            function, fault_type, invocation = parts
+            return ReturnFaultSpec(function, FaultType(fault_type),
+                                   int(invocation)), True
+        return FaultSpec.from_line(line), True
+    except ValueError as exc:
+        print(f"bad --fault: {exc}", file=out)
+        return None, False
+
+
+def cmd_load(args, out) -> int:
+    from .analysis.loadscale import aggregate_load_runs, render_load_scale
+    from .load import LoadSpec, plan_load_tasks, run_load_tasks
+
+    workload_name = _resolve_load_workload(args.workload, out)
+    if workload_name is None:
+        return 2
+    resolved = _resolve_load_middleware(args.middleware,
+                                        args.watchd_version, out)
+    if resolved is None:
+        return 2
+    middleware, watchd_version = resolved
+
+    fault = None
+    if args.fault is not None:
+        fault, ok = _parse_load_fault(args.fault, out)
+        if not ok:
+            return 2
+
+    sweep = None
+    if args.sweep:
+        try:
+            sweep = [int(part) for part in args.sweep.split(",") if part]
+        except ValueError:
+            print(f"bad --sweep: {args.sweep!r} (want comma-separated "
+                  f"integers)", file=out)
+            return 2
+
+    try:
+        spec = LoadSpec(workload=workload_name, middleware=middleware,
+                        clients=args.clients, mode=args.mode,
+                        iterations=args.iterations,
+                        think_time=args.think_time, stagger=args.stagger,
+                        arrival_rate=args.arrival_rate, fault=fault)
+        tasks = plan_load_tasks(spec, reps=args.reps, sweep=sweep)
+    except ValueError as exc:
+        print(str(exc), file=out)
+        return 2
+
+    config = RunConfig(base_seed=args.seed,
+                       watchd_version=watchd_version)
+    store, error = _open_store(args.store, args.resume, out)
+    if error is not None:
+        return error
+
+    jobs = args.jobs if args.jobs is not None else 1
+    progress = CliProgress(out)
+    try:
+        execution = run_load_tasks(tasks, config, jobs=jobs, store=store,
+                                   progress=progress)
+    finally:
+        progress.finish()
+        if store is not None:
+            store.close()
+
+    print(render_load_scale(aggregate_load_runs(execution.runs)),
+          file=out)
+    total_requests = sum(run.request_count for run in execution.runs)
+    total_events = sum(run.engine_events for run in execution.runs)
+    print(f"\n{len(execution.runs)} load runs, {total_requests} requests, "
+          f"{total_events} engine events", file=out)
+    if store is not None:
+        print(f"resumed from store: {execution.cached_count} cached, "
+              f"{execution.executed_count} executed", file=out)
+    return 0
+
+
 def cmd_lint(args, out) -> int:
     import os
 
@@ -477,6 +656,7 @@ _COMMANDS = {
     "run": cmd_run,
     "reproduce": cmd_reproduce,
     "trace": cmd_trace,
+    "load": cmd_load,
     "lint": cmd_lint,
 }
 

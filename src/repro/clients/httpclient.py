@@ -57,6 +57,7 @@ class HttpClient:
     # ------------------------------------------------------------------
     def _issue(self, ctx, request, expected_size, expected_checksum):
         record = RequestRecord(str(request))
+        record.started_at = ctx.now
         transport = ctx.machine.transport
         for attempt in range(1, self.max_attempts + 1):
             connection = yield from transport.connect(
@@ -64,9 +65,16 @@ class HttpClient:
             if connection is None:
                 record.attempts.append(AttemptResult.REFUSED)
             else:
-                transport.send(connection, Side.CLIENT, request)
-                reply = yield from transport.recv(
-                    connection, Side.CLIENT, timeout=self.reply_timeout)
+                # Every exit from the exchange — reply, timeout, reset,
+                # even the process being killed mid-receive — must close
+                # the connection, or retries pile up half-open sockets
+                # (the leak the end-of-run hygiene check now catches).
+                try:
+                    transport.send(connection, Side.CLIENT, request)
+                    reply = yield from transport.recv(
+                        connection, Side.CLIENT, timeout=self.reply_timeout)
+                finally:
+                    transport.close(connection, Side.CLIENT)
                 if reply is TIMED_OUT:
                     record.attempts.append(AttemptResult.TIMEOUT)
                 elif reply is RESET:
@@ -75,9 +83,11 @@ class HttpClient:
                         reply.matches(expected_size, expected_checksum):
                     record.attempts.append(AttemptResult.OK)
                     record.succeeded = True
+                    record.finished_at = ctx.now
                     return record
                 else:
                     record.attempts.append(AttemptResult.INCORRECT)
             if attempt < self.max_attempts:
                 yield Sleep(self.retry_wait)
+        record.finished_at = ctx.now
         return record

@@ -32,6 +32,18 @@ class RequestRecord:
         self.description = description
         self.attempts: list[AttemptResult] = []
         self.succeeded = False
+        # Virtual-time stamps around the whole request (including every
+        # retry), the raw material of the per-client latency
+        # distributions the load workloads report.
+        self.started_at: Optional[float] = None
+        self.finished_at: Optional[float] = None
+
+    @property
+    def latency(self) -> Optional[float]:
+        """Wall (virtual) time from first attempt to final outcome."""
+        if self.started_at is None or self.finished_at is None:
+            return None
+        return self.finished_at - self.started_at
 
     @property
     def retries_used(self) -> int:

@@ -43,15 +43,22 @@ class SqlClient:
         self.record.started_at = ctx.now
         transport = ctx.machine.transport
         record = RequestRecord(f"SQL {self.query!r}")
+        record.started_at = ctx.now
         for attempt in range(1, self.max_attempts + 1):
             connection = yield from transport.connect(
                 self.port, ctx.process, timeout=5.0)
             if connection is None:
                 record.attempts.append(AttemptResult.REFUSED)
             else:
-                transport.send(connection, Side.CLIENT, SqlRequest(self.query))
-                reply = yield from transport.recv(
-                    connection, Side.CLIENT, timeout=self.reply_timeout)
+                # Same discipline as HttpClient: no exit path may leave
+                # the connection open, including a kill mid-receive.
+                try:
+                    transport.send(connection, Side.CLIENT,
+                                   SqlRequest(self.query))
+                    reply = yield from transport.recv(
+                        connection, Side.CLIENT, timeout=self.reply_timeout)
+                finally:
+                    transport.close(connection, Side.CLIENT)
                 if reply is TIMED_OUT:
                     record.attempts.append(AttemptResult.TIMEOUT)
                 elif reply is RESET:
@@ -66,5 +73,6 @@ class SqlClient:
                     record.attempts.append(AttemptResult.INCORRECT)
             if not record.succeeded and attempt < self.max_attempts:
                 yield Sleep(self.retry_wait)
+        record.finished_at = ctx.now
         self.record.requests.append(record)
         self.record.finished_at = ctx.now

@@ -63,6 +63,25 @@ class RunConfig:
         return derive_seed(self.base_seed, *parts)
 
 
+def arm_fault(machine: Machine, workload: WorkloadSpec, fault):
+    """Attach the injector for ``fault`` to a machine (None: no fault).
+
+    Shared between single-client injection runs and multi-client load
+    runs, which arm faults against the same target roles.
+    """
+    if fault is None:
+        return None
+    if isinstance(fault, ReturnFaultSpec):
+        injector = ReturnInjector(fault,
+                                  target_role=workload.target_role)
+        machine.interception.add_return_hook(injector)
+    else:
+        injector = Injector(fault, target_role=workload.target_role,
+                            registry=workload.registry)
+        machine.interception.add_hook(injector)
+    return injector
+
+
 def execute_run(workload: WorkloadSpec, middleware: MiddlewareKind,
                 fault: Optional[FaultSpec],
                 config: Optional[RunConfig] = None) -> RunResult:
@@ -92,16 +111,7 @@ def execute_run(workload: WorkloadSpec, middleware: MiddlewareKind,
             tracer.emit(0.0, "fault", "armed", **armed)
     workload.setup(machine)
 
-    injector = None
-    if fault is not None:
-        if isinstance(fault, ReturnFaultSpec):
-            injector = ReturnInjector(fault,
-                                      target_role=workload.target_role)
-            machine.interception.add_return_hook(injector)
-        else:
-            injector = Injector(fault, target_role=workload.target_role,
-                                registry=workload.registry)
-            machine.interception.add_hook(injector)
+    injector = arm_fault(machine, workload, fault)
 
     middleware_program = workload.deploy_middleware(
         machine, middleware, watchd_version=config.watchd_version)
@@ -154,6 +164,10 @@ def execute_run(workload: WorkloadSpec, middleware: MiddlewareKind,
                     activated=result.activated)
         result.trace = tuple(tracer.events)
         result.trace_level = level
+    # A client that finished on its own while leaving connections open
+    # is a harness bug (the HttpClient retry-path leak), not an
+    # injection outcome — fail the run loudly.
+    machine.check_connection_hygiene()
     machine.shutdown()
     return result
 

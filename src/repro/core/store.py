@@ -31,7 +31,8 @@ from .workload import MiddlewareKind
 
 # Bumped whenever the serialized shape changes; stale stores miss.
 # 2: runs optionally carry a structured event trace.
-STORE_FORMAT = 2
+# 3: per-request timing stamps; load-run entries (kind="load").
+STORE_FORMAT = 3
 
 PROFILE_KEY = "profile"
 
@@ -81,7 +82,9 @@ def client_record_to_dict(record: ClientRecord) -> dict:
         "requests": [
             {"description": request.description,
              "succeeded": request.succeeded,
-             "attempts": [attempt.value for attempt in request.attempts]}
+             "attempts": [attempt.value for attempt in request.attempts],
+             "started_at": request.started_at,
+             "finished_at": request.finished_at}
             for request in record.requests
         ],
     }
@@ -96,6 +99,8 @@ def client_record_from_dict(data: dict) -> ClientRecord:
         request.succeeded = entry["succeeded"]
         request.attempts = [AttemptResult(value)
                             for value in entry["attempts"]]
+        request.started_at = entry.get("started_at")
+        request.finished_at = entry.get("finished_at")
         record.requests.append(request)
     return record
 
@@ -148,6 +153,46 @@ def run_result_from_dict(data: dict) -> RunResult:
         trace=trace_from_lists(data.get("trace", ())),
         trace_level=TraceLevel.parse(data.get("trace_level", "off")),
     )
+
+
+# ----------------------------------------------------------------------
+# Alternative result kinds
+# ----------------------------------------------------------------------
+# Load runs (repro.load) checkpoint into the same JSONL store as
+# injection runs; they register a codec here at import time instead of
+# the core importing them.  An entry's "kind" field selects the codec;
+# plain injection runs carry no kind at all, so a format-2 store body
+# deserializes unchanged.
+_RESULT_CODECS: dict[str, tuple[type, object, object]] = {}
+
+
+def register_result_codec(kind: str, result_type: type,
+                          to_dict, from_dict) -> None:
+    """Teach the store to (de)serialize an additional result type."""
+    _RESULT_CODECS[kind] = (result_type, to_dict, from_dict)
+
+
+def serialize_result(result) -> dict:
+    if isinstance(result, RunResult):
+        return run_result_to_dict(result)
+    for kind, (result_type, to_dict, _from_dict) in _RESULT_CODECS.items():
+        if isinstance(result, result_type):
+            data = to_dict(result)
+            data["kind"] = kind
+            return data
+    raise TypeError(f"no store codec for {type(result).__name__}")
+
+
+def deserialize_result(data: dict):
+    kind = data.get("kind")
+    if kind is None:
+        return run_result_from_dict(data)
+    codec = _RESULT_CODECS.get(kind)
+    if codec is None:
+        raise KeyError(
+            f"store entry of unknown kind {kind!r}; import the module "
+            f"that defines it (e.g. repro.load) before loading")
+    return codec[2](data)
 
 
 # ----------------------------------------------------------------------
@@ -225,12 +270,12 @@ class RunStore:
         data = self._index.get((fingerprint, key))
         if data is None:
             return None
-        return run_result_from_dict(data)
+        return deserialize_result(data)
 
-    def put(self, fingerprint: str, fault, result: RunResult) -> None:
+    def put(self, fingerprint: str, fault, result) -> None:
         """Checkpoint one completed run (flushed immediately)."""
         key = fault if isinstance(fault, str) else fault_key_str(fault)
-        data = run_result_to_dict(result)
+        data = serialize_result(result)
         self._index[(fingerprint, key)] = data
         if self._handle is None:
             self.path.parent.mkdir(parents=True, exist_ok=True)
@@ -247,7 +292,7 @@ class RunStore:
         """All stored runs for one fault key, across fingerprints
         (the trace CLI's lookup: a key names the run, the fingerprint
         disambiguates which campaign configuration produced it)."""
-        return [(fp, run_result_from_dict(data))
+        return [(fp, deserialize_result(data))
                 for (fp, key), data in sorted(self._index.items())
                 if key == fault_key]
 

@@ -12,13 +12,23 @@ release it before the function ends.
 The analysis is function-local and name-based:
 
 - *acquired*: ``h = yield from k32.CreateFileA(...)`` (or any export in
-  :data:`ACQUIRE_CLOSERS`);
+  :data:`ACQUIRE_CLOSERS`), and likewise
+  ``conn = yield from transport.connect(...)`` / ``transport.accept``
+  for simulated network connections;
 - *released*: ``h`` appears as an argument to the acquisition's
   closing export (``CloseHandle``, ``FindClose``, ``FreeLibrary``,
-  ``_lclose``, libc ``close``/``free``);
+  ``_lclose``, libc ``close``/``free``, ``transport.close``);
 - *escaped*: ``h`` is returned, yielded, stored into an attribute,
   subscript or alias, or passed to any call that is not a simulated
-  k32/libc call — whoever received it owns the close now.
+  k32/libc/transport call — whoever received it owns the close now.
+  ``transport.handoff`` transfers connection ownership explicitly and
+  counts as an escape.
+
+The transport half of the rule exists because of a real bug: the load
+clients' retry loops reconnected after a timeout without closing the
+timed-out connection, so every retry leaked a half-open socket the
+end-of-run hygiene check then reported.  A missing ``close`` on any
+retry path is exactly the name-based pattern this pass catches.
 
 A handle that is acquired but neither released nor escaped on *any*
 path is reported.  (The analysis is deliberately path-insensitive: a
@@ -30,7 +40,7 @@ story.)
 from __future__ import annotations
 
 import ast
-from typing import Iterable, Iterator
+from typing import Iterable, Iterator, Optional
 
 from .core import (
     Finding,
@@ -73,6 +83,32 @@ LIBC_ACQUIRE_CLOSERS: dict[str, tuple[str, ...]] = {
     "malloc": ("free", "realloc"),
     "calloc": ("free", "realloc"),
 }
+# Simulated network connections: both ends of the connect/accept pair
+# own a close.  ``handoff`` is handled separately as an ownership
+# transfer, not a closer.
+TRANSPORT_ACQUIRE_CLOSERS: dict[str, tuple[str, ...]] = {
+    "connect": ("close",),
+    "accept": ("close",),
+}
+_TRANSPORT_ESCAPES = ("handoff",)
+
+
+def _transport_call(node: ast.AST) -> Optional[tuple[str, ast.Call]]:
+    """Recognise ``transport.name(...)`` / ``ctx.machine.transport.name(...)``
+    — any call whose receiver chain ends in ``transport``.  Returns
+    ``(method, call)`` or None."""
+    if not isinstance(node, ast.Call) or not isinstance(node.func, ast.Attribute):
+        return None
+    receiver = node.func.value
+    if isinstance(receiver, ast.Name):
+        api = receiver.id
+    elif isinstance(receiver, ast.Attribute):
+        api = receiver.attr
+    else:
+        return None
+    if api != "transport":
+        return None
+    return node.func.attr, node
 
 
 class _Acquisition:
@@ -131,12 +167,19 @@ class HandleLeakRule(Rule):
             if not (isinstance(node, ast.Assign) and len(node.targets) == 1
                     and isinstance(node.targets[0], ast.Name)):
                 continue
-            matched = sim_api_call(unwrap_yield(node.value))
-            if matched is None:
-                continue
-            api, export, _ = matched
-            table = ACQUIRE_CLOSERS if api == "k32" else LIBC_ACQUIRE_CLOSERS
-            closers = table.get(export)
+            value = unwrap_yield(node.value)
+            matched = sim_api_call(value)
+            if matched is not None:
+                api, export, _ = matched
+                table = (ACQUIRE_CLOSERS if api == "k32"
+                         else LIBC_ACQUIRE_CLOSERS)
+                closers = table.get(export)
+            else:
+                transport_matched = _transport_call(value)
+                if transport_matched is None:
+                    continue
+                export, _ = transport_matched
+                closers = TRANSPORT_ACQUIRE_CLOSERS.get(export)
             if closers is None:
                 continue
             target = node.targets[0].id
@@ -149,6 +192,11 @@ class HandleLeakRule(Rule):
     def _classify(self, node: ast.AST,
                   by_name: dict[str, list[_Acquisition]]) -> None:
         matched = sim_api_call(node)
+        if matched is None:
+            transport_matched = _transport_call(node)
+            if transport_matched is not None:
+                export, call = transport_matched
+                matched = ("transport", export, call)
         if matched is not None:
             _, export, call = matched
             arg_names = set()
@@ -156,6 +204,9 @@ class HandleLeakRule(Rule):
                 arg_names |= _names_in(arg)
             for keyword in call.keywords:
                 arg_names |= _names_in(keyword.value)
+            if export in _TRANSPORT_ESCAPES:
+                self._mark_escaped(arg_names, by_name)
+                return
             for name in sorted(arg_names & by_name.keys()):
                 for acq in by_name[name]:
                     if export in acq.closers:
@@ -176,13 +227,16 @@ class HandleLeakRule(Rule):
         elif isinstance(node, ast.Yield) and node.value is not None:
             self._mark_escaped(_names_in(node.value), by_name)
         elif isinstance(node, ast.YieldFrom):
-            if sim_api_call(node.value) is None:
+            if (sim_api_call(node.value) is None
+                    and _transport_call(node.value) is None):
                 self._mark_escaped(_names_in(node.value), by_name)
         elif isinstance(node, ast.Assign):
-            # `size = yield from k32.GetFileSize(handle, ...)` is a
+            # `size = yield from k32.GetFileSize(handle, ...)` or
+            # `reply = yield from transport.recv(conn, ...)` is a
             # neutral use; `self.h = handle` or `alias = handle` is an
             # escape — the handle now outlives this name's analysis.
-            if sim_api_call(unwrap_yield(node.value)) is None:
+            value = unwrap_yield(node.value)
+            if sim_api_call(value) is None and _transport_call(value) is None:
                 self._mark_escaped(_names_in(node.value), by_name)
 
     @staticmethod

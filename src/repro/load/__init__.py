@@ -1,0 +1,34 @@
+"""Concurrent multi-client load workloads (Figure 4 at scale).
+
+``repro.load`` drives N simulated client processes — each wrapping the
+workload's real synthetic client — against Apache/IIS/SQL Server,
+optionally under fault injection, with closed-loop (fixed population,
+think time) or open-loop (fixed arrival rate) arrivals.  Importing
+this package registers the load-result store codec, so run stores
+containing load entries deserialize correctly.
+"""
+
+from .campaign import (
+    LoadExecution,
+    LoadTask,
+    plan_load_tasks,
+    run_load_tasks,
+)
+from .client import LoadClient
+from .result import ClientStats, LoadRunResult
+from .runner import execute_load_run, resolve_workload
+from .spec import ArrivalMode, LoadSpec
+
+__all__ = [
+    "ArrivalMode",
+    "ClientStats",
+    "LoadClient",
+    "LoadExecution",
+    "LoadRunResult",
+    "LoadSpec",
+    "LoadTask",
+    "execute_load_run",
+    "plan_load_tasks",
+    "resolve_workload",
+    "run_load_tasks",
+]

@@ -1,0 +1,58 @@
+"""The load-client wrapper program.
+
+Each simulated load client is one NT process wrapping the workload's
+own synthetic client (``HttpClient``/``SqlClient``/a plugin client):
+it waits out its arrival offset, then runs the inner client's ``main``
+once per cycle with think time between cycles, accumulating every
+cycle's :class:`~repro.clients.record.ClientRecord`.
+
+Reusing the real client programs — rather than a synthetic
+request-generator — means loaded runs exercise the exact retry /
+timeout / verification discipline of Section 4, connection hygiene
+included.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..clients.record import ClientRecord
+from ..sim import Sleep
+
+
+class LoadClient:
+    """loadclient.exe: one member of the simulated client population."""
+
+    image_name = "loadclient.exe"
+
+    def __init__(self, client_id: int, factory: Callable,
+                 cycles: int = 1, think_time: float = 0.0,
+                 start_delay: float = 0.0):
+        self.client_id = client_id
+        self.factory = factory
+        self.cycles = cycles
+        self.think_time = think_time
+        self.start_delay = start_delay
+        self.records: list[ClientRecord] = []
+        self.arrived_at: Optional[float] = None
+        self.finished_at: Optional[float] = None
+
+    def main(self, ctx):
+        if self.start_delay > 0:
+            yield Sleep(self.start_delay)
+        self.arrived_at = ctx.now
+        for cycle in range(self.cycles):
+            if cycle and self.think_time > 0:
+                yield Sleep(self.think_time)
+            inner = self.factory()
+            yield from inner.main(ctx)
+            self.records.append(inner.record)
+        self.finished_at = ctx.now
+
+    @property
+    def completed(self) -> bool:
+        return self.finished_at is not None
+
+    def __repr__(self) -> str:
+        state = "done" if self.completed else "running"
+        return f"<LoadClient #{self.client_id} {state}>"

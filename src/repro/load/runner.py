@@ -1,0 +1,112 @@
+"""Execution of a single multi-client load run.
+
+The shape mirrors :func:`repro.core.runner.execute_run` — boot a fresh
+machine, arm the fault, deploy the server (optionally under
+middleware), wait for it to listen — but instead of one synthetic
+client the run spawns a whole client population with staggered
+arrivals and lets it drain (or hit the horizon).  Shutdown follows the
+same discipline: monitoring stops first, the DTS shutdown event is
+signalled, and connection hygiene is asserted before the machine is
+torn down, so a retry path that leaks connections fails a load run
+loudly at any client count.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..nt.machine import Machine
+from ..core.runner import RunConfig, _graceful_shutdown, arm_fault
+from ..core.workload import WORKLOADS, WorkloadSpec
+from .client import LoadClient
+from .result import ClientStats, LoadRunResult
+from .spec import LoadSpec
+
+_POLL_STEP = 0.5
+# Virtual seconds per engine burst while the client population drains.
+# Coarser than execute_run's 2.0s: with 100 clients in flight the
+# alive-scan between bursts is the overhead worth amortizing.
+_DRAIN_STEP = 5.0
+
+
+def execute_load_run(spec: LoadSpec, rep: int = 0,
+                     config: Optional[RunConfig] = None) -> LoadRunResult:
+    """Run one repetition of a load spec and return the result."""
+    config = config or RunConfig()
+    workload = resolve_workload(spec.workload)
+    machine = Machine(
+        seed=spec.seed(config.base_seed, config.watchd_version, rep),
+        cpu_mhz=config.cpu_mhz,
+        keep_full_trace=config.keep_full_trace,
+        scm_lock_enabled=config.scm_lock_enabled)
+    workload.setup(machine)
+
+    arm_fault(machine, workload, spec.fault)
+    workload.deploy_middleware(machine, spec.middleware,
+                               watchd_version=config.watchd_version)
+
+    # --- Wait for the server to be up ---------------------------------
+    deadline = config.server_up_timeout
+    while machine.now < deadline and \
+            not machine.transport.is_listening(workload.port):
+        machine.run(until=min(machine.now + _POLL_STEP, deadline))
+    server_came_up = machine.transport.is_listening(workload.port)
+
+    # --- Release the client population ---------------------------------
+    # All clients are spawned up front with their arrival offset baked
+    # into the program (a Sleep), so arrivals cost no engine polling.
+    load_clients = [
+        LoadClient(client_id=index,
+                   factory=workload.make_client,
+                   cycles=spec.cycles_for(index),
+                   think_time=spec.think_time,
+                   start_delay=spec.arrival_time(index))
+        for index in range(spec.clients)
+    ]
+    processes = [machine.processes.spawn(client, role="load-client")
+                 for client in load_clients]
+
+    horizon = machine.now + spec.run_horizon(config.client_timeout)
+    while machine.now < horizon and \
+            any(process.alive for process in processes):
+        machine.run(until=min(machine.now + _DRAIN_STEP, horizon))
+
+    # --- Workload termination -------------------------------------------
+    for role in ("mscs", "watchd"):
+        for process in machine.processes.processes_with_role(role):
+            if process.alive:
+                process.terminate(exit_code=0)
+    # Clients still running at the horizon are cut off, not leakers.
+    for process in processes:
+        if process.alive:
+            process.terminate(exit_code=1)
+    _graceful_shutdown(machine)
+
+    duration = machine.now
+    engine_events = machine.engine.events_processed
+    clients = [
+        ClientStats(client_id=client.client_id,
+                    arrived_at=client.arrived_at,
+                    finished_at=client.finished_at,
+                    completed=client.completed,
+                    cycles=list(client.records))
+        for client in load_clients
+    ]
+    machine.check_connection_hygiene()
+    machine.shutdown()
+    return LoadRunResult(spec=spec, rep=rep,
+                         watchd_version=config.watchd_version,
+                         server_came_up=server_came_up,
+                         duration=duration,
+                         engine_events=engine_events,
+                         clients=clients)
+
+
+def resolve_workload(name: str) -> WorkloadSpec:
+    """Find a workload by registry name (load specs store the name so
+    they can cross process-pool boundaries)."""
+    try:
+        return WORKLOADS[name]
+    except KeyError:
+        known = ", ".join(sorted(WORKLOADS))
+        raise KeyError(f"unknown workload {name!r}; known: {known}") from None

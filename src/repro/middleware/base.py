@@ -56,9 +56,12 @@ def probe_service(ctx, port: int, reply_timeout: float = 12.0):
     connection = yield from transport.connect(port, ctx.process, timeout=3.0)
     if connection is None:
         return False
-    transport.send(connection, Side.CLIENT, ProbePing())
-    reply = yield from transport.recv(connection, Side.CLIENT,
-                                      timeout=reply_timeout)
+    try:
+        transport.send(connection, Side.CLIENT, ProbePing())
+        reply = yield from transport.recv(connection, Side.CLIENT,
+                                          timeout=reply_timeout)
+    finally:
+        transport.close(connection, Side.CLIENT)
     return isinstance(reply, ProbePong)
 
 

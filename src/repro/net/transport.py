@@ -19,7 +19,7 @@ import enum
 import itertools
 from typing import TYPE_CHECKING, Any, Optional
 
-from ..sim import TIMED_OUT, FifoQueue, Wait
+from ..sim import TIMED_OUT, FifoQueue, Sleep, Wait
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..nt.machine import Machine
@@ -56,40 +56,120 @@ class Side(enum.Enum):
 
 
 class Connection:
-    """One established connection; each side has an inbox."""
+    """One established connection; each side has an inbox.
+
+    Per-side state lives in plain attributes selected with an ``is``
+    test rather than ``Side``-keyed dicts: a loaded run makes hundreds
+    of thousands of side lookups, and each dict access hashes the enum
+    member.
+    """
 
     _ids = itertools.count(1)
+
+    __slots__ = ("conn_id", "port", "open",
+                 "_client_inbox", "_server_inbox",
+                 "_client_owner", "_server_owner",
+                 "_client_closed", "_server_closed")
 
     def __init__(self, port: int):
         self.conn_id = next(self._ids)
         self.port = port
         self.open = True
-        self._inboxes = {Side.CLIENT: FifoQueue(f"c{self.conn_id}.client"),
-                         Side.SERVER: FifoQueue(f"c{self.conn_id}.server")}
-        self._owners: dict[Side, Optional["NTProcess"]] = {
-            Side.CLIENT: None, Side.SERVER: None,
-        }
+        self._client_inbox = FifoQueue()
+        self._server_inbox = FifoQueue()
+        self._client_owner: Optional["NTProcess"] = None
+        self._server_owner: Optional["NTProcess"] = None
+        self._client_closed = False
+        self._server_closed = False
 
     def inbox(self, side: Side) -> FifoQueue:
-        return self._inboxes[side]
+        return (self._client_inbox if side is Side.CLIENT
+                else self._server_inbox)
 
     def bind(self, side: Side, process: Optional["NTProcess"]) -> None:
-        self._owners[side] = process
+        if side is Side.CLIENT:
+            self._client_owner = process
+        else:
+            self._server_owner = process
 
     def owner(self, side: Side) -> Optional["NTProcess"]:
-        return self._owners[side]
+        return (self._client_owner if side is Side.CLIENT
+                else self._server_owner)
+
+    def close(self, side: Side) -> None:
+        """Graceful close from one side.
+
+        The sim protocol has no separate FIN/EOF: the peer's pending and
+        future receives complete with RESET, which every server's
+        per-connection loop already treats as end-of-conversation.
+        Unlike :meth:`reset`, the closing side is recorded, so the
+        end-of-run hygiene check can tell a deliberate close from a
+        connection dropped on the floor.
+        """
+        if side is Side.CLIENT:
+            if self._client_closed:
+                return
+            self._client_closed = True
+            peer_inbox = self._server_inbox
+        else:
+            if self._server_closed:
+                return
+            self._server_closed = True
+            peer_inbox = self._client_inbox
+        if self.open:
+            self.open = False
+            peer_inbox.put(RESET)
+
+    def closed_by(self, side: Side) -> bool:
+        return (self._client_closed if side is Side.CLIENT
+                else self._server_closed)
 
     def reset(self) -> None:
         """Tear the connection down; both inboxes drain as RESET."""
         if not self.open:
             return
         self.open = False
-        for inbox in self._inboxes.values():
-            inbox.put(RESET)
+        self._client_inbox.put(RESET)
+        self._server_inbox.put(RESET)
 
     def __repr__(self) -> str:
         state = "open" if self.open else "reset"
         return f"<Connection #{self.conn_id} :{self.port} {state}>"
+
+
+class ConnectionLeak:
+    """One client-side connection dropped without a close.
+
+    Recorded when a process exits *of its own accord* (not killed by
+    the harness or middleware, not crashed by injection) while still
+    owning the client side of an open connection it never closed.
+    """
+
+    __slots__ = ("conn_id", "port", "role", "image_name", "pid")
+
+    def __init__(self, conn_id: int, port: int, role: str,
+                 image_name: str, pid: int):
+        self.conn_id = conn_id
+        self.port = port
+        self.role = role
+        self.image_name = image_name
+        self.pid = pid
+
+    def __repr__(self) -> str:
+        return (f"<ConnectionLeak #{self.conn_id} :{self.port} "
+                f"by {self.image_name} pid={self.pid} role={self.role}>")
+
+
+class ConnectionLeakError(RuntimeError):
+    """A simulated client finished while leaking open connections."""
+
+    def __init__(self, leaks: list[ConnectionLeak]):
+        self.leaks = leaks
+        detail = ", ".join(repr(leak) for leak in leaks[:5])
+        if len(leaks) > 5:
+            detail += f", ... ({len(leaks)} total)"
+        super().__init__(
+            f"{len(leaks)} client connection(s) never closed: {detail}")
 
 
 class Listener:
@@ -116,6 +196,10 @@ class Transport:
         self.latency = latency
         self._listeners: dict[int, Listener] = {}
         self._connections: list[Connection] = []
+        self.client_leaks: list[ConnectionLeak] = []
+        # Sleep commands are immutable, so every connect reuses one
+        # instance instead of allocating per dial.
+        self._latency_sleep = Sleep(latency)
 
     # ------------------------------------------------------------------
     # Server side
@@ -155,7 +239,7 @@ class Transport:
     def connect(self, port: int, client: "NTProcess",
                 timeout: Optional[float] = None):
         """Dial a port.  Returns a Connection, or None when refused."""
-        yield from self._delay()
+        yield self._latency_sleep
         listener = self._listeners.get(port)
         if listener is None or not listener.open or not listener.owner.alive:
             return None  # connection refused
@@ -173,47 +257,83 @@ class Transport:
         """Queue a message for the peer; delivered after the latency."""
         if not connection.open:
             return False
+        peer = Side.SERVER if sender is Side.CLIENT else Side.CLIENT
         self.machine.engine.schedule(
-            self.latency, self._deliver, connection, sender.peer, message,
+            self.latency, self._deliver, connection, peer, message,
         )
         return True
 
     def _deliver(self, connection: Connection, to: Side, message: Any) -> None:
         if connection.open:
-            connection.inbox(to).put(message)
+            inbox = (connection._client_inbox if to is Side.CLIENT
+                     else connection._server_inbox)
+            inbox.put(message)
 
     def recv(self, connection: Connection, side: Side,
              timeout: Optional[float] = None):
         """Wait for the next message; TIMED_OUT or RESET on failure."""
+        inbox = (connection._client_inbox if side is Side.CLIENT
+                 else connection._server_inbox)
         if not connection.open:
-            ok, item = connection.inbox(side).try_get()
+            ok, item = inbox.try_get()
             return item if ok else RESET
-        event = connection.inbox(side).get_event()
+        event = inbox.get_event()
         result = yield Wait(event, timeout=timeout)
         if result is TIMED_OUT:
             event.succeed(TIMED_OUT)  # poison: a later put must skip it
             return TIMED_OUT
         return result
 
-    def _delay(self):
-        from ..sim import Sleep
+    def close(self, connection: Connection, side: Side) -> None:
+        """Gracefully close one side of a connection.
 
-        yield Sleep(self.latency)
+        Clients must call this on every path out of a request exchange
+        (success, timeout, reset, bad reply); the end-of-run hygiene
+        check flags connections whose client side was never closed.
+        """
+        connection.close(side)
+
+    def _delay(self):
+        yield self._latency_sleep
 
     # ------------------------------------------------------------------
     # Process-death integration
     # ------------------------------------------------------------------
     def on_process_exit(self, process: "NTProcess") -> None:
-        """Close listeners and reset connections owned by a dead process."""
+        """Close listeners and reset connections owned by a dead process.
+
+        A process that *finished on its own* (was not killed externally
+        and did not crash) while still owning the client side of an open
+        connection has leaked it — real sockets linger exactly this way
+        — and the leak is recorded for the end-of-run hygiene check.
+        External kills and crashes are the fault model at work, not
+        client bugs, so they reset silently.
+        """
+        voluntary = (not process.crashed
+                     and not getattr(process, "terminated_externally", False))
         for listener in self._listeners.values():
             if listener.owner is process:
                 listener.close()
+        # The scan doubles as a pruning pass: connections found closed
+        # are dropped from the list, keeping each exit O(open) instead
+        # of O(every connection ever dialled) — at 100 clients the
+        # difference is the whole scan.
+        remaining = []
         for connection in self._connections:
-            if connection.open and (
-                connection.owner(Side.CLIENT) is process
-                or connection.owner(Side.SERVER) is process
-            ):
+            if not connection.open:
+                continue
+            if (connection._client_owner is process
+                    or connection._server_owner is process):
+                if (voluntary
+                        and connection._client_owner is process
+                        and not connection._client_closed):
+                    self.client_leaks.append(ConnectionLeak(
+                        connection.conn_id, connection.port, process.role,
+                        process.image_name, process.pid))
                 connection.reset()
+            else:
+                remaining.append(connection)
+        self._connections = remaining
 
     def handoff(self, connection: Connection, side: Side,
                 process: "NTProcess") -> None:

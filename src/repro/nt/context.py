@@ -40,9 +40,12 @@ class UnknownExportError(AttributeError):
 
 
 class _K32Proxy:
-    """Attribute-style access to the export table: ``ctx.k32.ReadFile``."""
+    """Attribute-style access to the export table: ``ctx.k32.ReadFile``.
 
-    __slots__ = ("_ctx",)
+    Resolved callables are memoised into the instance dict, so each
+    export pays the ``__getattr__`` + closure cost once per process
+    rather than once per call.
+    """
 
     def __init__(self, ctx: "Win32Context"):
         self._ctx = ctx
@@ -57,6 +60,7 @@ class _K32Proxy:
             return ctx._invoke(sig, args)
 
         call.__name__ = name
+        setattr(self, name, call)
         return call
 
 
@@ -97,20 +101,30 @@ class Win32Context:
                 f"{sig.name} takes {len(sig.params)} arguments,"
                 f" got {len(sem_args)}"
             )
-        space = self.machine.address_space
-        raw_args = tuple(space.encode(value) for value in sem_args)
-        raw_args = self.machine.interception.dispatch(self.process, sig, raw_args)
-        decoded = [
-            space.decode(raw, spec.ptype.pointer_like)
-            for raw, spec in zip(raw_args, sig.params)
-        ]
-        frame = runtime.Frame(self.machine, self.process, sig, decoded)
-        impl = runtime.lookup(sig.name)
+        machine = self.machine
+        space = machine.address_space
+        raw_args = tuple(map(space.encode, sem_args))
+        raw_args = machine.interception.dispatch(self.process, sig, raw_args)
+        decoded = list(map(space.decode, raw_args, sig.pointer_flags))
+        frame = runtime.Frame(machine, self.process, sig, decoded)
+        try:
+            impl, blocking = sig._dispatch
+        except AttributeError:
+            # First call of this export anywhere: the implementation
+            # registry is import-time-complete by now, so the lookup
+            # result can be pinned on the signature.
+            impl = runtime.lookup(sig.name)
+            blocking = runtime.is_blocking(sig.name)
+            sig._dispatch = (impl, blocking)
         if impl is None:
             result = runtime.generic_implementation(frame)
-        elif runtime.is_blocking(sig.name):
+        elif blocking:
             result = yield from impl(frame)
         else:
             result = impl(frame)
-        return self.machine.interception.dispatch_return(
-            self.process, sig, result)
+        interception = machine.interception
+        if not interception.return_hooks:
+            tracer = machine.tracer
+            if tracer is None or not tracer.calls_enabled:
+                return result  # nothing observes returns on this run
+        return interception.dispatch_return(self.process, sig, result)

@@ -78,7 +78,10 @@ class InterceptionLayer:
         self.return_hooks: list[ReturnHook] = []
         self.keep_full_trace = keep_full_trace
         self.trace: list[CallRecord] = []
-        self._invocations: dict[tuple[int, str], int] = {}
+        # Per-pid invocation counters, nested rather than keyed by
+        # (pid, name) tuples: dispatch runs for every simulated library
+        # call, and the nested form needs no key allocation there.
+        self._invocations: dict[int, dict[str, int]] = {}
         self._called_by_role: dict[str, set[str]] = {}
         self._call_counts: dict[str, int] = {}
 
@@ -109,9 +112,12 @@ class InterceptionLayer:
     def dispatch(self, process: "NTProcess", sig: FunctionSig,
                  raw_args: tuple[int, ...]) -> tuple[int, ...]:
         """Run hooks over one call; returns the (possibly corrupted) args."""
-        key = (process.pid, sig.name)
-        invocation = self._invocations.get(key, 0) + 1
-        self._invocations[key] = invocation
+        name = sig.name
+        per_pid = self._invocations.get(process.pid)
+        if per_pid is None:
+            per_pid = self._invocations[process.pid] = {}
+        invocation = per_pid.get(name, 0) + 1
+        per_pid[name] = invocation
 
         injected = False
         for hook in self.hooks:
@@ -120,8 +126,12 @@ class InterceptionLayer:
                 raw_args = replacement
                 injected = True
 
-        self._called_by_role.setdefault(process.role, set()).add(sig.name)
-        self._call_counts[sig.name] = self._call_counts.get(sig.name, 0) + 1
+        called = self._called_by_role.get(process.role)
+        if called is None:
+            called = self._called_by_role[process.role] = set()
+        called.add(name)
+        counts = self._call_counts
+        counts[name] = counts.get(name, 0) + 1
         tracer = process.machine.tracer
         if tracer is not None and tracer.calls_enabled:
             tracer.emit(process.machine.engine.now, "call", "enter",
@@ -138,7 +148,7 @@ class InterceptionLayer:
                         result):
         """Run return hooks over one completed call's result."""
         if self.return_hooks and isinstance(result, int):
-            invocation = self._invocations.get((process.pid, sig.name), 0)
+            invocation = self._invocations.get(process.pid, {}).get(sig.name, 0)
             for hook in self.return_hooks:
                 replacement = hook.on_return(process, sig, invocation, result)
                 if replacement is not None:
@@ -177,4 +187,4 @@ class InterceptionLayer:
         return sum(self._call_counts.values())
 
     def invocation_count(self, pid: int, func: str) -> int:
-        return self._invocations.get((pid, func), 0)
+        return self._invocations.get(pid, {}).get(func, 0)

@@ -105,12 +105,21 @@ class ParamSpec:
 class FunctionSig:
     """A kernel32 export: name plus ordered parameter specs."""
 
-    __slots__ = ("name", "params", "family")
+    # ``_dispatch`` is a lazily-filled ``(impl, is_blocking)`` pair the
+    # call layer caches after the implementation registry is complete;
+    # the slot is deliberately left unset here so first use can detect
+    # it with AttributeError.
+    __slots__ = ("name", "params", "family", "pointer_flags", "_dispatch")
 
     def __init__(self, name: str, params: tuple[ParamSpec, ...], family: str):
         self.name = name
         self.params = params
         self.family = family
+        # Precomputed per-parameter pointer-likeness: the call path
+        # decodes every argument of every intercepted call, and paying
+        # an enum property plus a set membership there per argument
+        # shows up at load scale.
+        self.pointer_flags = tuple(p.ptype.pointer_like for p in params)
 
     @property
     def param_count(self) -> int:

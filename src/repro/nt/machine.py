@@ -107,6 +107,20 @@ class Machine:
         """Kill all processes (end-of-run teardown)."""
         self.processes.terminate_all()
 
+    def check_connection_hygiene(self) -> None:
+        """Raise if any client finished a run while leaking connections.
+
+        Leaks are recorded by the transport the moment a process exits
+        voluntarily with an unclosed client-side connection; this check
+        surfaces them after the run so a sloppy retry path (the original
+        HttpClient bug) fails loudly instead of silently accumulating
+        half-open connections across a loaded campaign.
+        """
+        from ..net.transport import ConnectionLeakError
+
+        if self.transport.client_leaks:
+            raise ConnectionLeakError(list(self.transport.client_leaks))
+
     def __repr__(self) -> str:
         return (f"<Machine seed={self.seed} {self.cpu_mhz}MHz "
                 f"t={self.engine.now:.3f}>")

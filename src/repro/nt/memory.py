@@ -121,6 +121,11 @@ class AddressSpace:
         self._next = base
         self._by_address: dict[int, Any] = {}
         self._by_id: dict[int, int] = {}
+        # Flyweight cache for integer-typed decoded arguments: handles,
+        # sizes and flags repeat constantly, DecodedArg is never
+        # mutated after construction, and the call path decodes every
+        # argument of every intercepted call.
+        self._int_args: dict[int, DecodedArg] = {}
 
     def intern(self, obj: Any) -> int:
         """Return the stable address of ``obj``, allocating on first use."""
@@ -154,8 +159,16 @@ class AddressSpace:
     # ------------------------------------------------------------------
     def encode(self, value: Any) -> int:
         """Lower a semantic argument to its raw 32-bit word."""
+        # Exact-type fast paths first: the overwhelming majority of raw
+        # words are plain ints (handles, sizes, flags).  ``type(True) is
+        # bool``, so the int path never swallows a bool.
+        cls = type(value)
+        if cls is int:
+            return value & MASK32
         if value is None:
             return 0
+        if cls is str:
+            return self.intern(CString(value))
         if isinstance(value, bool):
             return int(value)
         if isinstance(value, int):
@@ -181,7 +194,10 @@ class AddressSpace:
         """
         raw &= MASK32
         if not pointer_like:
-            return DecodedArg(raw, ArgKind.INT)
+            arg = self._int_args.get(raw)
+            if arg is None:
+                arg = self._int_args[raw] = DecodedArg(raw, ArgKind.INT)
+            return arg
         if raw == 0:
             return DecodedArg(raw, ArgKind.NULL)
         obj = self._by_address.get(raw)

@@ -84,6 +84,12 @@ class NTProcess:
         self.threads: list[SimProcess] = []
         self.exit_code: Optional[int] = None
         self.crashed = False
+        # True when something *else* ended this process (TerminateProcess,
+        # middleware stop, harness teardown) rather than its own program
+        # returning or calling ExitProcess.  The transport's connection
+        # hygiene check uses this to tell leaked connections from
+        # connections torn down by the fault model.
+        self.terminated_externally = False
         self.exit_event = SimEvent(f"{self.image_name}:{self.pid}.exit")
         self.last_error = 0
         self.tls = TlsSlots()
@@ -176,6 +182,8 @@ class NTProcess:
     # ------------------------------------------------------------------
     def terminate(self, exit_code: int = 1) -> None:
         """Kill from outside (``TerminateProcess`` / middleware stop)."""
+        if self.alive:
+            self.terminated_externally = True
         self._terminate(exit_code, crashed=False)
 
     def crash(self, status: int) -> None:

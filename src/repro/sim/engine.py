@@ -10,13 +10,33 @@ it spans minutes of virtual time.
 The engine is intentionally minimal: it knows about time and callbacks
 only.  Process semantics (generators, waiting, interrupts) live in
 :mod:`repro.sim.process` and :mod:`repro.sim.primitives`.
+
+Hot-path notes (the engine dominates multi-client load runs):
+
+- The heap holds ``(time, seq, timer)`` tuples, so sift comparisons
+  are C-level tuple comparisons instead of ``Timer.__lt__`` calls.
+- Cancellation tombstones are counted, and the heap is compacted in
+  place whenever tombstones outnumber live timers — a population of
+  clients that each arm-and-cancel timeout timers would otherwise grow
+  the heap without bound.  In-place compaction (slice assignment plus
+  re-heapify) keeps the list object identical, so the run loop may
+  alias it.
+- :meth:`run` inlines the dispatch loop rather than paying a
+  :meth:`step` call per event; :meth:`step` remains the single-event
+  API.
 """
 
 from __future__ import annotations
 
+import gc
 import heapq
 import itertools
 from typing import Any, Callable, Optional
+
+# Compaction never triggers below this queue size: tiny heaps are
+# cheap to scan and re-heapifying them constantly would cost more
+# than the tombstones they carry.
+_COMPACT_MIN = 64
 
 
 class SimulationError(Exception):
@@ -31,23 +51,37 @@ class Timer:
     """Handle for a scheduled callback.
 
     A ``Timer`` may be cancelled before it fires; cancellation is O(1)
-    (the heap entry is tombstoned rather than removed).
+    (the heap entry is tombstoned rather than removed, and the engine
+    compacts tombstones away once they dominate the heap).
     """
 
-    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "engine")
 
-    def __init__(self, time: float, seq: int, callback: Callable, args: tuple):
+    def __init__(self, time: float, seq: int, callback: Callable,
+                 args: tuple, engine: Optional["Engine"] = None):
         self.time = time
         self.seq = seq
         self.callback = callback
         self.args = args
         self.cancelled = False
+        self.engine = engine
 
     def cancel(self) -> None:
         """Prevent the callback from running.  Idempotent."""
+        if self.cancelled:
+            return
         self.cancelled = True
         self.callback = None
         self.args = ()
+        # Tombstone accounting (``Engine._note_cancel``), inlined: every
+        # satisfied timed wait cancels its timeout timer through here.
+        engine = self.engine
+        if engine is not None:
+            engine._tombstones += 1
+            queue_len = len(engine._queue)
+            if (engine._tombstones * 2 > queue_len
+                    and queue_len >= _COMPACT_MIN):
+                engine._compact()
 
     @property
     def active(self) -> bool:
@@ -75,11 +109,12 @@ class Engine:
 
     def __init__(self, tracer=None) -> None:
         self._now = 0.0
-        self._queue: list[Timer] = []
+        self._queue: list[tuple[float, int, Timer]] = []
         self._seq = itertools.count()
         self._running = False
         self._stopped = False
         self._events_processed = 0
+        self._tombstones = 0
         self.tracer = tracer
 
     # ------------------------------------------------------------------
@@ -106,7 +141,18 @@ class Engine:
         """
         if delay < 0:
             raise ScheduleInPastError(f"negative delay {delay!r}")
-        return self.schedule_at(self._now + delay, callback, *args)
+        # Inlined schedule_at (one call frame per event adds up): a
+        # non-negative delay can never land in the past.
+        time = self._now + delay
+        timer = Timer(time, next(self._seq), callback, args, self)
+        heapq.heappush(self._queue, (time, timer.seq, timer))
+        tracer = self.tracer
+        if tracer is not None and tracer.full_enabled:
+            from ..trace import callback_label
+
+            tracer.emit(self._now, "engine", "schedule", at=time,
+                        callback=callback_label(callback))
+        return timer
 
     def schedule_at(self, time: float, callback: Callable, *args: Any) -> Timer:
         """Run ``callback(*args)`` at absolute virtual ``time``."""
@@ -114,8 +160,8 @@ class Engine:
             raise ScheduleInPastError(
                 f"cannot schedule at {time!r}; the clock is at {self._now!r}"
             )
-        timer = Timer(time, next(self._seq), callback, args)
-        heapq.heappush(self._queue, timer)
+        timer = Timer(time, next(self._seq), callback, args, self)
+        heapq.heappush(self._queue, (time, timer.seq, timer))
         tracer = self.tracer
         if tracer is not None and tracer.full_enabled:
             from ..trace import callback_label
@@ -125,20 +171,50 @@ class Engine:
         return timer
 
     # ------------------------------------------------------------------
+    # Tombstone accounting
+    # ------------------------------------------------------------------
+    def _note_cancel(self) -> None:
+        self._tombstones += 1
+        if (self._tombstones * 2 > len(self._queue)
+                and len(self._queue) >= _COMPACT_MIN):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop tombstoned entries and restore the heap invariant.
+
+        In place (slice assignment), so aliases of the queue list held
+        by a running dispatch loop stay valid.
+        """
+        self._queue[:] = [entry for entry in self._queue
+                          if not entry[2].cancelled]
+        heapq.heapify(self._queue)
+        self._tombstones = 0
+
+    # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
+    def _consume(self, timer: Timer) -> None:
+        """Mark a popped timer consumed so ``.active`` is False after it
+        fires — without touching the tombstone count (the entry is
+        already off the heap)."""
+        timer.cancelled = True
+        timer.callback = None
+        timer.args = ()
+
     def step(self) -> bool:
         """Execute the next pending callback.
 
         Returns ``False`` when the queue is empty (nothing ran).
         """
-        while self._queue:
-            timer = heapq.heappop(self._queue)
+        queue = self._queue
+        while queue:
+            _time, _seq, timer = heapq.heappop(queue)
             if timer.cancelled:
+                self._tombstones -= 1
                 continue
             self._now = timer.time
             callback, args = timer.callback, timer.args
-            timer.cancel()  # mark consumed so .active is False afterwards
+            self._consume(timer)
             self._events_processed += 1
             tracer = self.tracer
             if tracer is not None and tracer.full_enabled:
@@ -161,17 +237,46 @@ class Engine:
         self._running = True
         self._stopped = False
         executed = 0
+        queue = self._queue  # compaction is in-place; the alias is safe
+        pop = heapq.heappop
+        tracer = self.tracer
+        tracing = tracer is not None and tracer.full_enabled
+        # ``inf`` stands in for "no limit" so the loop pays one float
+        # compare instead of a None test plus a compare per event.
+        limit = float("inf") if until is None else until
+        # The dispatch loop allocates heavily (timers, events, frames)
+        # but creates almost no cycles; pausing generational collection
+        # for the duration avoids repeated gen-0 sweeps over objects
+        # that are about to die anyway.  Anything cyclic is collected
+        # when the caller's world resumes.
+        gc_paused = gc.isenabled()
+        if gc_paused:
+            gc.disable()
         try:
-            while self._queue and not self._stopped:
-                head = self._queue[0]
-                if head.cancelled:
-                    heapq.heappop(self._queue)
+            while queue and not self._stopped:
+                time, _seq, timer = queue[0]
+                if timer.cancelled:
+                    pop(queue)
+                    self._tombstones -= 1
                     continue
-                if until is not None and head.time > until:
+                if time > limit:
                     self._now = until
                     break
-                if not self.step():
-                    break
+                pop(queue)
+                self._now = time
+                callback, args = timer.callback, timer.args
+                # _consume, inlined: this runs once per event.  The
+                # events-processed counter is batched into ``executed``
+                # and folded back in the ``finally`` below.
+                timer.cancelled = True
+                timer.callback = None
+                timer.args = ()
+                if tracing:
+                    from ..trace import callback_label
+
+                    tracer.emit(time, "engine", "fire",
+                                callback=callback_label(callback))
+                callback(*args)
                 executed += 1
                 if executed > max_events:
                     raise SimulationError(
@@ -182,6 +287,9 @@ class Engine:
                     self._now = max(self._now, until)
         finally:
             self._running = False
+            self._events_processed += executed
+            if gc_paused:
+                gc.enable()
         return self._now
 
     def stop(self) -> None:
@@ -191,7 +299,7 @@ class Engine:
     @property
     def pending_count(self) -> int:
         """Number of live (non-cancelled) timers in the queue."""
-        return sum(1 for t in self._queue if not t.cancelled)
+        return len(self._queue) - self._tombstones
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Engine now={self._now:.3f} pending={self.pending_count}>"

@@ -26,6 +26,7 @@ commands are ever yielded to the scheduler.
 
 from __future__ import annotations
 
+from collections import deque
 from typing import Any, Iterable, Optional
 
 
@@ -154,6 +155,11 @@ class SimEvent:
 
     def remove_waiter(self, callback) -> None:
         """Deregister a pending callback (no-op if absent or already fired)."""
+        if self._fired:
+            # Firing already emptied the waiter list; skipping the
+            # remove avoids raising ValueError on the common path where
+            # a resumed process unhooks from the event that woke it.
+            return
         try:
             self._waiters.remove(callback)
         except ValueError:
@@ -210,12 +216,13 @@ class FifoQueue:
 
     def __init__(self, name: str = ""):
         self.name = name
-        self._items: list = []
-        self._getters: list[SimEvent] = []
+        self._items: deque = deque()
+        self._getters: deque[SimEvent] = deque()
 
     def put(self, item: Any) -> None:
-        while self._getters:
-            getter = self._getters.pop(0)
+        getters = self._getters
+        while getters:
+            getter = getters.popleft()
             if not getter.fired:  # skip getters cancelled by timeout
                 getter.succeed(item)
                 return
@@ -223,9 +230,9 @@ class FifoQueue:
 
     def get_event(self) -> SimEvent:
         """Return an event that fires with the next item."""
-        event = SimEvent(f"{self.name}.get")
+        event = SimEvent(self.name)
         if self._items:
-            event.succeed(self._items.pop(0))
+            event.succeed(self._items.popleft())
         else:
             self._getters.append(event)
         return event
@@ -233,7 +240,7 @@ class FifoQueue:
     def try_get(self) -> tuple[bool, Any]:
         """Non-blocking get; returns ``(True, item)`` or ``(False, None)``."""
         if self._items:
-            return True, self._items.pop(0)
+            return True, self._items.popleft()
         return False, None
 
     def clear(self) -> None:

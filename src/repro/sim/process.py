@@ -80,10 +80,18 @@ class SimProcess:
         self.done = SimEvent(f"{self.name}.done")
         self.started_at: Optional[float] = None
         self.ended_at: Optional[float] = None
-        # bookkeeping for the wait currently blocking this process
+        # bookkeeping for the wait currently blocking this process: a
+        # plain ``Wait`` parks in the single-event slot, ``WaitAny`` in
+        # the list — the single-event case is the hot one and skips all
+        # list/tuple churn.
         self._pending_timer: Optional[Timer] = None
+        self._pending_event: Optional[SimEvent] = None
         self._pending_waiters: list[tuple[SimEvent, Any]] = []
         self._resumed = False  # guards double-resume from event+timeout races
+        # ``self._resume`` as a pre-bound method: binding allocates, and
+        # the wait path needs the same (equal) callable at arm and
+        # clear time anyway.
+        self._resume_bound = self._resume
 
     # ------------------------------------------------------------------
     # Start / lifecycle
@@ -100,11 +108,12 @@ class SimProcess:
         if self.state is not ProcState.RUNNING:
             return  # killed before it ever ran
         self.started_at = self.engine.now
-        self._advance(lambda: self.generator.send(None))
+        self._step_send(None)
 
     @property
     def alive(self) -> bool:
-        return self.state in (ProcState.CREATED, ProcState.RUNNING)
+        state = self.state
+        return state is ProcState.RUNNING or state is ProcState.CREATED
 
     # ------------------------------------------------------------------
     # Kill
@@ -170,25 +179,58 @@ class SimProcess:
             return
         self._arm(command)
 
+    def _step_send(self, value: Any) -> None:
+        """:meth:`_advance` specialised to ``generator.send`` — the path
+        every ordinary resume takes, with no per-step closure."""
+        tracer = self.engine.tracer
+        if tracer is not None and tracer.full_enabled:
+            tracer.emit(self.engine.now, "proc", "switch", name=self.name)
+        try:
+            command = self.generator.send(value)
+        except StopIteration as stop:
+            self.state = ProcState.FINISHED
+            self.result = stop.value
+            self._end(None)
+            return
+        except Killed:
+            self.state = ProcState.KILLED
+            self._end(None)
+            return
+        except BaseException as exc:
+            self.state = ProcState.FAILED
+            self.error = exc
+            self._end(exc)
+            return
+        self._arm(command)
+
     def _arm(self, command: Command) -> None:
-        """Register resumption for the yielded command."""
+        """Register resumption for the yielded command.
+
+        Dispatch is on the exact command type — the four leaf commands
+        are final by design (see :mod:`repro.sim.primitives`) — so the
+        hot path pays pointer comparisons, not ``isinstance`` walks.
+        """
         self._resumed = False
-        if isinstance(command, Sleep):
+        command_type = type(command)
+        if command_type is Sleep:
             self._pending_timer = self.engine.schedule(
-                command.duration, self._resume, None
+                command.duration, self._resume_bound, None
             )
-        elif isinstance(command, Wait):
-            waiter = self._make_waiter(None)
-            self._pending_waiters.append((command.event, waiter))
+        elif command_type is Wait:
+            # The pre-bound resume doubles as the waiter for a
+            # single-event wait — no allocation at all on the hottest
+            # wait path.
+            event = command.event
+            self._pending_event = event
             if command.timeout is not None:
                 self._pending_timer = self.engine.schedule(
-                    command.timeout, self._resume, TIMED_OUT
+                    command.timeout, self._resume_bound, TIMED_OUT
                 )
-            command.event.add_waiter(waiter)
-        elif isinstance(command, WaitAny):
+            event.add_waiter(self._resume_bound)
+        elif command_type is WaitAny:
             if command.timeout is not None:
                 self._pending_timer = self.engine.schedule(
-                    command.timeout, self._resume, TIMED_OUT
+                    command.timeout, self._resume_bound, TIMED_OUT
                 )
             for index, event in enumerate(command.events):
                 waiter = self._make_waiter(index)
@@ -196,7 +238,7 @@ class SimProcess:
                 event.add_waiter(waiter)
                 if self._resumed:
                     break  # an already-fired event resumed us synchronously
-        elif isinstance(command, Hang):
+        elif command_type is Hang:
             pass  # nothing will ever resume it; only kill() ends it
         else:
             self._advance(
@@ -207,32 +249,51 @@ class SimProcess:
 
     def _make_waiter(self, index: Optional[int]):
         def waiter(value: Any) -> None:
-            if index is None:
-                self._resume(value)
-            else:
-                self._resume((index, value))
+            self._resume((index, value))
 
         return waiter
 
     def _resume(self, value: Any) -> None:
-        if self._resumed or not self.alive:
+        state = self.state
+        if self._resumed or (state is not ProcState.RUNNING
+                             and state is not ProcState.CREATED):
             return
         self._resumed = True
-        self._clear_pending()
+        # _clear_pending, inlined: this runs on every resume.
+        timer = self._pending_timer
+        if timer is not None:
+            timer.cancel()
+            self._pending_timer = None
+        event = self._pending_event
+        if event is not None:
+            event.remove_waiter(self._resume_bound)
+            self._pending_event = None
+        waiters = self._pending_waiters
+        if waiters:
+            for event, waiter in waiters:
+                event.remove_waiter(waiter)
+            waiters.clear()
         if value is TIMED_OUT:
             tracer = self.engine.tracer
             if tracer is not None and tracer.full_enabled:
                 tracer.emit(self.engine.now, "proc", "timeout",
                             name=self.name)
-        self._advance(lambda: self.generator.send(value))
+        self._step_send(value)
 
     def _clear_pending(self) -> None:
-        if self._pending_timer is not None:
-            self._pending_timer.cancel()
+        timer = self._pending_timer
+        if timer is not None:
+            timer.cancel()
             self._pending_timer = None
-        for event, waiter in self._pending_waiters:
-            event.remove_waiter(waiter)
-        self._pending_waiters.clear()
+        event = self._pending_event
+        if event is not None:
+            event.remove_waiter(self._resume_bound)
+            self._pending_event = None
+        waiters = self._pending_waiters
+        if waiters:
+            for event, waiter in waiters:
+                event.remove_waiter(waiter)
+            waiters.clear()
 
     def _end(self, outcome: Optional[BaseException]) -> None:
         self.ended_at = self.engine.now

@@ -17,6 +17,8 @@ Emission is designed to cost nothing when it is not wanted:
 
 from __future__ import annotations
 
+import sys
+
 from .events import TraceEvent, TraceLevel, trace_to_jsonl
 
 
@@ -42,7 +44,12 @@ class Tracer:
         if not self.outcome_enabled:
             return
         events = self.events
-        events.append(TraceEvent(len(events), time, category, name, data))
+        # Category/name values are drawn from a small fixed vocabulary;
+        # interning collapses the per-event copies a full-level trace of
+        # a long load run would otherwise hold, and makes the equality
+        # checks in trace diffing pointer comparisons.
+        events.append(TraceEvent(len(events), time, sys.intern(category),
+                                 sys.intern(name), data))
 
     def jsonl(self) -> str:
         """The canonical byte representation of the stream so far."""

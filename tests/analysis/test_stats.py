@@ -7,12 +7,22 @@ from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.analysis.stats import (
+    _t_fallback_95,
     mean,
     mean_ci95,
     proportion,
     sample_std,
     t_critical_95,
 )
+
+try:
+    from scipy import stats as scipy_stats
+except ImportError:  # CI installs only pytest+hypothesis
+    scipy_stats = None
+
+needs_scipy = pytest.mark.skipif(
+    scipy_stats is None,
+    reason="fallback regression needs scipy as the reference")
 
 FLOATS = st.lists(
     st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
@@ -50,6 +60,50 @@ def test_t_critical_small_dof():
 def test_t_critical_rejects_nonpositive_dof():
     with pytest.raises(ValueError):
         t_critical_95(0)
+
+
+class TestFallbackTable:
+    """The no-scipy fallback must never be anti-conservative.
+
+    The original bug: dof=11 was rounded *up* to the dof=12 table entry
+    (2.179 < the true 2.201), silently narrowing every interval whose
+    dof fell between table rows.
+    """
+
+    def test_exact_table_entries_are_returned_verbatim(self):
+        assert _t_fallback_95(1) == 12.706
+        assert _t_fallback_95(12) == 2.179
+        assert _t_fallback_95(120) == 1.980
+
+    def test_dof_11_regression(self):
+        # Must be near the true 2.201, NOT the dof=12 entry 2.179.
+        value = _t_fallback_95(11)
+        assert value == pytest.approx(2.201, abs=0.005)
+        assert value > 2.179
+
+    def test_monotone_decreasing_in_dof(self):
+        values = [_t_fallback_95(dof) for dof in range(1, 501)]
+        assert all(a >= b for a, b in zip(values, values[1:]))
+
+    def test_large_dof_approaches_normal(self):
+        assert _t_fallback_95(100_000) == pytest.approx(1.96, abs=0.001)
+
+    @needs_scipy
+    def test_fallback_within_1pct_of_scipy_dof_1_to_200(self):
+        for dof in range(1, 201):
+            exact = float(scipy_stats.t.ppf(0.975, dof))
+            approx = _t_fallback_95(dof)
+            assert approx == pytest.approx(exact, rel=0.01), f"dof={dof}"
+
+    @needs_scipy
+    def test_fallback_errs_conservative_between_table_rows(self):
+        # Wherever the fallback deviates it must widen, not narrow: the
+        # t quantile is convex in 1/dof, so interpolation sits above.
+        # Table entries themselves are rounded to three decimals, hence
+        # the half-ulp slack.
+        for dof in range(1, 201):
+            exact = float(scipy_stats.t.ppf(0.975, dof))
+            assert _t_fallback_95(dof) >= exact - 5e-4, f"dof={dof}"
 
 
 class TestMeanCI:

@@ -105,6 +105,72 @@ class TestNegatives:
         """, rules=RULES)
         assert findings == []
 
+    def test_transport_retry_loop_without_close_is_a_leak(self, lint_source):
+        # The shape of the original HttpClient bug: the retry loop
+        # reconnects after a timeout without closing the timed-out
+        # connection, leaking one half-open socket per retry.
+        findings = lint_source("""
+            def _issue(self, ctx, request):
+                transport = ctx.machine.transport
+                for attempt in range(3):
+                    connection = yield from transport.connect(
+                        80, ctx.process, timeout=5.0)
+                    transport.send(connection, Side.CLIENT, request)
+                    reply = yield from transport.recv(
+                        connection, Side.CLIENT, timeout=15.0)
+                    if reply is not None:
+                        return reply
+        """, rules=RULES)
+        assert len(findings) == 1
+        assert "connect" in findings[0].message
+        assert "connection" in findings[0].message
+
+    def test_transport_accept_without_close_is_a_leak(self, lint_source):
+        findings = lint_source("""
+            def serve(self, ctx, listener):
+                transport = ctx.machine.transport
+                conn = yield from transport.accept(listener, timeout=None)
+                request = yield from transport.recv(conn, Side.SERVER,
+                                                    timeout=60.0)
+                transport.send(conn, Side.SERVER, request)
+        """, rules=RULES)
+        assert len(findings) == 1
+        assert "accept" in findings[0].message
+
+    def test_transport_close_is_clean(self, lint_source):
+        findings = lint_source("""
+            def _issue(self, ctx, request):
+                transport = ctx.machine.transport
+                connection = yield from transport.connect(
+                    80, ctx.process, timeout=5.0)
+                try:
+                    transport.send(connection, Side.CLIENT, request)
+                    reply = yield from transport.recv(
+                        connection, Side.CLIENT, timeout=15.0)
+                finally:
+                    transport.close(connection, Side.CLIENT)
+                return reply
+        """, rules=RULES)
+        assert findings == []
+
+    def test_transport_handoff_transfers_ownership(self, lint_source):
+        findings = lint_source("""
+            def dispatch(self, ctx, listener, worker):
+                transport = ctx.machine.transport
+                conn = yield from transport.accept(listener, timeout=None)
+                transport.handoff(conn, Side.SERVER, worker)
+        """, rules=RULES)
+        assert findings == []
+
+    def test_transport_returned_connection_escapes(self, lint_source):
+        findings = lint_source("""
+            def open_connection(self, ctx):
+                transport = ctx.machine.transport
+                conn = yield from transport.connect(80, ctx.process)
+                return conn
+        """, rules=RULES)
+        assert findings == []
+
     def test_sim_uses_do_not_count_as_escape(self, lint_source):
         # Passing the handle to other k32 calls must NOT immunise it.
         findings = lint_source("""

@@ -1,0 +1,73 @@
+"""Serial vs. process-pool load campaigns as a differential oracle.
+
+Mirrors ``tests/trace/test_differential.py``: the pool path must
+checkpoint a *byte-identical* store file to the serial path, whatever
+the worker count, because every run boots a fresh machine seeded only
+from ``(base seed, spec identity, rep)``.  Worker counts come from the
+``REPRO_LOAD_JOBS`` environment variable (default ``1,4``) so CI can
+run each width as its own job.
+"""
+
+import os
+
+import pytest
+
+from repro.core.runner import RunConfig
+from repro.core.store import RunStore
+from repro.load.campaign import plan_load_tasks, run_load_tasks
+from repro.load.spec import LoadSpec
+
+SPEC = LoadSpec(workload="Apache1", clients=4, iterations=1)
+SWEEP = [2, 4]
+REPS = 2
+
+
+def _jobs_under_test() -> list[int]:
+    raw = os.environ.get("REPRO_LOAD_JOBS", "1,4")
+    return [int(part) for part in raw.split(",") if part.strip()]
+
+
+def _run_to_store(path, jobs: int) -> bytes:
+    config = RunConfig(base_seed=2000)
+    tasks = plan_load_tasks(SPEC, reps=REPS, sweep=SWEEP)
+    store = RunStore(path)
+    try:
+        execution = run_load_tasks(tasks, config, jobs=jobs, store=store)
+    finally:
+        store.close()
+    assert len(execution.runs) == len(SWEEP) * REPS
+    return path.read_bytes()
+
+
+@pytest.fixture(scope="module")
+def serial_store_bytes(tmp_path_factory):
+    path = tmp_path_factory.mktemp("load-serial") / "runs.jsonl"
+    return _run_to_store(path, jobs=1)
+
+
+@pytest.mark.parametrize("jobs", _jobs_under_test())
+def test_pool_store_is_byte_identical_to_serial(tmp_path, jobs,
+                                                serial_store_bytes):
+    path = tmp_path / f"runs-{jobs}.jsonl"
+    assert _run_to_store(path, jobs=jobs) == serial_store_bytes
+
+
+def test_resume_serves_cached_runs_without_execution(tmp_path):
+    config = RunConfig(base_seed=2000)
+    tasks = plan_load_tasks(SPEC, reps=1)
+    path = tmp_path / "runs.jsonl"
+
+    store = RunStore(path)
+    try:
+        first = run_load_tasks(tasks, config, jobs=1, store=store)
+    finally:
+        store.close()
+    assert first.executed_count == 1 and first.cached_count == 0
+
+    store = RunStore(path)
+    try:
+        second = run_load_tasks(tasks, config, jobs=1, store=store)
+    finally:
+        store.close()
+    assert second.executed_count == 0 and second.cached_count == 1
+    assert len(second.runs) == 1

@@ -1,0 +1,228 @@
+"""Graceful connection close and the end-of-run leak check.
+
+The original bug: ``HttpClient._issue`` (and ``SqlClient``) never
+closed connections on any path, so every retry left a half-open
+connection behind.  These tests pin the close semantics and the
+hygiene machinery that now makes that bug loud.
+"""
+
+import pytest
+
+from repro.net import RESET, Side
+from repro.net.transport import ConnectionLeakError
+from repro.nt import Machine
+
+
+@pytest.fixture
+def machine():
+    return Machine(seed=11)
+
+
+class EchoServer:
+    image_name = "echo.exe"
+
+    def __init__(self, port=80):
+        self.port = port
+
+    def main(self, ctx):
+        transport = ctx.machine.transport
+        listener = transport.listen(self.port, ctx.process)
+        while True:
+            conn = yield from transport.accept(listener, timeout=None)
+            if conn is RESET:
+                return
+            msg = yield from transport.recv(conn, Side.SERVER, timeout=30.0)
+            if msg not in (RESET,) and msg is not None:
+                transport.send(conn, Side.SERVER, f"echo:{msg}")
+
+
+class TidyClient:
+    """Connect, exchange, close — the correct discipline."""
+
+    image_name = "tidy.exe"
+
+    def __init__(self, port=80):
+        self.port = port
+        self.reply = None
+
+    def main(self, ctx):
+        transport = ctx.machine.transport
+        conn = yield from transport.connect(self.port, ctx.process,
+                                            timeout=5.0)
+        if conn is None:
+            return
+        try:
+            transport.send(conn, Side.CLIENT, "hi")
+            self.reply = yield from transport.recv(conn, Side.CLIENT,
+                                                   timeout=15.0)
+        finally:
+            transport.close(conn, Side.CLIENT)
+
+
+class LeakyClient:
+    """Connect, exchange, walk away — the original HttpClient bug."""
+
+    image_name = "leaky.exe"
+
+    def __init__(self, port=80, exchanges=1):
+        self.port = port
+        self.exchanges = exchanges
+
+    def main(self, ctx):
+        transport = ctx.machine.transport
+        for _ in range(self.exchanges):
+            conn = yield from transport.connect(self.port, ctx.process,
+                                                timeout=5.0)
+            if conn is None:
+                return
+            transport.send(conn, Side.CLIENT, "hi")
+            yield from transport.recv(conn, Side.CLIENT, timeout=15.0)
+
+
+def test_close_marks_connection_closed(machine):
+    machine.processes.spawn(EchoServer(), role="server")
+    client = TidyClient()
+    machine.processes.spawn(client, role="client")
+    machine.run(until=10.0)
+    assert client.reply == "echo:hi"
+    assert machine.transport.open_connections == 0
+    assert machine.transport.client_leaks == []
+    machine.check_connection_hygiene()  # must not raise
+
+
+def test_peer_recv_completes_with_reset_after_close(machine):
+    observed = []
+
+    class Server:
+        image_name = "s.exe"
+
+        def main(self, ctx):
+            transport = ctx.machine.transport
+            listener = transport.listen(80, ctx.process)
+            conn = yield from transport.accept(listener, timeout=None)
+            first = yield from transport.recv(conn, Side.SERVER, timeout=30.0)
+            observed.append(first)
+            # The client closes after the first message; a second recv
+            # must complete with RESET, not block out the timeout.
+            second = yield from transport.recv(conn, Side.SERVER, timeout=30.0)
+            observed.append((ctx.now, second))
+
+    class Closer:
+        image_name = "c.exe"
+
+        def main(self, ctx):
+            transport = ctx.machine.transport
+            conn = yield from transport.connect(80, ctx.process)
+            transport.send(conn, Side.CLIENT, "only")
+            yield from ctx.k32.Sleep(500)
+            transport.close(conn, Side.CLIENT)
+            yield from ctx.k32.Sleep(10_000)
+
+    machine.processes.spawn(Server(), role="server")
+    machine.processes.spawn(Closer(), role="client")
+    machine.run(until=20.0)
+    assert observed[0] == "only"
+    at, second = observed[1]
+    assert second is RESET
+    assert at < 5.0  # released by the close, not the 30 s timeout
+
+
+def test_send_after_close_fails(machine):
+    machine.processes.spawn(EchoServer(), role="server")
+    sends = []
+
+    class Client:
+        image_name = "c.exe"
+
+        def main(self, ctx):
+            transport = ctx.machine.transport
+            conn = yield from transport.connect(80, ctx.process)
+            transport.close(conn, Side.CLIENT)
+            sends.append(transport.send(conn, Side.CLIENT, "late"))
+
+    machine.processes.spawn(Client(), role="client")
+    machine.run(until=5.0)
+    assert sends == [False]
+
+
+def test_double_close_is_idempotent(machine):
+    machine.processes.spawn(EchoServer(), role="server")
+
+    class Client:
+        image_name = "c.exe"
+
+        def main(self, ctx):
+            transport = ctx.machine.transport
+            conn = yield from transport.connect(80, ctx.process)
+            transport.close(conn, Side.CLIENT)
+            transport.close(conn, Side.CLIENT)
+
+    machine.processes.spawn(Client(), role="client")
+    machine.run(until=5.0)
+    assert machine.transport.client_leaks == []
+
+
+def test_leaky_client_is_flagged(machine):
+    machine.processes.spawn(EchoServer(), role="server")
+    machine.processes.spawn(LeakyClient(exchanges=2), role="client")
+    machine.run(until=30.0)
+    leaks = machine.transport.client_leaks
+    assert len(leaks) == 2
+    assert all(leak.image_name == "leaky.exe" for leak in leaks)
+    with pytest.raises(ConnectionLeakError) as excinfo:
+        machine.check_connection_hygiene()
+    assert "leaky.exe" in str(excinfo.value)
+
+
+def test_killed_client_is_not_a_leak(machine):
+    machine.processes.spawn(EchoServer(), role="server")
+
+    class Blocked:
+        image_name = "blocked.exe"
+
+        def main(self, ctx):
+            transport = ctx.machine.transport
+            conn = yield from transport.connect(80, ctx.process)
+            yield from transport.recv(conn, Side.CLIENT, timeout=None)
+
+    client = machine.processes.spawn(Blocked(), role="client")
+    machine.run(until=2.0)
+    client.terminate()  # external kill: the fault model, not a bug
+    machine.run(until=3.0)
+    assert machine.transport.client_leaks == []
+    machine.check_connection_hygiene()
+
+
+def test_crashed_client_is_not_a_leak(machine):
+    machine.processes.spawn(EchoServer(), role="server")
+
+    class Crasher:
+        image_name = "crash.exe"
+
+        def main(self, ctx):
+            from repro.nt.errors import StructuredException
+
+            transport = ctx.machine.transport
+            yield from transport.connect(80, ctx.process)
+            raise StructuredException(0xC0000005)
+
+    machine.processes.spawn(Crasher(), role="client")
+    machine.run(until=5.0)
+    assert machine.transport.client_leaks == []
+
+
+def test_shutdown_teardown_is_not_a_leak(machine):
+    machine.processes.spawn(EchoServer(), role="server")
+
+    class Lingerer:
+        image_name = "linger.exe"
+
+        def main(self, ctx):
+            transport = ctx.machine.transport
+            yield from transport.connect(80, ctx.process)
+            yield from ctx.k32.Sleep(0xFFFFFFF0)
+
+    machine.processes.spawn(Lingerer(), role="client")
+    machine.run(until=2.0)
+    machine.shutdown()  # terminate_all: external kills
+    assert machine.transport.client_leaks == []

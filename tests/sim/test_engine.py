@@ -165,3 +165,76 @@ def test_events_processed_counter():
         engine.schedule(1.0, lambda: None)
     engine.run()
     assert engine.events_processed == 3
+
+
+class TestTombstoneCompaction:
+    """Cancellation must not grow the heap without bound.
+
+    A population of clients that each arm-and-cancel timeout timers
+    (every satisfied timed wait cancels its timer) would otherwise
+    accumulate tombstoned heap entries for the whole run.
+    """
+
+    def test_arm_and_cancel_loop_keeps_queue_bounded(self):
+        engine = Engine()
+        # One live long-term timer so the queue is never empty.
+        engine.schedule(1e9, lambda: None)
+        for _ in range(10_000):
+            engine.schedule(100.0, lambda: None).cancel()
+        # Without compaction the heap would hold ~10k tombstones; the
+        # 2x-live threshold bounds it near the live population.
+        assert len(engine._queue) < 200
+        assert engine.pending_count == 1
+
+    def test_compaction_preserves_dispatch_order(self):
+        engine = Engine()
+        order = []
+        keep = [engine.schedule(float(i), order.append, i)
+                for i in range(1, 101)]
+        doomed = [engine.schedule(float(i) + 0.5, order.append, -i)
+                  for i in range(1, 101)]
+        for timer in doomed:
+            timer.cancel()
+        assert engine.pending_count == len(keep)
+        engine.run()
+        assert order == list(range(1, 101))
+
+    def test_cancel_during_run_compacts_safely(self):
+        # Compaction is in-place; the run loop's alias of the queue
+        # list must stay valid when a callback triggers it.
+        engine = Engine()
+        fired = []
+
+        def churn():
+            timers = [engine.schedule(50.0, fired.append, "never")
+                      for _ in range(500)]
+            for timer in timers:
+                timer.cancel()
+            engine.schedule(1.0, fired.append, "after")
+
+        engine.schedule(1.0, churn)
+        engine.run()
+        assert fired == ["after"]
+        assert engine.pending_count == 0
+
+    def test_pending_count_is_exact_under_mixed_churn(self):
+        engine = Engine()
+        live = []
+        for i in range(300):
+            timer = engine.schedule(float(i + 1), lambda: None)
+            if i % 3 == 0:
+                timer.cancel()
+            else:
+                live.append(timer)
+        assert engine.pending_count == len(live)
+
+    def test_small_queues_are_not_compacted(self):
+        # Below the compaction floor tombstones simply sit in the heap
+        # (popping them is cheaper than re-heapifying constantly).
+        engine = Engine()
+        engine.schedule(1.0, lambda: None)
+        cancelled = [engine.schedule(2.0, lambda: None) for _ in range(10)]
+        for timer in cancelled:
+            timer.cancel()
+        assert len(engine._queue) == 11
+        assert engine.pending_count == 1
