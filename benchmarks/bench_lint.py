@@ -2,21 +2,28 @@
 """Lint wall-time against worker count (files/sec at 1/2/4/8).
 
 Not a paper artifact — this measures the analyzer itself: the full
-seven-rule suite (including the whole-program race and determinism
-families) runs over ``src`` and ``examples`` serially and through the
-``--jobs`` process pool, and every configuration is checked to produce
-identical findings (the analyzer honours the same determinism contract
-it enforces).
+ten-rule suite (including the whole-program race/determinism families
+and the interprocedural tier) runs over ``src`` and ``examples``
+serially and through the ``--jobs`` process pool, and every
+configuration is checked to produce identical findings (the analyzer
+honours the same determinism contract it enforces).
+
+It also prices the interprocedural tier: the full suite against the
+base (pre-call-graph) rule set, best-of-N serially, gated at < 2x —
+call-graph construction is shared by all three interprocedural rules
+through a keyed cache, so the overhead should stay a fraction of one
+extra per-module pass.
 
 As a script it writes the measurements to JSON for CI trending::
 
     python benchmarks/bench_lint.py --smoke -o BENCH_lint.json
 
 Under pytest it runs serial vs 2 workers once and asserts the
-identical-findings contract plus non-zero throughput.  Speedup is
-hardware-dependent (per-file analysis is tens of milliseconds, so the
-pool's fork cost dominates on small trees); the JSON records
-``cpu_count`` so CI numbers are read in context.
+identical-findings contract, non-zero throughput, and the
+interprocedural overhead gate.  Speedup is hardware-dependent
+(per-file analysis is tens of milliseconds, so the pool's fork cost
+dominates on small trees); the JSON records ``cpu_count`` so CI
+numbers are read in context.
 """
 
 import argparse
@@ -30,6 +37,18 @@ DEFAULT_PATHS = ["src", "examples"]
 SMOKE_PATHS = [os.path.join("src", "repro", "lint"),
                os.path.join("src", "repro", "servers")]
 DEFAULT_WORKERS = (1, 2, 4, 8)
+
+# The PR-6 interprocedural tier (call graph + three rule families) may
+# cost at most this factor over the base per-module/engine rule set.
+INTERPROCEDURAL_RULES = frozenset(
+    {"error-propagation", "corruption-escape", "fault-reachability"})
+INTERPROCEDURAL_GATE = 2.0
+
+
+def base_rules():
+    """The pre-call-graph rule set the overhead gate compares against."""
+    return [rule for rule in default_rules()
+            if rule.name not in INTERPROCEDURAL_RULES]
 
 
 def measure(jobs: int, paths):
@@ -72,11 +91,43 @@ def run_scaling(workers, paths) -> dict:
     }
 
 
+def measure_overhead(paths, repeats: int = 3) -> dict:
+    """Full ten-rule suite vs the base set, best-of-``repeats``."""
+
+    def best(make_rules) -> float:
+        times = []
+        for _ in range(repeats):
+            started = time.perf_counter()
+            run_lint(paths, rules=make_rules())
+            times.append(time.perf_counter() - started)
+        return min(times)
+
+    base_seconds = best(base_rules)
+    full_seconds = best(default_rules)
+    ratio = full_seconds / base_seconds
+    return {
+        "base_rules": sorted(rule.name for rule in base_rules()),
+        "base_seconds": round(base_seconds, 3),
+        "full_seconds": round(full_seconds, 3),
+        "ratio": round(ratio, 2),
+        "gate": INTERPROCEDURAL_GATE,
+        "within_gate": ratio < INTERPROCEDURAL_GATE,
+    }
+
+
 def test_lint_scaling_smoke():
     """Pytest entry: pool findings match serial, throughput is real."""
     report = run_scaling((1, 2), SMOKE_PATHS)
     assert all(entry["files_per_sec"] > 0 for entry in report["results"])
     assert report["results"][0]["files"] == report["results"][1]["files"]
+
+
+def test_interprocedural_overhead_gate():
+    """Pytest entry: the call-graph tier stays under its 2x budget."""
+    overhead = measure_overhead(SMOKE_PATHS)
+    assert overhead["within_gate"], (
+        f"interprocedural tier costs {overhead['ratio']}x the base "
+        f"rule set (gate {INTERPROCEDURAL_GATE}x)")
 
 
 def main(argv=None) -> None:
@@ -95,6 +146,7 @@ def main(argv=None) -> None:
     paths = SMOKE_PATHS if args.smoke else DEFAULT_PATHS
     report = run_scaling(workers, paths)
     report["smoke"] = args.smoke
+    report["interprocedural"] = measure_overhead(paths)
 
     print(f"lint scaling — {len(report['rules'])} rules over "
           f"{', '.join(report['paths'])}, {os.cpu_count()} CPU(s)")
@@ -102,10 +154,18 @@ def main(argv=None) -> None:
         print(f"  jobs={entry['jobs']:<2d} {entry['files']:>4d} files in "
               f"{entry['seconds']:7.2f}s  -> {entry['files_per_sec']:8.1f} "
               f"files/s")
+    overhead = report["interprocedural"]
+    print(f"interprocedural tier: base {overhead['base_seconds']}s, "
+          f"full {overhead['full_seconds']}s -> {overhead['ratio']}x "
+          f"(gate {overhead['gate']}x)")
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
             json.dump(report, handle, indent=2)
         print(f"wrote {args.output}")
+    if not overhead["within_gate"]:
+        raise SystemExit(
+            f"interprocedural tier costs {overhead['ratio']}x the base "
+            f"rule set, over the {overhead['gate']}x gate")
 
 
 if __name__ == "__main__":

@@ -179,6 +179,16 @@ def build_parser() -> argparse.ArgumentParser:
                            "workers (default: 1, serial)")
     lint.add_argument("--rules", default=None,
                       help="comma-separated rule subset to run")
+    lint.add_argument("--census-diff", action="store_true",
+                      help="reconcile the static activatable-fault "
+                           "prediction against dynamic evidence (fresh "
+                           "profile runs, or --census-store); exits "
+                           "non-zero on unexplained activations")
+    lint.add_argument("--census-store", action="append", default=None,
+                      metavar="PATH",
+                      help="JSONL run store(s) to read dynamic census "
+                           "evidence from instead of executing profile "
+                           "runs (repeatable)")
     return parser
 
 
@@ -596,6 +606,17 @@ def cmd_lint(args, out) -> int:
     if args.jobs < 1:
         print("--jobs must be >= 1", file=out)
         return 2
+    if args.census_store and not args.census_diff:
+        print("--census-store requires --census-diff", file=out)
+        return 2
+    if args.census_diff and args.output_format == "sarif":
+        print("--census-diff cannot be combined with --format sarif "
+              "(use text or json)", file=out)
+        return 2
+    for store_path in args.census_store or ():
+        if not os.path.exists(store_path):
+            print(f"no such run store: {store_path}", file=out)
+            return 2
 
     baseline = {}
     baseline_path = args.baseline
@@ -625,11 +646,34 @@ def cmd_lint(args, out) -> int:
     if args.update_baseline:
         # `dump_baseline` sorts keys and counts occurrences, so the
         # regenerated file is deterministic and a round-trip on an
-        # unchanged tree is a no-op.
+        # unchanged tree is a no-op.  Prior entries survive only if
+        # their file is outside this run's scope *and* still exists —
+        # suppressions for deleted files are pruned, suppressions for
+        # fixed in-scope files simply aren't re-emitted.
+        from .lint import baseline_entry_path
+
+        keep: dict = {}
+        pruned = 0
+        if os.path.exists(baseline_path):
+            try:
+                previous = load_baseline(baseline_path)
+            except (OSError, ValueError) as exc:
+                print(f"cannot read baseline: {exc}", file=out)
+                return 2
+            for key, count in previous.items():
+                entry_path = baseline_entry_path(key)
+                if entry_path in result.checked_paths:
+                    continue  # in scope: this run's findings decide
+                if not os.path.exists(entry_path):
+                    pruned += 1
+                    continue
+                keep[key] = count
         with open(baseline_path, "w", encoding="utf-8") as handle:
-            handle.write(dump_baseline(result.findings))
+            handle.write(dump_baseline(result.findings, keep=keep))
         print(f"regenerated {baseline_path} with "
-              f"{len(result.findings)} finding(s)", file=out)
+              f"{len(result.findings)} finding(s), {len(keep)} "
+              f"out-of-scope entr(y/ies) kept, {pruned} stale "
+              f"entr(y/ies) pruned", file=out)
         return 0
 
     if args.write_baseline:
@@ -639,14 +683,39 @@ def cmd_lint(args, out) -> int:
               f"{args.write_baseline}", file=out)
         return 0
 
+    census_report = None
+    if args.census_diff:
+        # The census needs the parsed module set, not the findings, so
+        # it re-collects with no rules attached (parse cost only).
+        from .lint.censusdiff import census_diff
+        from .lint.core import Analyzer, _lint_files
+
+        analyzer = Analyzer([])
+        py_files, _fault_files = analyzer.collect(paths)
+        tasks = [(path, analyzer._display_path(path))
+                 for path in py_files]
+        modules, _parse_findings = _lint_files(tasks, [])
+        census_report = census_diff(
+            modules, store_paths=args.census_store or ())
+
     if args.output_format == "json":
-        print(result.render_json(), file=out)
+        import json as json_module
+
+        payload = json_module.loads(result.render_json())
+        if census_report is not None:
+            payload["census"] = census_report.to_json()
+        print(json_module.dumps(payload, indent=2), file=out)
     elif args.output_format == "sarif":
         from .lint.sarif import render_sarif
         print(render_sarif(result, rules), file=out)
     else:
         print(result.render_text(), file=out)
-    return 0 if result.clean else 1
+        if census_report is not None:
+            print(census_report.render_text(), file=out)
+    status = 0 if result.clean else 1
+    if census_report is not None and not census_report.clean:
+        status = 1
+    return status
 
 
 _COMMANDS = {

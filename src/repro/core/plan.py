@@ -94,6 +94,21 @@ class CampaignPlan:
             return []
         return [probe, *self.releases[function]]
 
+    def census(self) -> dict:
+        """Planned fault tuples by function — the plan-side census the
+        static↔dynamic oracle reconciles against.  ``per_function``
+        counts every injection task (probe + releases) per target."""
+        per_function = {name: len(self.tasks_for_function(name))
+                        for name in self.functions}
+        return {
+            "functions": len(self.functions),
+            "probes": len(self.probes),
+            "releases": sum(len(group) for group in
+                            self.releases.values()),
+            "profiled": self.profile_task is not None,
+            "per_function": per_function,
+        }
+
     def waves(self) -> Iterator[list[RunTask]]:
         """The wave schedule: profile, then probes, then releases."""
         if self.profile_task is not None:

@@ -18,7 +18,7 @@ from __future__ import annotations
 import hashlib
 import json
 from pathlib import Path
-from typing import Optional, Union
+from typing import Iterator, Optional, Union
 
 from ..clients.record import AttemptResult, ClientRecord, RequestRecord
 from ..trace import TraceLevel, trace_from_lists, trace_to_lists
@@ -287,6 +287,21 @@ class RunStore:
     def keys(self) -> list[tuple[str, str]]:
         """All ``(fingerprint, fault key)`` pairs, sorted."""
         return sorted(self._index)
+
+    def results(self) -> Iterator[tuple[str, str, RunResult]]:
+        """Every stored run as ``(fingerprint, fault key, result)``,
+        in sorted key order, deserialized lazily.
+
+        The census-diff reader walks whole stores with this; entries
+        whose codec is unavailable (a ``kind`` registered by a module
+        that was never imported) are skipped rather than fatal.
+        """
+        for (fingerprint, key) in sorted(self._index):
+            try:
+                result = deserialize_result(self._index[(fingerprint, key)])
+            except KeyError:
+                continue
+            yield fingerprint, key, result
 
     def find(self, fault_key: str) -> list[tuple[str, RunResult]]:
         """All stored runs for one fault key, across fingerprints

@@ -1,12 +1,16 @@
 """``repro.lint`` — DTS-aware static analysis for the reproduction.
 
-Seven passes over the codebase, each rooted in a property the paper's
+Ten passes over the codebase, each rooted in a property the paper's
 method depends on, checked here before anything runs.  Five are
-per-file pattern matchers; the two newest (``yield-race``,
-``determinism``) sit on a shared whole-program engine
-(:mod:`repro.lint.engine`) that models the cooperative substrate:
-per-generator segment CFGs cut at ``yield`` points, module symbol
-tables, and delegation-aware suspension reachability.
+per-file pattern matchers; ``yield-race`` and ``determinism`` sit on a
+shared whole-program engine (:mod:`repro.lint.engine`) that models the
+cooperative substrate: per-generator segment CFGs cut at ``yield``
+points, module symbol tables, and delegation-aware suspension
+reachability.  The three newest (``error-propagation``,
+``corruption-escape``, ``fault-reachability``) add an interprocedural
+tier on top (:mod:`repro.lint.callgraph`): a whole-program call graph
+rooted at the process-image registrations, with per-function dataflow
+summaries.
 
 ==========================  ==========================================
 rule                        catches
@@ -16,6 +20,17 @@ rule                        catches
                             that bypass the interception layer
 ``unchecked-return``        discarded HANDLE/BOOL results of simulated
                             library calls (error-propagation hazard)
+``error-propagation``       detected failures that die before a caller
+                            can act: dropped error-signalling results,
+                            must-check results used without ever being
+                            examined, inert failure branches
+``corruption-escape``       values tainted by injectable parameters
+                            flowing unvalidated into restart-surviving
+                            state (filesystem writes, the NT event
+                            log, machine-rooted / module-global stores)
+``fault-reachability``      fault-list entries targeting functions no
+                            registered workload role can statically
+                            reach — dead fault space
 ``handle-leak``             acquisitions never released or handed off
 ``sim-hang``                generator loops that never yield to the
                             discrete-event engine (delegation-aware:
@@ -34,11 +49,14 @@ rule                        catches
 ==========================  ==========================================
 
 Run via ``python -m repro lint [--format text|json|sarif] [--jobs N]
-[--baseline lint-baseline.json] [--update-baseline] [paths...]``;
-exit code 0 means clean, 1 means non-baselined findings, 2 means a
-usage error.
+[--baseline lint-baseline.json] [--update-baseline] [--census-diff
+[--census-store STORE.jsonl]] [paths...]``; exit code 0 means clean,
+1 means non-baselined findings (or unexplained census activations),
+2 means a usage error.
 """
 
+from .callgraph import CallGraph, callgraph_for
+from .censusdiff import CensusReport, census_diff
 from .core import (
     Analyzer,
     FaultListFile,
@@ -47,6 +65,7 @@ from .core import (
     ParsedModule,
     Rule,
     apply_baseline,
+    baseline_entry_path,
     default_rules,
     dump_baseline,
     load_baseline,
@@ -63,6 +82,8 @@ from .sarif import render_sarif
 
 __all__ = [
     "Analyzer",
+    "CallGraph",
+    "CensusReport",
     "FaultListFile",
     "Finding",
     "GeneratorCFG",
@@ -72,7 +93,10 @@ __all__ = [
     "ProjectIndex",
     "Rule",
     "apply_baseline",
+    "baseline_entry_path",
     "build_cfg",
+    "callgraph_for",
+    "census_diff",
     "default_rules",
     "dump_baseline",
     "load_baseline",

@@ -222,16 +222,31 @@ def load_baseline(path: str) -> dict[str, int]:
     return {str(key): int(count) for key, count in suppress.items()}
 
 
-def dump_baseline(findings: Iterable[Finding]) -> str:
-    """Serialise the given findings as a baseline file."""
+def dump_baseline(findings: Iterable[Finding],
+                  keep: Optional[dict[str, int]] = None) -> str:
+    """Serialise the given findings as a baseline file.
+
+    ``keep`` carries prior baseline entries to retain verbatim —
+    suppressions for files outside the current run's scope.  Fresh
+    findings win on key collisions, so in-scope counts always reflect
+    this run.
+    """
     suppress: dict[str, int] = {}
     for finding in findings:
         suppress[finding.key] = suppress.get(finding.key, 0) + 1
+    for key, count in (keep or {}).items():
+        suppress.setdefault(key, count)
     payload = {
         "version": BASELINE_VERSION,
         "suppress": dict(sorted(suppress.items())),
     }
     return json.dumps(payload, indent=2) + "\n"
+
+
+def baseline_entry_path(key: str) -> str:
+    """The file path a baseline key refers to (``rule|path|symbol|…``)."""
+    parts = key.split("|", 2)
+    return parts[1] if len(parts) > 1 else ""
 
 
 def apply_baseline(findings: Sequence[Finding],
@@ -288,13 +303,19 @@ def _lint_files(tasks: Sequence[tuple],
 class LintResult:
     """Outcome of one analyzer run."""
 
-    __slots__ = ("findings", "suppressed", "files_checked")
+    __slots__ = ("findings", "suppressed", "files_checked",
+                 "checked_paths")
 
     def __init__(self, findings: list[Finding], suppressed: int,
-                 files_checked: int):
+                 files_checked: int,
+                 checked_paths: frozenset = frozenset()):
         self.findings = findings
         self.suppressed = suppressed
         self.files_checked = files_checked
+        # Display paths this run actually analysed — baseline
+        # regeneration uses them to tell "file fixed" (in scope, no
+        # findings) from "file out of scope" (entry kept).
+        self.checked_paths = checked_paths
 
     @property
     def clean(self) -> bool:
@@ -382,8 +403,11 @@ class Analyzer:
 
         findings.sort(key=lambda f: (f.path, f.line, f.rule, f.message))
         fresh, suppressed = apply_baseline(findings, self.baseline)
+        checked = frozenset(display for _path, display in tasks) | \
+            frozenset(self._display_path(path) for path in fault_files)
         return LintResult(fresh, suppressed,
-                          len(py_files) + len(fault_files))
+                          len(py_files) + len(fault_files),
+                          checked_paths=checked)
 
     # ------------------------------------------------------------------
     def _run_parallel(self, tasks: Sequence[tuple], jobs: int) -> tuple:
@@ -419,11 +443,14 @@ class Analyzer:
 
 
 def default_rules() -> list[Rule]:
-    """The seven passes of the suite, in reporting order."""
+    """The ten passes of the suite, in reporting order."""
     from .conformance import SignatureConformanceRule
     from .determinism import DeterminismRule
+    from .escape import CorruptionEscapeRule
     from .faultspace import FaultSpaceRule
     from .handles import HandleLeakRule
+    from .censusdiff import FaultReachabilityRule
+    from .propagation import ErrorPropagationRule
     from .races import YieldRaceRule
     from .returns import UncheckedReturnRule
     from .simhang import SimHangRule
@@ -431,11 +458,14 @@ def default_rules() -> list[Rule]:
     return [
         SignatureConformanceRule(),
         UncheckedReturnRule(),
+        ErrorPropagationRule(),
+        CorruptionEscapeRule(),
         HandleLeakRule(),
         SimHangRule(),
         YieldRaceRule(),
         DeterminismRule(),
         FaultSpaceRule(),
+        FaultReachabilityRule(),
     ]
 
 

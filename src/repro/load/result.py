@@ -74,7 +74,8 @@ class LoadRunResult:
 
     def __init__(self, spec: LoadSpec, rep: int, watchd_version: int,
                  server_came_up: bool, duration: float,
-                 engine_events: int, clients: list[ClientStats]):
+                 engine_events: int, clients: list[ClientStats],
+                 fault_activated: bool = False, fault_noop: bool = False):
         self.spec = spec
         self.rep = rep
         self.watchd_version = watchd_version
@@ -82,6 +83,12 @@ class LoadRunResult:
         self.duration = duration
         self.engine_events = engine_events
         self.clients = clients
+        # Whether the armed fault's interception hook ever fired during
+        # this run, and whether every firing was a no-op substitution
+        # (injected value == the real one).  Always False for fault-free
+        # load runs.
+        self.fault_activated = fault_activated
+        self.fault_noop = fault_noop
 
     # ------------------------------------------------------------------
     # Aggregates
@@ -136,6 +143,8 @@ def load_result_to_dict(result: LoadRunResult) -> dict:
         "server_came_up": result.server_came_up,
         "duration": result.duration,
         "engine_events": result.engine_events,
+        "fault_activated": result.fault_activated,
+        "fault_noop": result.fault_noop,
         "clients": [
             {"client_id": client.client_id,
              "arrived_at": client.arrived_at,
@@ -168,6 +177,9 @@ def load_result_from_dict(data: dict) -> LoadRunResult:
         duration=data["duration"],
         engine_events=data["engine_events"],
         clients=clients,
+        # Absent in stores written before activation tracking existed.
+        fault_activated=data.get("fault_activated", False),
+        fault_noop=data.get("fault_noop", False),
     )
 
 

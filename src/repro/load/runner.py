@@ -41,7 +41,7 @@ def execute_load_run(spec: LoadSpec, rep: int = 0,
         scm_lock_enabled=config.scm_lock_enabled)
     workload.setup(machine)
 
-    arm_fault(machine, workload, spec.fault)
+    injector = arm_fault(machine, workload, spec.fault)
     workload.deploy_middleware(machine, spec.middleware,
                                watchd_version=config.watchd_version)
 
@@ -99,7 +99,11 @@ def execute_load_run(spec: LoadSpec, rep: int = 0,
                          server_came_up=server_came_up,
                          duration=duration,
                          engine_events=engine_events,
-                         clients=clients)
+                         clients=clients,
+                         fault_activated=injector.fired
+                         if injector is not None else False,
+                         fault_noop=injector.was_noop
+                         if injector is not None else False)
 
 
 def resolve_workload(name: str) -> WorkloadSpec:

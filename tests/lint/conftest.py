@@ -1,10 +1,38 @@
 """Shared helpers for the lint test suite."""
 
+import ast
 import textwrap
 
 import pytest
 
-from repro.lint import run_lint
+from repro.lint import ParsedModule, run_lint
+
+
+def parse_project(sources):
+    """``{path: source}`` -> ParsedModule list, in dict order.
+
+    Paths are used verbatim (give them ``pkg/mod.py`` shapes so
+    relative imports resolve); sources are dedented.
+    """
+    modules = []
+    for path, source in sources.items():
+        text = textwrap.dedent(source)
+        modules.append(ParsedModule(path, ast.parse(text), text))
+    return modules
+
+
+@pytest.fixture
+def lint_project(tmp_path):
+    """Write several sources into one temp tree and lint the tree."""
+
+    def run(sources, rules=None):
+        for name, source in sources.items():
+            path = tmp_path / name
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(textwrap.dedent(source), encoding="utf-8")
+        return run_lint([str(tmp_path)], rules=rules).findings
+
+    return run
 
 
 @pytest.fixture

@@ -183,6 +183,111 @@ class TestBaseline:
         assert "mutually exclusive" in out.getvalue()
 
 
+LEAKY_SOURCE = """
+    def main(ctx):
+        yield from ctx.k32.CreateEventA(None, True, False, "e")
+"""
+
+
+class TestBaselinePrune:
+    @pytest.fixture
+    def two_leaky_files(self, tmp_path):
+        for name in ("first.py", "second.py"):
+            (tmp_path / name).write_text(
+                textwrap.dedent(LEAKY_SOURCE), encoding="utf-8")
+        return tmp_path
+
+    def test_deleted_file_entries_are_pruned(self, two_leaky_files,
+                                             tmp_path):
+        baseline = tmp_path / "baseline.json"
+        out = StringIO()
+        assert main(["lint", "--baseline", str(baseline),
+                     "--update-baseline", str(two_leaky_files)],
+                    out=out) == 0
+        before = json.loads(baseline.read_text(encoding="utf-8"))
+        assert len(before["suppress"]) == 2
+
+        (two_leaky_files / "second.py").unlink()
+        out = StringIO()
+        assert main(["lint", "--baseline", str(baseline),
+                     "--update-baseline", str(two_leaky_files)],
+                    out=out) == 0
+        assert "1 stale entr" in out.getvalue()
+        after = json.loads(baseline.read_text(encoding="utf-8"))
+        assert len(after["suppress"]) == 1
+        assert all("second.py" not in key for key in after["suppress"])
+
+    def test_out_of_scope_entries_survive_partial_update(
+            self, two_leaky_files, tmp_path):
+        # Regenerating the baseline for one file must not drop the
+        # other file's entries as long as that file still exists.
+        baseline = tmp_path / "baseline.json"
+        out = StringIO()
+        assert main(["lint", "--baseline", str(baseline),
+                     "--update-baseline", str(two_leaky_files)],
+                    out=out) == 0
+
+        out = StringIO()
+        assert main(["lint", "--baseline", str(baseline),
+                     "--update-baseline",
+                     str(two_leaky_files / "first.py")], out=out) == 0
+        assert "1 out-of-scope entr" in out.getvalue()
+        after = json.loads(baseline.read_text(encoding="utf-8"))
+        assert len(after["suppress"]) == 2
+
+        # And the merged baseline still covers the whole tree.
+        out = StringIO()
+        assert main(["lint", "--baseline", str(baseline),
+                     str(two_leaky_files)], out=out) == 0
+
+
+class TestCensusDiffCli:
+    def test_census_store_requires_census_diff(self, clean_tree):
+        code, text = run_cli("--census-store", "x.jsonl",
+                             str(clean_tree))
+        assert code == 2
+        assert "--census-diff" in text
+
+    def test_census_diff_rejects_sarif(self, clean_tree):
+        code, text = run_cli("--census-diff", "--format", "sarif",
+                             str(clean_tree))
+        assert code == 2
+        assert "sarif" in text
+
+    def test_missing_store_exits_two(self, clean_tree, tmp_path):
+        code, text = run_cli("--census-diff", "--census-store",
+                             str(tmp_path / "none.jsonl"),
+                             str(clean_tree))
+        assert code == 2
+        assert "no such" in text
+
+    def test_live_census_without_roles_flags_unexplained(self, clean_tree):
+        # The live census still observes the registered workloads; a
+        # tree with no registrations cannot explain any of it.
+        code, text = run_cli("--census-diff", str(clean_tree))
+        assert code == 1
+        assert "unexplained" in text
+
+    def test_empty_store_census_is_clean(self, clean_tree, tmp_path):
+        store = tmp_path / "runs.jsonl"
+        store.write_text("", encoding="utf-8")
+        code, text = run_cli("--census-diff", "--census-store",
+                             str(store), str(clean_tree))
+        assert code == 0
+        assert "clean" in text
+
+    def test_census_diff_json_merges_report(self, clean_tree, tmp_path):
+        store = tmp_path / "runs.jsonl"
+        store.write_text("", encoding="utf-8")
+        code, text = run_cli("--census-diff", "--census-store",
+                             str(store), "--format", "json",
+                             str(clean_tree))
+        assert code == 0
+        payload = json.loads(text)
+        assert payload["census"]["clean"] is True
+        assert payload["census"]["fault_space"]["exports"] == 681
+
+
 class TestJobs:
     def test_parallel_findings_match_serial(self):
         serial_code, serial_text = run_cli("--format", "json", FIXTURES)
