@@ -1,5 +1,39 @@
-"""Shim for legacy editable installs on environments without the wheel package."""
+"""Build hooks: optional mypyc compilation of the engine's fast twin.
+
+Plain ``pip install .`` never needs a compiler — the package is pure
+Python and ``repro.sim._fastengine`` simply runs interpreted (where
+``create_engine`` ignores it).  Setting ``REPRO_BUILD_FAST=1`` at
+build time compiles that one module with mypyc::
+
+    pip install '.[fast]'                      # brings in mypyc
+    REPRO_BUILD_FAST=1 pip install --force-reinstall '.[fast]'
+
+``REPRO_BUILD_FAST=auto`` compiles when mypyc is importable and
+silently skips otherwise (what the CI fastengine job uses, so the job
+degrades gracefully on runners without a toolchain).
+"""
+
+import os
 
 from setuptools import setup
 
-setup()
+_FAST_MODULE = os.path.join("src", "repro", "sim", "_fastengine.py")
+
+
+def _fast_ext_modules():
+    flag = os.environ.get("REPRO_BUILD_FAST", "").strip().lower()
+    if flag in ("", "0", "false", "no", "off"):
+        return []
+    try:
+        from mypyc.build import mypycify
+    except ImportError:
+        if flag == "auto":
+            return []
+        raise RuntimeError(
+            "REPRO_BUILD_FAST is set but mypyc is not importable; "
+            "install the toolchain first: pip install '.[fast]'"
+        )
+    return mypycify([_FAST_MODULE], opt_level="3")
+
+
+setup(ext_modules=_fast_ext_modules())

@@ -68,7 +68,10 @@ class ClientStats:
 class LoadRunResult:
     """One completed load run (one repetition of a :class:`LoadSpec`)."""
 
-    # Store/trace-CLI compatibility: load runs are stored untraced.
+    # Store/trace-CLI compatibility: load runs are *stored* untraced
+    # (the codec below never serializes traces).  A traced in-memory
+    # run (``RunConfig(trace_level=...)``) shadows these class defaults
+    # with instance attributes.
     trace = ()
     trace_level = TraceLevel.OFF
 

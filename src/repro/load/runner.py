@@ -18,6 +18,7 @@ from typing import Optional
 from ..nt.machine import Machine
 from ..core.runner import RunConfig, _graceful_shutdown, arm_fault
 from ..core.workload import WORKLOADS, WorkloadSpec
+from ..trace import TraceLevel, Tracer
 from .client import LoadClient
 from .result import ClientStats, LoadRunResult
 from .spec import LoadSpec
@@ -34,11 +35,17 @@ def execute_load_run(spec: LoadSpec, rep: int = 0,
     """Run one repetition of a load spec and return the result."""
     config = config or RunConfig()
     workload = resolve_workload(spec.workload)
+    # Same tracing contract as execute_run: a run traced at any level
+    # behaves identically to an untraced one (the differential engine
+    # oracle leans on full-level load-run traces).
+    level = TraceLevel.parse(config.trace_level)
+    tracer = Tracer(level) if level is not TraceLevel.OFF else None
     machine = Machine(
         seed=spec.seed(config.base_seed, config.watchd_version, rep),
         cpu_mhz=config.cpu_mhz,
         keep_full_trace=config.keep_full_trace,
-        scm_lock_enabled=config.scm_lock_enabled)
+        scm_lock_enabled=config.scm_lock_enabled,
+        tracer=tracer)
     workload.setup(machine)
 
     injector = arm_fault(machine, workload, spec.fault)
@@ -94,7 +101,7 @@ def execute_load_run(spec: LoadSpec, rep: int = 0,
     ]
     machine.check_connection_hygiene()
     machine.shutdown()
-    return LoadRunResult(spec=spec, rep=rep,
+    result = LoadRunResult(spec=spec, rep=rep,
                          watchd_version=config.watchd_version,
                          server_came_up=server_came_up,
                          duration=duration,
@@ -104,6 +111,10 @@ def execute_load_run(spec: LoadSpec, rep: int = 0,
                          if injector is not None else False,
                          fault_noop=injector.was_noop
                          if injector is not None else False)
+    if tracer is not None:
+        result.trace = tuple(tracer.events)
+        result.trace_level = level
+    return result
 
 
 def resolve_workload(name: str) -> WorkloadSpec:

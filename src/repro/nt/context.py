@@ -10,7 +10,8 @@ calling thread::
                                             OPEN_EXISTING, 0, None)
     status = yield from ctx.k32.WaitForSingleObject(child, 5000)
 
-Every call funnels through :meth:`Win32Context._invoke`:
+Every call runs a flattened per-signature *handler* built by
+:func:`build_call_handler` the first time a process touches an export:
 
 1. semantic arguments are lowered to raw 32-bit words,
 2. the interception layer lets hooks (the fault injector) rewrite them,
@@ -20,6 +21,16 @@ Every call funnels through :meth:`Win32Context._invoke`:
 Step 2/3 is exactly where a corrupted word changes meaning: a zeroed
 string pointer decodes as NULL, a flipped handle stops resolving, an
 all-ones size means four gigabytes.
+
+The handler is a single generator frame with everything the four steps
+need — the implementation, its blocking-ness, the hook list, the
+invocation counters, the tracer, the per-parameter pointer flags —
+pre-bound at registration instead of re-resolved per call.  This
+flattens what used to be the proxy → ``_invoke`` → interception
+dispatch → implementation chain into one loop body; the hook list and
+return-hook list are bound *by object identity*, so hooks added or
+removed after registration (``InterceptionLayer.add_hook`` mutates the
+list in place) are still honoured on the next call.
 """
 
 from __future__ import annotations
@@ -27,8 +38,10 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Any
 
 from ..sim import Sleep
+from .interception import CallRecord
 from .kernel32 import runtime
 from .kernel32.signatures import REGISTRY, FunctionSig
+from .memory import MASK32, ArgKind, DecodedArg
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .machine import Machine
@@ -39,12 +52,143 @@ class UnknownExportError(AttributeError):
     """A program referenced a function kernel32 does not export."""
 
 
+def _resolve_impl(sig: FunctionSig):
+    """The (implementation, is_blocking) pair for one export, cached on
+    the signature — the registry is import-time-complete by the time
+    any process makes its first call."""
+    try:
+        return sig._dispatch
+    except AttributeError:
+        impl = runtime.lookup(sig.name)
+        blocking = runtime.is_blocking(sig.name)
+        if impl is None:
+            impl = runtime.generic_implementation
+            blocking = False
+        sig._dispatch = (impl, blocking)
+        return sig._dispatch
+
+
+def build_call_handler(ctx: "Win32Context", sig: FunctionSig):
+    """Compile the flattened call handler for one (process, export).
+
+    Everything resolvable at registration time is captured in the
+    closure: per-call work is the encode loop, the invocation-counter
+    bump, the (usually empty) hook scan, the decode loop, and the
+    implementation itself.  Mutable collaborators — the hook lists, the
+    per-pid invocation dict, the per-role called set, the machine-wide
+    trace — are captured by identity, so registration-time binding
+    observes later mutation.
+    """
+    machine = ctx.machine
+    process = ctx.process
+    interception = machine.interception
+    space = machine.address_space
+    encode = space.encode
+    decode = space.decode
+    int_args = space._int_args
+    engine = machine.engine
+    tracer = machine.tracer  # fixed at Machine construction
+    name = sig.name
+    nparams = len(sig.params)
+    pointer_flags = sig.pointer_flags
+    has_pointers = any(pointer_flags)
+    impl, blocking = _resolve_impl(sig)
+    hooks = interception.hooks
+    return_hooks = interception.return_hooks
+    per_pid = interception._invocations.get(process.pid)
+    if per_pid is None:
+        per_pid = interception._invocations[process.pid] = {}
+    called = interception._called_by_role.get(process.role)
+    if called is None:
+        called = interception._called_by_role[process.role] = set()
+    called_add = called.add
+    call_counts = interception._call_counts
+    keep_full_trace = interception.keep_full_trace
+    trace_append = interception.trace.append
+    pid = process.pid
+    role = process.role
+    Frame = runtime.Frame
+
+    def call(*sem_args: Any):
+        if len(sem_args) != nparams:
+            raise TypeError(
+                f"{name} takes {nparams} arguments, got {len(sem_args)}"
+            )
+        # --- 1. encode: semantic arguments to raw 32-bit words -------
+        # (left-to-right, like the interning order corrupted-address
+        # determinism depends on; plain ints — handles, sizes, flags —
+        # take the inline path, everything else the full encoder)
+        raw_list = []
+        for value in sem_args:
+            if type(value) is int:
+                raw_list.append(value & MASK32)
+            elif value is None:
+                raw_list.append(0)
+            else:
+                raw_list.append(encode(value))
+        raw_args = tuple(raw_list)
+        # --- 2. interception: hooks may rewrite the raw words --------
+        invocation = per_pid.get(name, 0) + 1
+        per_pid[name] = invocation
+        injected = False
+        if hooks:
+            for hook in hooks:
+                replacement = hook.on_call(process, sig, invocation, raw_args)
+                if replacement is not None:
+                    raw_args = replacement
+                    injected = True
+        called_add(name)
+        call_counts[name] = call_counts.get(name, 0) + 1
+        if tracer is not None and tracer.calls_enabled:
+            tracer.emit(engine.now, "call", "enter",
+                        pid=pid, role=role, func=name,
+                        invocation=invocation, injected=injected)
+        if keep_full_trace:
+            trace_append(CallRecord(
+                engine.now, pid, role, name, invocation, injected,
+            ))
+        # --- 3. decode: raw words back against the declared types ----
+        decoded = []
+        if has_pointers:
+            for raw, pointer_like in zip(raw_args, pointer_flags):
+                if pointer_like:
+                    decoded.append(decode(raw, True))
+                else:
+                    raw &= MASK32
+                    arg = int_args.get(raw)
+                    if arg is None:
+                        arg = int_args[raw] = DecodedArg(raw, ArgKind.INT)
+                    decoded.append(arg)
+        else:
+            for raw in raw_args:
+                raw &= MASK32
+                arg = int_args.get(raw)
+                if arg is None:
+                    arg = int_args[raw] = DecodedArg(raw, ArgKind.INT)
+                decoded.append(arg)
+        # --- 4. run the implementation on the decoded frame ----------
+        frame = Frame(machine, process, sig, decoded)
+        if blocking:
+            result = yield from impl(frame)
+        else:
+            result = impl(frame)
+        if not return_hooks:
+            if tracer is None or not tracer.calls_enabled:
+                return result  # nothing observes returns on this run
+        return interception.dispatch_return(process, sig, result)
+
+    call.__name__ = name
+    call.__qualname__ = f"k32.{name}"
+    return call
+
+
 class _K32Proxy:
     """Attribute-style access to the export table: ``ctx.k32.ReadFile``.
 
-    Resolved callables are memoised into the instance dict, so each
-    export pays the ``__getattr__`` + closure cost once per process
-    rather than once per call.
+    Resolution compiles the flattened handler (see
+    :func:`build_call_handler`) and memoises it into the instance dict,
+    so each export pays the ``__getattr__`` + compilation cost once per
+    process rather than once per call.
     """
 
     def __init__(self, ctx: "Win32Context"):
@@ -54,12 +198,7 @@ class _K32Proxy:
         sig = REGISTRY.get(name)
         if sig is None:
             raise UnknownExportError(f"KERNEL32.dll has no export {name!r}")
-        ctx = self._ctx
-
-        def call(*args: Any):
-            return ctx._invoke(sig, args)
-
-        call.__name__ = name
+        call = build_call_handler(self._ctx, sig)
         setattr(self, name, call)
         return call
 
@@ -93,9 +232,12 @@ class Win32Context:
         return self.machine.address_space.resolve(address)
 
     # ------------------------------------------------------------------
-    # Call dispatch
+    # Call dispatch (reference form)
     # ------------------------------------------------------------------
     def _invoke(self, sig: FunctionSig, sem_args: tuple[Any, ...]):
+        """Unspecialised dispatch, kept as the readable reference for
+        what a compiled handler does; ``ctx.k32`` never routes through
+        it, but tests exercise it against the flattened handlers."""
         if len(sem_args) != len(sig.params):
             raise TypeError(
                 f"{sig.name} takes {len(sig.params)} arguments,"
@@ -107,18 +249,8 @@ class Win32Context:
         raw_args = machine.interception.dispatch(self.process, sig, raw_args)
         decoded = list(map(space.decode, raw_args, sig.pointer_flags))
         frame = runtime.Frame(machine, self.process, sig, decoded)
-        try:
-            impl, blocking = sig._dispatch
-        except AttributeError:
-            # First call of this export anywhere: the implementation
-            # registry is import-time-complete by now, so the lookup
-            # result can be pinned on the signature.
-            impl = runtime.lookup(sig.name)
-            blocking = runtime.is_blocking(sig.name)
-            sig._dispatch = (impl, blocking)
-        if impl is None:
-            result = runtime.generic_implementation(frame)
-        elif blocking:
+        impl, blocking = _resolve_impl(sig)
+        if blocking:
             result = yield from impl(frame)
         else:
             result = impl(frame)

@@ -43,8 +43,19 @@ SQL_DATA_FILE = f"{SQL_ROOT}\\data\\master.dat"
 SQL_QUERY = "SELECT item_id, name, quantity FROM inventory WHERE quantity > 20"
 
 
+_STATIC_PAGE: bytes | None = None
+
+
 def static_page() -> bytes:
-    """The 115 kB static HTML document, byte-for-byte deterministic."""
+    """The 115 kB static HTML document, byte-for-byte deterministic.
+
+    Memoized: every Machine boot installs it into a fresh simulated
+    filesystem, and ``bytes`` is immutable, so one generation serves
+    all runs in the process.
+    """
+    global _STATIC_PAGE
+    if _STATIC_PAGE is not None:
+        return _STATIC_PAGE
     header = (b"<html><head><title>DTS workload: large static page</title>"
               b"</head><body>\n")
     footer = b"</body></html>\n"
@@ -58,7 +69,8 @@ def static_page() -> bytes:
     body += b"x" * (STATIC_PAGE_SIZE - len(body) - len(footer))
     body += footer
     assert len(body) == STATIC_PAGE_SIZE
-    return bytes(body)
+    _STATIC_PAGE = bytes(body)
+    return _STATIC_PAGE
 
 
 def cgi_script_source() -> bytes:

@@ -11,7 +11,13 @@ Public surface:
 - :class:`RandomStreams` — named seeded randomness.
 """
 
-from .engine import Engine, ScheduleInPastError, SimulationError, Timer
+from .engine import (
+    Engine,
+    ScheduleInPastError,
+    SimulationError,
+    Timer,
+    create_engine,
+)
 from .primitives import (
     TIMED_OUT,
     Command,
@@ -28,6 +34,7 @@ from .rng import RandomStreams, derive_seed
 
 __all__ = [
     "Engine",
+    "create_engine",
     "Timer",
     "SimulationError",
     "ScheduleInPastError",

@@ -1,0 +1,343 @@
+"""Compilable twin of the batched event loop in :mod:`repro.sim.engine`.
+
+This module re-states :class:`~repro.sim.engine.Engine` and
+:class:`~repro.sim.engine.Timer` in the subset of Python that mypyc
+(and Cython in pure-Python mode) compiles to native code:
+
+- every attribute is declared with a type annotation and assigned in
+  ``__init__`` (native classes have a fixed layout; no dynamic attrs),
+- the sequence counter is a plain ``int`` instead of
+  ``itertools.count`` (unboxed integer arithmetic),
+- no ``__slots__`` (native classes define their own layout, and the
+  interpreted fallback is only ever exercised by the oracle tests).
+
+Behaviour must be *bit-identical* to the pure-Python engine: same
+dispatch order, same tombstone accounting, same trace records, same
+exception types.  The differential oracle
+(``tests/sim/test_fastengine_oracle.py``) enforces this by comparing
+full-level trace streams byte for byte, which is what makes the
+compiled path safe to auto-select.  When editing the dispatch loop
+here or in ``engine.py``, change both — the oracle will catch a
+one-sided edit.
+
+Build: ``pip install .[fast]`` installs mypy (which ships mypyc) and
+``REPRO_BUILD_FAST=1 pip install .`` compiles this module; see
+``setup.py``.  Without a compiler the module still imports and runs
+interpreted — ``is_compiled()`` reports which flavour is loaded, and
+``create_engine`` only auto-selects it when it is actually native.
+"""
+
+import gc
+import heapq
+from typing import Any, Callable, List, Optional, Tuple
+
+from .engine import ScheduleInPastError, SimulationError
+
+# Compaction never triggers below this queue size (mirror of
+# ``engine._COMPACT_MIN``; restated as a literal so the compiled
+# module does not reach into the interpreted one per cancellation).
+_COMPACT_MIN = 64
+
+
+def is_compiled() -> bool:
+    """True when this module is running as a compiled extension."""
+    return not __file__.endswith(".py")
+
+
+class FastTimer:
+    """Handle for a scheduled callback (compiled twin of ``Timer``)."""
+
+    time: float
+    seq: int
+    callback: Optional[Callable[..., Any]]
+    args: Tuple[Any, ...]
+    cancelled: bool
+    engine: Optional["FastEngine"]
+
+    def __init__(self, time: float, seq: int,
+                 callback: Optional[Callable[..., Any]],
+                 args: Tuple[Any, ...],
+                 engine: Optional["FastEngine"] = None) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+        self.engine = engine
+
+    def cancel(self) -> None:
+        """Prevent the callback from running.  Idempotent."""
+        if self.cancelled:
+            return
+        self.cancelled = True
+        self.callback = None
+        self.args = ()
+        engine = self.engine
+        if engine is not None:
+            engine._tombstones += 1
+            queue_len = len(engine._queue)
+            if (engine._tombstones * 2 > queue_len
+                    and queue_len >= _COMPACT_MIN):
+                engine._compact()
+
+    @property
+    def active(self) -> bool:
+        """True while the timer is still pending."""
+        return not self.cancelled
+
+    def __lt__(self, other: "FastTimer") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"<FastTimer t={self.time:.3f} seq={self.seq} {state}>"
+
+
+class FastEngine:
+    """Drop-in replacement for :class:`repro.sim.engine.Engine`.
+
+    Same public and quasi-private surface (``_queue``, ``_tombstones``,
+    ``_compact`` — the micro-tests poke at these on both flavours).
+    """
+
+    _now: float
+    _queue: List[Tuple[float, int, FastTimer]]
+    _seq: int
+    _running: bool
+    _stopped: bool
+    _events_processed: int
+    _tombstones: int
+    tracer: Any
+
+    def __init__(self, tracer: Any = None) -> None:
+        self._now = 0.0
+        self._queue = []
+        self._seq = 0
+        self._running = False
+        self._stopped = False
+        self._events_processed = 0
+        self._tombstones = 0
+        self.tracer = tracer
+
+    # ------------------------------------------------------------------
+    # Clock
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of callbacks executed so far (for diagnostics)."""
+        return self._events_processed
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, delay: float, callback: Callable[..., Any],
+                 *args: Any) -> FastTimer:
+        """Run ``callback(*args)`` after ``delay`` virtual seconds."""
+        if delay < 0:
+            raise ScheduleInPastError(f"negative delay {delay!r}")
+        time = self._now + delay
+        seq = self._seq
+        self._seq = seq + 1
+        timer = FastTimer(time, seq, callback, args, self)
+        heapq.heappush(self._queue, (time, seq, timer))
+        tracer = self.tracer
+        if tracer is not None and tracer.full_enabled:
+            from ..trace import callback_label
+
+            tracer.emit(self._now, "engine", "schedule", at=time,
+                        callback=callback_label(callback))
+        return timer
+
+    def schedule_at(self, time: float, callback: Callable[..., Any],
+                    *args: Any) -> FastTimer:
+        """Run ``callback(*args)`` at absolute virtual ``time``."""
+        if time < self._now:
+            raise ScheduleInPastError(
+                f"cannot schedule at {time!r}; the clock is at {self._now!r}"
+            )
+        seq = self._seq
+        self._seq = seq + 1
+        timer = FastTimer(time, seq, callback, args, self)
+        heapq.heappush(self._queue, (time, seq, timer))
+        tracer = self.tracer
+        if tracer is not None and tracer.full_enabled:
+            from ..trace import callback_label
+
+            tracer.emit(self._now, "engine", "schedule", at=time,
+                        callback=callback_label(callback))
+        return timer
+
+    # ------------------------------------------------------------------
+    # Tombstone accounting
+    # ------------------------------------------------------------------
+    def _note_cancel(self) -> None:
+        self._tombstones += 1
+        if (self._tombstones * 2 > len(self._queue)
+                and len(self._queue) >= _COMPACT_MIN):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop tombstoned entries and restore the heap invariant."""
+        self._queue[:] = [entry for entry in self._queue
+                          if not entry[2].cancelled]
+        heapq.heapify(self._queue)
+        self._tombstones = 0
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Execute the next pending callback."""
+        queue = self._queue
+        while queue:
+            popped = heapq.heappop(queue)
+            timer = popped[2]
+            if timer.cancelled:
+                self._tombstones -= 1
+                continue
+            self._now = timer.time
+            callback = timer.callback
+            args = timer.args
+            timer.cancelled = True
+            timer.callback = None
+            timer.args = ()
+            self._events_processed += 1
+            tracer = self.tracer
+            if tracer is not None and tracer.full_enabled:
+                from ..trace import callback_label
+
+                tracer.emit(self._now, "engine", "fire",
+                            callback=callback_label(callback))
+            if callback is not None:
+                callback(*args)
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None,
+            max_events: int = 10_000_000) -> float:
+        """Run until the queue drains or the clock passes ``until``."""
+        if self._running:
+            raise SimulationError("engine is not reentrant")
+        self._running = True
+        self._stopped = False
+        executed = 0
+        queue = self._queue  # compaction is in-place; the alias is safe
+        tracer = self.tracer
+        tracing = tracer is not None and tracer.full_enabled
+        limit = float("inf") if until is None else until
+        exhausted = True  # False when `until` / stop() broke the loop
+        gc_paused = gc.isenabled()
+        if gc_paused:
+            gc.disable()
+        try:
+            while queue and not self._stopped:
+                head = queue[0]
+                time = head[0]
+                timer = head[2]
+                if timer.cancelled:
+                    heapq.heappop(queue)
+                    self._tombstones -= 1
+                    continue
+                if time > limit:
+                    if until is not None:
+                        self._now = until
+                    exhausted = False
+                    break
+                heapq.heappop(queue)
+                self._now = time
+                if not queue or queue[0][0] != time:
+                    # Fast path — no same-quantum tie.
+                    callback = timer.callback
+                    args = timer.args
+                    timer.cancelled = True
+                    timer.callback = None
+                    timer.args = ()
+                    if tracing:
+                        from ..trace import callback_label
+
+                        tracer.emit(time, "engine", "fire",
+                                    callback=callback_label(callback))
+                    if callback is not None:
+                        callback(*args)
+                    executed += 1
+                    if executed > max_events:
+                        raise SimulationError(
+                            f"exceeded {max_events} events; likely a livelock"
+                        )
+                    continue
+                # Batched path: drain every live entry at this quantum,
+                # then dispatch from the flat list in seq order.
+                batch: List[FastTimer] = [timer]
+                while queue and queue[0][0] == time:
+                    entry = heapq.heappop(queue)
+                    drained = entry[2]
+                    if drained.cancelled:
+                        self._tombstones -= 1
+                        continue
+                    drained.engine = None
+                    batch.append(drained)
+                index = 0
+                batch_len = len(batch)
+                while index < batch_len:
+                    fired = batch[index]
+                    index += 1
+                    if fired.cancelled:
+                        # Cancelled by an earlier event in this batch.
+                        continue
+                    callback = fired.callback
+                    args = fired.args
+                    fired.cancelled = True
+                    fired.callback = None
+                    fired.args = ()
+                    if tracing:
+                        from ..trace import callback_label
+
+                        tracer.emit(time, "engine", "fire",
+                                    callback=callback_label(callback))
+                    if callback is not None:
+                        callback(*args)
+                    executed += 1
+                    if executed > max_events:
+                        self._requeue(batch, index)
+                        raise SimulationError(
+                            f"exceeded {max_events} events; likely a livelock"
+                        )
+                    if self._stopped:
+                        self._requeue(batch, index)
+                        break
+            else:
+                exhausted = not self._stopped
+            if exhausted and until is not None and not self._stopped:
+                if until > self._now:
+                    self._now = until
+        finally:
+            self._running = False
+            self._events_processed += executed
+            if gc_paused:
+                gc.enable()
+        return self._now
+
+    def _requeue(self, batch: List[FastTimer], index: int) -> None:
+        """Push unfired batch entries back onto the heap."""
+        queue = self._queue
+        for timer in batch[index:]:
+            if not timer.cancelled:
+                timer.engine = self
+                heapq.heappush(queue, (timer.time, timer.seq, timer))
+
+    def stop(self) -> None:
+        """Stop :meth:`run` after the currently-executing callback."""
+        self._stopped = True
+
+    @property
+    def pending_count(self) -> int:
+        """Number of live (non-cancelled) timers in the queue."""
+        return len(self._queue) - self._tombstones
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<FastEngine now={self._now:.3f} pending={self.pending_count}>"

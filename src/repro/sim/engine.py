@@ -24,6 +24,21 @@ Hot-path notes (the engine dominates multi-client load runs):
 - :meth:`run` inlines the dispatch loop rather than paying a
   :meth:`step` call per event; :meth:`step` remains the single-event
   API.
+- :meth:`run` pops the heap in *batches*: all entries at the current
+  quantum are drained in one pass and dispatched from a flat list, in
+  seq (FIFO) order.  A timer cancelled by an earlier event in the same
+  batch is skipped at dispatch, and drained entries are marked
+  off-heap (``timer.engine = None``) so such cancellations do not
+  count as heap tombstones — compaction triggered mid-batch therefore
+  sees an exact tombstone census.  Events scheduled *during* a batch
+  at the same quantum carry higher seq values than everything drained,
+  so they land in the next batch and overall dispatch order is
+  identical to one-at-a-time popping.
+
+This module is the authoritative pure-Python event loop.  An optional
+compiled twin lives in :mod:`repro.sim._fastengine`; the differential
+trace oracle (``tests/sim/test_fastengine_oracle.py``) holds the two
+bit-identical.
 """
 
 from __future__ import annotations
@@ -31,6 +46,7 @@ from __future__ import annotations
 import gc
 import heapq
 import itertools
+import os
 from typing import Any, Callable, Optional
 
 # Compaction never triggers below this queue size: tiny heaps are
@@ -264,24 +280,71 @@ class Engine:
                     break
                 pop(queue)
                 self._now = time
-                callback, args = timer.callback, timer.args
-                # _consume, inlined: this runs once per event.  The
-                # events-processed counter is batched into ``executed``
-                # and folded back in the ``finally`` below.
-                timer.cancelled = True
-                timer.callback = None
-                timer.args = ()
-                if tracing:
-                    from ..trace import callback_label
+                if not queue or queue[0][0] != time:
+                    # Fast path — no same-quantum tie: dispatch without
+                    # touching a batch list.  _consume, inlined: this
+                    # runs once per event.  The events-processed counter
+                    # is batched into ``executed`` and folded back in
+                    # the ``finally`` below.
+                    callback, args = timer.callback, timer.args
+                    timer.cancelled = True
+                    timer.callback = None
+                    timer.args = ()
+                    if tracing:
+                        from ..trace import callback_label
 
-                    tracer.emit(time, "engine", "fire",
-                                callback=callback_label(callback))
-                callback(*args)
-                executed += 1
-                if executed > max_events:
-                    raise SimulationError(
-                        f"exceeded {max_events} events; likely a livelock"
-                    )
+                        tracer.emit(time, "engine", "fire",
+                                    callback=callback_label(callback))
+                    callback(*args)
+                    executed += 1
+                    if executed > max_events:
+                        raise SimulationError(
+                            f"exceeded {max_events} events; likely a livelock"
+                        )
+                    continue
+                # Batched path: drain every live entry at this quantum,
+                # then dispatch from the flat list in seq order.  Marking
+                # drained timers off-heap (engine = None) keeps tombstone
+                # accounting exact when an earlier batch event cancels a
+                # later one: the entry is no longer on the heap, so its
+                # cancellation must not count toward compaction.
+                batch = [timer]
+                append = batch.append
+                while queue and queue[0][0] == time:
+                    entry = pop(queue)
+                    drained = entry[2]
+                    if drained.cancelled:
+                        self._tombstones -= 1
+                        continue
+                    drained.engine = None
+                    append(drained)
+                index = 0
+                batch_len = len(batch)
+                while index < batch_len:
+                    fired = batch[index]
+                    index += 1
+                    if fired.cancelled:
+                        # Cancelled by an earlier event in this batch.
+                        continue
+                    callback, args = fired.callback, fired.args
+                    fired.cancelled = True
+                    fired.callback = None
+                    fired.args = ()
+                    if tracing:
+                        from ..trace import callback_label
+
+                        tracer.emit(time, "engine", "fire",
+                                    callback=callback_label(callback))
+                    callback(*args)
+                    executed += 1
+                    if executed > max_events:
+                        self._requeue(batch, index)
+                        raise SimulationError(
+                            f"exceeded {max_events} events; likely a livelock"
+                        )
+                    if self._stopped:
+                        self._requeue(batch, index)
+                        break
             else:
                 if until is not None and not self._stopped:
                     self._now = max(self._now, until)
@@ -291,6 +354,20 @@ class Engine:
             if gc_paused:
                 gc.enable()
         return self._now
+
+    def _requeue(self, batch: list, index: int) -> None:
+        """Push unfired batch entries back onto the heap.
+
+        Used when :meth:`stop` (or the max-events guard) interrupts a
+        batch mid-dispatch: the remaining timers were drained but never
+        fired, and a later :meth:`run` must still deliver them at their
+        original (time, seq) positions.
+        """
+        queue = self._queue
+        for timer in batch[index:]:
+            if not timer.cancelled:
+                timer.engine = self
+                heapq.heappush(queue, (timer.time, timer.seq, timer))
 
     def stop(self) -> None:
         """Stop :meth:`run` after the currently-executing callback."""
@@ -303,3 +380,43 @@ class Engine:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Engine now={self._now:.3f} pending={self.pending_count}>"
+
+
+def create_engine(tracer=None, kind: Optional[str] = None):
+    """Select an event-loop implementation.
+
+    ``kind`` (or the ``REPRO_ENGINE`` environment variable when kind is
+    ``None``) picks the flavour:
+
+    - ``"pure"`` — this module's :class:`Engine`, always available; the
+      authoritative implementation.
+    - ``"fast"`` — :class:`repro.sim._fastengine.FastEngine`, compiled
+      or not; raises :class:`SimulationError` if the module is missing.
+    - ``"auto"`` (the default) — ``FastEngine`` only when it is
+      actually running as a compiled extension, otherwise ``Engine``.
+      An interpreted ``_fastengine`` is *slower* than this module (no
+      ``__slots__``), so auto never picks it.
+
+    Every :class:`repro.nt.machine.Machine` routes through here, which
+    is what lets the differential oracle run the same workload under
+    both flavours by flipping one environment variable.
+    """
+    if kind is None:
+        kind = os.environ.get("REPRO_ENGINE", "auto").strip().lower() or "auto"
+    if kind == "pure":
+        return Engine(tracer=tracer)
+    if kind not in ("fast", "auto"):
+        raise ValueError(
+            f"unknown engine kind {kind!r}; expected pure, fast or auto"
+        )
+    try:
+        from . import _fastengine
+    except ImportError as exc:
+        if kind == "fast":
+            raise SimulationError(
+                "REPRO_ENGINE=fast but repro.sim._fastengine is not importable"
+            ) from exc
+        return Engine(tracer=tracer)
+    if kind == "fast" or _fastengine.is_compiled():
+        return _fastengine.FastEngine(tracer=tracer)
+    return Engine(tracer=tracer)

@@ -227,7 +227,15 @@ class SimProcess:
                     command.timeout, self._resume_bound, TIMED_OUT
                 )
             event.add_waiter(self._resume_bound)
-        elif command_type is WaitAny:
+        else:
+            self._arm_cold(command)
+
+    def _arm_cold(self, command: Command) -> None:
+        """The cold tail of :meth:`_arm` for the flattened resume path:
+        ``_resume`` has already cleared ``_resumed`` and handled Sleep
+        and single-event Wait inline."""
+        command_type = type(command)
+        if command_type is WaitAny:
             if command.timeout is not None:
                 self._pending_timer = self.engine.schedule(
                     command.timeout, self._resume_bound, TIMED_OUT
@@ -254,6 +262,13 @@ class SimProcess:
         return waiter
 
     def _resume(self, value: Any) -> None:
+        """The flattened hot path: every ordinary wakeup (timer fire,
+        event fire, timeout) lands here, so ``_clear_pending``,
+        ``_step_send`` and ``_arm`` are inlined into one frame — the
+        engine dispatches straight into the generator ``send`` with no
+        intermediate Python calls.  The cold entry points
+        (:meth:`_first_step`, :meth:`_advance`) keep using the method
+        forms below, which must stay behaviourally identical."""
         state = self.state
         if self._resumed or (state is not ProcState.RUNNING
                              and state is not ProcState.CREATED):
@@ -273,12 +288,47 @@ class SimProcess:
             for event, waiter in waiters:
                 event.remove_waiter(waiter)
             waiters.clear()
-        if value is TIMED_OUT:
-            tracer = self.engine.tracer
-            if tracer is not None and tracer.full_enabled:
-                tracer.emit(self.engine.now, "proc", "timeout",
-                            name=self.name)
-        self._step_send(value)
+        engine = self.engine
+        tracer = engine.tracer
+        if tracer is not None and tracer.full_enabled:
+            if value is TIMED_OUT:
+                tracer.emit(engine.now, "proc", "timeout", name=self.name)
+            tracer.emit(engine.now, "proc", "switch", name=self.name)
+        # _step_send, inlined.
+        try:
+            command = self.generator.send(value)
+        except StopIteration as stop:
+            self.state = ProcState.FINISHED
+            self.result = stop.value
+            self._end(None)
+            return
+        except Killed:
+            self.state = ProcState.KILLED
+            self._end(None)
+            return
+        except BaseException as exc:
+            self.state = ProcState.FAILED
+            self.error = exc
+            self._end(exc)
+            return
+        # _arm, inlined: Sleep and single-event Wait are the hot
+        # commands; the rest fall through to the method form.
+        self._resumed = False
+        command_type = type(command)
+        if command_type is Sleep:
+            self._pending_timer = engine.schedule(
+                command.duration, self._resume_bound, None
+            )
+        elif command_type is Wait:
+            event = command.event
+            self._pending_event = event
+            if command.timeout is not None:
+                self._pending_timer = engine.schedule(
+                    command.timeout, self._resume_bound, TIMED_OUT
+                )
+            event.add_waiter(self._resume_bound)
+        else:
+            self._arm_cold(command)
 
     def _clear_pending(self) -> None:
         timer = self._pending_timer

@@ -1,0 +1,136 @@
+"""Lint visibility of the flattened dispatch chain.
+
+The engine refactor moved per-syscall dispatch out of
+``Win32Context._invoke`` into per-signature *pre-bound handler
+closures* (``repro.nt.context.build_call_handler``): a generator
+function nested inside a plain function, compiled once per (process,
+export).  These tests pin the properties that keep that shape inside
+the analyzer's field of view:
+
+- nested handler closures are indexed, so sim-hang and yield-race
+  findings inside a pre-bound handler are still reported;
+- the production ``build_call_handler.call`` generator itself stays
+  indexed and suspendable (the regression this file exists for);
+- the program-side spelling ``yield from ctx.k32.Name(...)`` that the
+  call-graph roots and the census oracle key on is unchanged.
+"""
+
+import ast
+
+from repro.lint.callgraph import CallGraph
+from repro.lint.engine import ModuleIndex
+from repro.lint.races import YieldRaceRule
+from repro.lint.simhang import SimHangRule
+
+from .conftest import parse_project, rules_of
+
+CONTEXT_PATH = "src/repro/nt/context.py"
+
+# A miniature of the production shape: registration-time binding in a
+# plain outer function, a generator handler in the closure.
+HANDLER_TEMPLATE = """
+    def build_call_handler(ctx, sig):
+        machine = ctx.machine
+        hooks = machine.interception.hooks
+
+        def call(*sem_args):
+    {body}
+
+        call.__name__ = sig.name
+        return call
+"""
+
+
+def _handler(body: str) -> str:
+    indented = "\n".join("        " + line if line.strip() else line
+                         for line in body.splitlines())
+    return HANDLER_TEMPLATE.format(body=indented)
+
+
+class TestSimHangInsidePreBoundHandlers:
+    def test_yieldless_spin_in_handler_closure_is_caught(self, lint_source):
+        findings = lint_source(_handler("""
+            while machine.pending:
+                hooks.scan()
+            yield from machine.dispatch(sem_args)
+        """), rules=[SimHangRule()])
+        assert rules_of(findings) == ["sim-hang"]
+        assert findings[0].symbol == "build_call_handler.call"
+
+    def test_handler_that_delegates_to_the_impl_is_clean(self, lint_source):
+        findings = lint_source(_handler("""
+            while machine.pending:
+                result = yield from machine.dispatch(sem_args)
+                if result:
+                    return result
+            return 0
+        """), rules=[SimHangRule()])
+        assert findings == []
+
+
+class TestYieldRaceInsidePreBoundHandlers:
+    def test_lost_update_across_impl_suspension_is_caught(self, lint_source):
+        findings = lint_source(_handler("""
+            count = machine.call_count
+            result = yield from machine.dispatch(sem_args)
+            machine.call_count = count + 1
+            return result
+        """), rules=[YieldRaceRule()])
+        assert "yield-race" in rules_of(findings)
+
+    def test_re_read_after_suspension_is_clean(self, lint_source):
+        findings = lint_source(_handler("""
+            result = yield from machine.dispatch(sem_args)
+            machine.call_count = machine.call_count + 1
+            return result
+        """), rules=[YieldRaceRule()])
+        assert findings == []
+
+
+class TestProductionHandlerStaysVisible:
+    def test_flattened_handler_is_indexed_as_a_generator(self):
+        # If build_call_handler.call ever becomes invisible to the
+        # module index (renamed, generated, exec'd...), hang/race
+        # analysis of the entire syscall hot path silently vanishes.
+        with open(CONTEXT_PATH, encoding="utf-8") as handle:
+            tree = ast.parse(handle.read())
+        index = ModuleIndex(CONTEXT_PATH, tree)
+        info = index.functions.get("build_call_handler.call")
+        assert info is not None, "pre-bound handler closure not indexed"
+        assert info.is_generator
+        # The reference dispatch form must stay visible too: it is the
+        # readable spec the handlers are tested against.
+        assert "Win32Context._invoke" in index.functions
+
+    def test_handler_suspension_is_modelled(self):
+        with open(CONTEXT_PATH, encoding="utf-8") as handle:
+            tree = ast.parse(handle.read())
+        index = ModuleIndex(CONTEXT_PATH, tree)
+        # `result = yield from impl(frame)` inside the handler makes it
+        # a suspension point for atomicity analysis.
+        assert index.can_suspend(index.functions["build_call_handler.call"])
+
+
+class TestProgramSideSpellingUnchanged:
+    def test_k32_calls_still_reach_the_census_roots(self):
+        modules = parse_project({
+            "pkg/server.py": """
+                class EchoServer:
+                    def main(self, ctx):
+                        handle = yield from ctx.k32.CreateFileA("conf", 1)
+                        yield from ctx.k32.CloseHandle(handle)
+            """,
+            "pkg/boot.py": """
+                from .server import EchoServer
+
+                def deploy(machine):
+                    machine.processes.register_image(
+                        EchoServer(), role="server")
+            """,
+        })
+        graph = CallGraph.build(modules)
+        roles = graph.roles()
+        assert "server" in roles
+        api = graph.reachable_api(roles["server"])
+        assert ("k32", "CreateFileA") in api
+        assert ("k32", "CloseHandle") in api

@@ -1,0 +1,164 @@
+"""The pure-vs-fast differential engine oracle.
+
+:mod:`repro.sim._fastengine` restates the batched dispatch loop in the
+mypyc-compilable subset; the pure-Python :class:`repro.sim.Engine`
+remains authoritative.  The contract that makes the compiled flavour
+safe to auto-select is *bit-identity*: the same workload, run under
+either engine, must emit byte-identical full-level JSONL trace streams
+— every schedule, fire, context switch, syscall and timestamp, not
+just the final outcome.
+
+Three legs, per the acceptance criteria:
+
+1. a Figure-2 campaign slice (fault injection + middleware),
+2. a 100-client load run,
+3. a kill+resume campaign cycle (checkpointed store, re-execution).
+
+Each leg runs the workload twice — ``REPRO_ENGINE=pure`` then
+``REPRO_ENGINE=fast`` — and compares the bytes.  ``fast`` selects the
+interpreted ``_fastengine`` when no compiled extension is installed,
+which is exactly the point: the oracle holds the *implementation*
+identical, compiled or not, so CI passing it under the compiled build
+certifies the native code path too.
+"""
+
+import json
+
+import pytest
+
+from repro.core.campaign import Campaign
+from repro.core.runner import RunConfig
+from repro.core.store import RunStore
+from repro.core.workload import MiddlewareKind
+from repro.load.runner import execute_load_run
+from repro.load.spec import LoadSpec
+from repro.sim import Engine, SimulationError, create_engine
+from repro.sim._fastengine import FastEngine, is_compiled
+from repro.trace import trace_to_jsonl
+
+SLICE = ["SetErrorMode", "CreateEventA", "CreateFileA", "ReadFile",
+         "CloseHandle", "WaitForSingleObject"]
+
+ENGINES = ("pure", "fast")
+
+
+def _campaign_traces(monkeypatch, engine: str) -> dict:
+    monkeypatch.setenv("REPRO_ENGINE", engine)
+    config = RunConfig(base_seed=2000, trace_level="full")
+    result = Campaign("IIS", MiddlewareKind.WATCHD, functions=SLICE,
+                      config=config).run()
+    return {run.fault.key: trace_to_jsonl(run.trace).encode("utf-8")
+            for run in result.runs}
+
+
+def test_create_engine_selection(monkeypatch):
+    monkeypatch.setenv("REPRO_ENGINE", "pure")
+    assert type(create_engine()) is Engine
+    monkeypatch.setenv("REPRO_ENGINE", "fast")
+    assert type(create_engine()) is FastEngine
+    monkeypatch.delenv("REPRO_ENGINE")
+    # auto: the interpreted twin is never picked, the compiled one is.
+    expected = FastEngine if is_compiled() else Engine
+    assert type(create_engine()) is expected
+    assert type(create_engine(kind="fast")) is FastEngine
+    with pytest.raises(ValueError):
+        create_engine(kind="turbo")
+
+
+def test_figure2_campaign_slice_is_byte_identical(monkeypatch):
+    pure = _campaign_traces(monkeypatch, "pure")
+    fast = _campaign_traces(monkeypatch, "fast")
+    assert set(pure) == set(fast)
+    assert all(trace for trace in pure.values())
+    for key in pure:
+        assert pure[key] == fast[key], f"trace diverged for fault {key}"
+
+
+def test_100_client_load_run_is_byte_identical(monkeypatch):
+    streams = {}
+    events = {}
+    for engine in ENGINES:
+        monkeypatch.setenv("REPRO_ENGINE", engine)
+        result = execute_load_run(
+            LoadSpec(workload="Apache1", clients=100, iterations=2),
+            config=RunConfig(base_seed=2000, trace_level="full"))
+        assert result.server_came_up
+        streams[engine] = trace_to_jsonl(result.trace).encode("utf-8")
+        events[engine] = result.engine_events
+    assert events["pure"] == events["fast"]
+    assert streams["pure"], "full-level load trace is empty"
+    assert streams["pure"] == streams["fast"]
+
+
+class _Killed(BaseException):
+    """Stands in for SIGINT: not caught by the campaign progress guard."""
+
+
+def _kill_after(count):
+    def guard(done, total, run):
+        if done == count:
+            raise _Killed
+    return guard
+
+
+def _kill_resume_traces(monkeypatch, tmp_path, engine: str) -> dict:
+    monkeypatch.setenv("REPRO_ENGINE", engine)
+    path = tmp_path / f"runs-{engine}.jsonl"
+    config = RunConfig(base_seed=2000, trace_level="full")
+    with RunStore(path) as store:
+        with pytest.raises(_Killed):
+            Campaign("IIS", MiddlewareKind.NONE, functions=SLICE,
+                     config=config, store=store,
+                     progress=_kill_after(3)).run()
+    with RunStore(path) as store:
+        result = Campaign("IIS", MiddlewareKind.NONE, functions=SLICE,
+                          config=config, store=store).run()
+    return {run.fault.key: trace_to_jsonl(run.trace).encode("utf-8")
+            for run in result.runs}
+
+
+def test_kill_resume_cycle_is_byte_identical(monkeypatch, tmp_path):
+    pure = _kill_resume_traces(monkeypatch, tmp_path, "pure")
+    fast = _kill_resume_traces(monkeypatch, tmp_path, "fast")
+    assert set(pure) == set(fast) and pure
+    for key in pure:
+        assert pure[key] == fast[key], f"trace diverged for fault {key}"
+
+
+def test_fast_engine_refuses_to_silently_fall_back(monkeypatch):
+    # REPRO_ENGINE=fast is a demand, not a hint: if the twin ever
+    # becomes unimportable the oracle must error out, not quietly
+    # compare pure against pure.
+    import sys
+
+    import repro.sim.engine as engine_mod
+
+    monkeypatch.setenv("REPRO_ENGINE", "fast")
+    # A None entry in sys.modules makes the import machinery raise
+    # ImportError — the standard way to simulate a missing build.  The
+    # package attribute must go too, or ``from . import _fastengine``
+    # would just hand back the already-bound module.
+    monkeypatch.delattr("repro.sim._fastengine", raising=False)
+    monkeypatch.setitem(sys.modules, "repro.sim._fastengine", None)
+    with pytest.raises(SimulationError):
+        engine_mod.create_engine()
+    # auto quietly falls back to the pure engine instead.
+    monkeypatch.delenv("REPRO_ENGINE")
+    assert type(engine_mod.create_engine()) is Engine
+
+
+def test_load_run_trace_levels_nest(monkeypatch):
+    # Sanity for the new load-run tracing plumbing: the calls-level
+    # stream is the full-level stream minus engine/proc categories.
+    monkeypatch.setenv("REPRO_ENGINE", "pure")
+    spec = LoadSpec(workload="Apache1", clients=5, iterations=1)
+    full = execute_load_run(
+        spec, config=RunConfig(base_seed=2000, trace_level="full"))
+    calls = execute_load_run(
+        spec, config=RunConfig(base_seed=2000, trace_level="calls"))
+    filtered = [event for event in full.trace
+                if event.category not in ("engine", "proc")]
+    assert [(e.time, e.category, e.name, e.data) for e in calls.trace] \
+        == [(e.time, e.category, e.name, e.data) for e in filtered]
+    for line in trace_to_jsonl(full.trace).splitlines():
+        json.loads(line)  # every record is valid JSONL
