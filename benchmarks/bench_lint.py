@@ -2,16 +2,17 @@
 """Lint wall-time against worker count (files/sec at 1/2/4/8).
 
 Not a paper artifact — this measures the analyzer itself: the full
-ten-rule suite (including the whole-program race/determinism families
-and the interprocedural tier) runs over ``src`` and ``examples``
-serially and through the ``--jobs`` process pool, and every
-configuration is checked to produce identical findings (the analyzer
-honours the same determinism contract it enforces).
+twelve-rule suite (including the whole-program race/determinism
+families, the interprocedural tier, and the value-flow tier) runs over
+``src`` and ``examples`` serially and through the ``--jobs`` process
+pool, and every configuration is checked to produce identical findings
+(the analyzer honours the same determinism contract it enforces).
 
-It also prices the interprocedural tier: the full suite against the
-base (pre-call-graph) rule set, best-of-N serially, gated at < 2x —
-call-graph construction is shared by all three interprocedural rules
-through a keyed cache, so the overhead should stay a fraction of one
+It also prices the whole-program tiers: the interprocedural rule set
+against the base (pre-call-graph) set, and the value-flow rule set
+against the interprocedural one, best-of-N serially, each gated at
+< 2x — call-graph and value-flow construction are shared through
+keyed caches, so each tier's overhead should stay a fraction of one
 extra per-module pass.
 
 As a script it writes the measurements to JSON for CI trending::
@@ -44,11 +45,23 @@ INTERPROCEDURAL_RULES = frozenset(
     {"error-propagation", "corruption-escape", "fault-reachability"})
 INTERPROCEDURAL_GATE = 2.0
 
+# The value-flow tier (abstract interpretation + two rule families) may
+# cost at most this factor over the interprocedural rule set.
+VALUEFLOW_RULES = frozenset({"dead-param", "use-before-validate"})
+VALUEFLOW_GATE = 2.0
+
 
 def base_rules():
-    """The pre-call-graph rule set the overhead gate compares against."""
+    """The pre-call-graph rule set the overhead gates compare against."""
     return [rule for rule in default_rules()
-            if rule.name not in INTERPROCEDURAL_RULES]
+            if rule.name not in INTERPROCEDURAL_RULES
+            and rule.name not in VALUEFLOW_RULES]
+
+
+def interproc_rules():
+    """Everything below the value-flow tier (base + interprocedural)."""
+    return [rule for rule in default_rules()
+            if rule.name not in VALUEFLOW_RULES]
 
 
 def measure(jobs: int, paths):
@@ -91,19 +104,19 @@ def run_scaling(workers, paths) -> dict:
     }
 
 
+def _best_of(make_rules, paths, repeats: int) -> float:
+    times = []
+    for _ in range(repeats):
+        started = time.perf_counter()
+        run_lint(paths, rules=make_rules())
+        times.append(time.perf_counter() - started)
+    return min(times)
+
+
 def measure_overhead(paths, repeats: int = 3) -> dict:
-    """Full ten-rule suite vs the base set, best-of-``repeats``."""
-
-    def best(make_rules) -> float:
-        times = []
-        for _ in range(repeats):
-            started = time.perf_counter()
-            run_lint(paths, rules=make_rules())
-            times.append(time.perf_counter() - started)
-        return min(times)
-
-    base_seconds = best(base_rules)
-    full_seconds = best(default_rules)
+    """Interprocedural rule set vs the base set, best-of-``repeats``."""
+    base_seconds = _best_of(base_rules, paths, repeats)
+    full_seconds = _best_of(interproc_rules, paths, repeats)
     ratio = full_seconds / base_seconds
     return {
         "base_rules": sorted(rule.name for rule in base_rules()),
@@ -112,6 +125,22 @@ def measure_overhead(paths, repeats: int = 3) -> dict:
         "ratio": round(ratio, 2),
         "gate": INTERPROCEDURAL_GATE,
         "within_gate": ratio < INTERPROCEDURAL_GATE,
+    }
+
+
+def measure_valueflow_overhead(paths, repeats: int = 3) -> dict:
+    """Full twelve-rule suite vs the interprocedural set,
+    best-of-``repeats`` — prices the abstract-interpretation tier."""
+    interproc_seconds = _best_of(interproc_rules, paths, repeats)
+    full_seconds = _best_of(default_rules, paths, repeats)
+    ratio = full_seconds / interproc_seconds
+    return {
+        "valueflow_rules": sorted(VALUEFLOW_RULES),
+        "interproc_seconds": round(interproc_seconds, 3),
+        "full_seconds": round(full_seconds, 3),
+        "ratio": round(ratio, 2),
+        "gate": VALUEFLOW_GATE,
+        "within_gate": ratio < VALUEFLOW_GATE,
     }
 
 
@@ -128,6 +157,14 @@ def test_interprocedural_overhead_gate():
     assert overhead["within_gate"], (
         f"interprocedural tier costs {overhead['ratio']}x the base "
         f"rule set (gate {INTERPROCEDURAL_GATE}x)")
+
+
+def test_valueflow_overhead_gate():
+    """Pytest entry: the value-flow tier stays under its 2x budget."""
+    overhead = measure_valueflow_overhead(SMOKE_PATHS)
+    assert overhead["within_gate"], (
+        f"valueflow tier costs {overhead['ratio']}x the "
+        f"interprocedural rule set (gate {VALUEFLOW_GATE}x)")
 
 
 def main(argv=None) -> None:
@@ -147,6 +184,7 @@ def main(argv=None) -> None:
     report = run_scaling(workers, paths)
     report["smoke"] = args.smoke
     report["interprocedural"] = measure_overhead(paths)
+    report["valueflow"] = measure_valueflow_overhead(paths)
 
     print(f"lint scaling — {len(report['rules'])} rules over "
           f"{', '.join(report['paths'])}, {os.cpu_count()} CPU(s)")
@@ -158,6 +196,10 @@ def main(argv=None) -> None:
     print(f"interprocedural tier: base {overhead['base_seconds']}s, "
           f"full {overhead['full_seconds']}s -> {overhead['ratio']}x "
           f"(gate {overhead['gate']}x)")
+    valueflow = report["valueflow"]
+    print(f"valueflow tier: interproc {valueflow['interproc_seconds']}s, "
+          f"full {valueflow['full_seconds']}s -> {valueflow['ratio']}x "
+          f"(gate {valueflow['gate']}x)")
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
             json.dump(report, handle, indent=2)
@@ -166,6 +208,11 @@ def main(argv=None) -> None:
         raise SystemExit(
             f"interprocedural tier costs {overhead['ratio']}x the base "
             f"rule set, over the {overhead['gate']}x gate")
+    if not valueflow["within_gate"]:
+        raise SystemExit(
+            f"valueflow tier costs {valueflow['ratio']}x the "
+            f"interprocedural rule set, over the "
+            f"{valueflow['gate']}x gate")
 
 
 if __name__ == "__main__":

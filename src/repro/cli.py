@@ -77,6 +77,11 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--functions", default=None,
                      help="restrict to a comma-separated function subset")
     _add_execution_arguments(run)
+    run.add_argument("--prune-equivalent", default=None, metavar="FILE",
+                     help="equivalence manifest (repro lint "
+                          "--emit-equivalence): statically equivalent "
+                          "faults run once and the census is expanded "
+                          "from class representatives")
     run.add_argument("--resume", action="store_true",
                      help="reuse runs already checkpointed in the store "
                           "and execute only the missing ones")
@@ -177,8 +182,9 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--jobs", type=int, default=1, metavar="N",
                       help="analyse files through a process pool of N "
                            "workers (default: 1, serial)")
-    lint.add_argument("--rules", default=None,
-                      help="comma-separated rule subset to run")
+    lint.add_argument("--rules", "--select", default=None, dest="rules",
+                      help="comma-separated rule names or families to run "
+                           "(e.g. --select valueflow)")
     lint.add_argument("--census-diff", action="store_true",
                       help="reconcile the static activatable-fault "
                            "prediction against dynamic evidence (fresh "
@@ -189,6 +195,18 @@ def build_parser() -> argparse.ArgumentParser:
                       help="JSONL run store(s) to read dynamic census "
                            "evidence from instead of executing profile "
                            "runs (repeatable)")
+    lint.add_argument("--emit-equivalence", default=None, metavar="FILE",
+                      help="write the static fault-equivalence manifest "
+                           "to FILE (consumed by repro run "
+                           "--prune-equivalent) and exit")
+    lint.add_argument("--equiv-check", action="store_true",
+                      help="dynamic oracle for the equivalence manifest: "
+                           "execute every member of sampled classes and "
+                           "fail on outcome divergence")
+    lint.add_argument("--equiv-sample", type=int, default=None,
+                      metavar="N",
+                      help="classes sampled by --equiv-check "
+                           "(default: 6; 0 checks every class)")
     return parser
 
 
@@ -322,11 +340,24 @@ def cmd_run(args, out) -> int:
     if error is not None:
         return error
 
+    prune = None
+    if args.prune_equivalent is not None:
+        from .lint.valueflow import EquivalenceManifest
+
+        try:
+            prune = EquivalenceManifest.load(args.prune_equivalent)
+        except (OSError, ValueError) as exc:
+            print(f"cannot load equivalence manifest "
+                  f"{args.prune_equivalent}: {exc}", file=out)
+            if store is not None:
+                store.close()
+            return 2
+
     progress = CliProgress(out)
     campaign = Campaign(config.workload, config.middleware,
                         functions=functions, config=config.run_config(),
                         jobs=jobs if jobs > 1 else None, store=store,
-                        progress=progress)
+                        progress=progress, prune=prune)
     try:
         result = campaign.run()
     finally:
@@ -342,6 +373,9 @@ def cmd_run(args, out) -> int:
     if store is not None:
         print(f"resumed from store: {result.cached_count} cached, "
               f"{result.executed_count} executed", file=out)
+    if prune is not None:
+        print(f"pruned by equivalence: {result.inferred_count} runs "
+              f"inferred ({prune.fingerprint})", file=out)
     return 0
 
 
@@ -587,14 +621,18 @@ def cmd_lint(args, out) -> int:
 
     rules = default_rules()
     if args.rules:
+        # --select accepts rule names and rule families alike, so CI
+        # jobs can isolate e.g. the whole valueflow tier in one flag.
         wanted = {name.strip() for name in args.rules.split(",")}
-        known = {rule.name for rule in rules}
+        known = ({rule.name for rule in rules}
+                 | {rule.family for rule in rules if rule.family})
         unknown = wanted - known
         if unknown:
             print(f"unknown rule(s): {', '.join(sorted(unknown))} "
                   f"(known: {', '.join(sorted(known))})", file=out)
             return 2
-        rules = [rule for rule in rules if rule.name in wanted]
+        rules = [rule for rule in rules
+                 if rule.name in wanted or rule.family in wanted]
 
     paths = args.paths or ["src", "examples"]
 
@@ -613,10 +651,40 @@ def cmd_lint(args, out) -> int:
         print("--census-diff cannot be combined with --format sarif "
               "(use text or json)", file=out)
         return 2
+    if args.equiv_sample is not None and not args.equiv_check:
+        print("--equiv-sample requires --equiv-check", file=out)
+        return 2
+    if args.equiv_check and args.output_format == "sarif":
+        print("--equiv-check cannot be combined with --format sarif "
+              "(use text or json)", file=out)
+        return 2
     for store_path in args.census_store or ():
         if not os.path.exists(store_path):
             print(f"no such run store: {store_path}", file=out)
             return 2
+
+    if args.emit_equivalence:
+        # Manifest emission is a standalone mode: it needs the parsed
+        # module set and the value-flow facts, not the findings.
+        from .lint.core import Analyzer, _lint_files
+        from .lint.valueflow import valueflow_for
+
+        analyzer = Analyzer([])
+        try:
+            py_files, _fault_files = analyzer.collect(paths)
+        except FileNotFoundError as exc:
+            print(f"no such path: {exc.args[0]}", file=out)
+            return 2
+        tasks = [(path, analyzer._display_path(path))
+                 for path in py_files]
+        modules, _parse_findings = _lint_files(tasks, [])
+        manifest = valueflow_for(modules).manifest
+        manifest.save(args.emit_equivalence)
+        print(f"wrote {args.emit_equivalence}: "
+              f"{len(manifest.classes)} class(es), "
+              f"{manifest.collapsible_count} collapsible run(s) "
+              f"({manifest.fingerprint})", file=out)
+        return 0
 
     baseline = {}
     baseline_path = args.baseline
@@ -698,12 +766,27 @@ def cmd_lint(args, out) -> int:
         census_report = census_diff(
             modules, store_paths=args.census_store or ())
 
+    equiv_report = None
+    if args.equiv_check:
+        from .lint.core import Analyzer, _lint_files
+        from .lint.valueflow import equiv_check
+
+        analyzer = Analyzer([])
+        py_files, _fault_files = analyzer.collect(paths)
+        tasks = [(path, analyzer._display_path(path))
+                 for path in py_files]
+        modules, _parse_findings = _lint_files(tasks, [])
+        sample = args.equiv_sample if args.equiv_sample is not None else 6
+        equiv_report = equiv_check(modules, sample=sample)
+
     if args.output_format == "json":
         import json as json_module
 
         payload = json_module.loads(result.render_json())
         if census_report is not None:
             payload["census"] = census_report.to_json()
+        if equiv_report is not None:
+            payload["equiv"] = equiv_report.to_json()
         print(json_module.dumps(payload, indent=2), file=out)
     elif args.output_format == "sarif":
         from .lint.sarif import render_sarif
@@ -712,8 +795,12 @@ def cmd_lint(args, out) -> int:
         print(result.render_text(), file=out)
         if census_report is not None:
             print(census_report.render_text(), file=out)
+        if equiv_report is not None:
+            print(equiv_report.render_text(), file=out)
     status = 0 if result.clean else 1
     if census_report is not None and not census_report.clean:
+        status = 1
+    if equiv_report is not None and not equiv_report.clean:
         status = 1
     return status
 

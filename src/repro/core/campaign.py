@@ -52,9 +52,11 @@ class WorkloadSetResult:
         self.called_functions: set[str] = set()
         self.profile_run: Optional[RunResult] = None
         # Filled in by the campaign facade: how many runs were served
-        # from the store vs freshly executed.
+        # from the store vs freshly executed vs expanded from an
+        # equivalence-class representative (--prune-equivalent).
         self.cached_count = 0
         self.executed_count = 0
+        self.inferred_count = 0
 
     # ------------------------------------------------------------------
     @property
@@ -118,7 +120,8 @@ class Campaign:
                  mechanism: str = "parameter",
                  backend: Optional[ExecutionBackend] = None,
                  jobs: Optional[int] = None,
-                 store=None):
+                 store=None,
+                 prune=None):
         if mechanism not in ("parameter", "return"):
             raise ValueError(f"unknown injection mechanism {mechanism!r}")
         if backend is not None and jobs is not None:
@@ -136,6 +139,9 @@ class Campaign:
         self.backend = backend
         self.jobs = jobs
         self.store = store
+        # An EquivalenceManifest (repro.lint.valueflow): statically
+        # equivalent faults are scheduled once and expanded afterwards.
+        self.prune = prune
 
     # ------------------------------------------------------------------
     def fault_list(self) -> list:
@@ -152,7 +158,8 @@ class Campaign:
     def plan(self):
         """The wave-scheduled task DAG for this campaign."""
         return plan_campaign(self.fault_list(),
-                             profile_first=self.profile_first)
+                             profile_first=self.profile_first,
+                             prune=self.prune)
 
     def fingerprint(self) -> str:
         """The store key prefix for this campaign's configuration."""
@@ -184,6 +191,7 @@ class Campaign:
         result.skipped_functions = execution.skipped_functions
         result.cached_count = execution.cached_count
         result.executed_count = execution.executed_count
+        result.inferred_count = execution.inferred_count
         if result.profile_run is not None:
             result.called_functions = set(
                 result.profile_run.called_functions)

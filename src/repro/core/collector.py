@@ -32,7 +32,8 @@ class RunResult:
                  called_functions: set[str], client_record: ClientRecord,
                  watchd_version: int,
                  trace: tuple = (),
-                 trace_level: TraceLevel = TraceLevel.OFF):
+                 trace_level: TraceLevel = TraceLevel.OFF,
+                 inferred: bool = False):
         self.workload_name = workload_name
         self.middleware = middleware
         self.fault = fault
@@ -51,6 +52,9 @@ class RunResult:
         # the run was executed with tracing off.
         self.trace = trace
         self.trace_level = TraceLevel.parse(trace_level)
+        # True for results expanded from an equivalence-class
+        # representative instead of an executed run (--prune-equivalent).
+        self.inferred = inferred
 
     @property
     def counts_for_statistics(self) -> bool:
@@ -61,6 +65,34 @@ class RunResult:
         fault = self.fault or "no-fault"
         return (f"<Run {self.workload_name}/{self.middleware.value} "
                 f"{fault} -> {self.outcome.value}>")
+
+
+def infer_result(representative: RunResult, fault: FaultSpec) -> RunResult:
+    """Clone a class representative's outcome for an equivalent fault.
+
+    Used by the pruned planner (``--prune-equivalent``): the static
+    equivalence class asserts that ``fault`` would have produced the
+    same outcome as the representative's fault, so the Figure-2 census
+    can be expanded back to the full grid without executing the run.
+    The event trace is not copied — it belongs to the executed run.
+    """
+    return RunResult(
+        workload_name=representative.workload_name,
+        middleware=representative.middleware,
+        fault=fault,
+        activated=representative.activated,
+        activated_as_noop=representative.activated_as_noop,
+        outcome=representative.outcome,
+        failure_mode=representative.failure_mode,
+        response_time=representative.response_time,
+        restarts_detected=representative.restarts_detected,
+        retries_used=representative.retries_used,
+        server_came_up=representative.server_came_up,
+        called_functions=set(representative.called_functions),
+        client_record=representative.client_record,
+        watchd_version=representative.watchd_version,
+        inferred=True,
+    )
 
 
 def count_restarts(machine: Machine, middleware: MiddlewareKind,

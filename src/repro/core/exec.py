@@ -21,7 +21,7 @@ import multiprocessing
 import os
 from typing import Callable, Optional, Sequence
 
-from .collector import RunResult
+from .collector import RunResult, infer_result
 from .plan import CampaignPlan, RunTask, TaskKind
 from .runner import RunConfig, execute_run
 from .store import config_fingerprint
@@ -173,7 +173,8 @@ class PlanExecution:
     """What :func:`run_plan` hands back to the campaign facade."""
 
     __slots__ = ("profile_run", "runs", "skipped_functions",
-                 "total", "executed_count", "cached_count")
+                 "total", "executed_count", "cached_count",
+                 "inferred_count")
 
     def __init__(self):
         self.profile_run: Optional[RunResult] = None
@@ -182,6 +183,7 @@ class PlanExecution:
         self.total = 0
         self.executed_count = 0
         self.cached_count = 0
+        self.inferred_count = 0
 
 
 def run_plan(plan: CampaignPlan, workload: WorkloadSpec,
@@ -261,6 +263,23 @@ def run_plan(plan: CampaignPlan, workload: WorkloadSpec,
 
     # --- Wave 2: released faults ---------------------------------------
     dispatch(released, count=True)
+
+    # --- Expansion: pruned faults inherit their representative's run --
+    # Never checkpointed: on resume the representative is served from
+    # the store and the expansion is recomputed, so a store only ever
+    # holds executed evidence.
+    for name in eligible:
+        if name in execution.skipped_functions:
+            # The paper's shortcut applies to the whole function: the
+            # full campaign would have skipped these faults too.
+            continue
+        for task in plan.inferred.get(name, ()):
+            representative = results.get(task.representative)
+            if representative is None:
+                continue
+            results[task.task_id] = infer_result(representative,
+                                                 task.fault)
+            execution.inferred_count += 1
 
     execution.runs = [results[task.task_id] for task in plan.tasks
                       if task.task_id in results]

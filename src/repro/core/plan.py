@@ -35,6 +35,8 @@ class TaskKind(enum.Enum):
     PROFILE = "profile"   # fault-free run discovering the called set
     PROBE = "probe"       # first fault of a function (activation test)
     RELEASE = "release"   # remaining faults, gated on probe activation
+    INFERRED = "inferred"  # pruned fault, result copied from its class
+    #                        representative (never dispatched)
 
 
 class RunTask:
@@ -46,17 +48,22 @@ class RunTask:
     indistinguishable from serial ones.
     """
 
-    __slots__ = ("task_id", "kind", "fault", "function", "order", "deps")
+    __slots__ = ("task_id", "kind", "fault", "function", "order", "deps",
+                 "representative")
 
     def __init__(self, task_id: str, kind: TaskKind, fault,
                  function: Optional[str], order: int,
-                 deps: Sequence[str] = ()):
+                 deps: Sequence[str] = (),
+                 representative: Optional[str] = None):
         self.task_id = task_id
         self.kind = kind
         self.fault = fault
         self.function = function
         self.order = order
         self.deps = tuple(deps)
+        # For INFERRED tasks: the task id whose run result this fault's
+        # outcome is copied from.
+        self.representative = representative
 
     def __repr__(self) -> str:
         return (f"<RunTask {self.task_id} {self.kind.value} "
@@ -76,23 +83,38 @@ class CampaignPlan:
                  profile_task: Optional[RunTask],
                  probes: dict[str, RunTask],
                  releases: dict[str, tuple[RunTask, ...]],
-                 functions: Sequence[str]):
+                 functions: Sequence[str],
+                 inferred: Optional[dict[str, tuple[RunTask, ...]]] = None):
         self.tasks = list(tasks)
         self.profile_task = profile_task
         self.probes = probes
         self.releases = releases
         self.functions = tuple(functions)
+        # Pruned faults by function: scheduled nowhere, their results
+        # are expanded from class representatives after the last wave.
+        self.inferred = inferred if inferred is not None else {}
 
     # ------------------------------------------------------------------
     @property
     def injection_count(self) -> int:
         return len(self.tasks)
 
+    @property
+    def pruned_count(self) -> int:
+        return sum(len(group) for group in self.inferred.values())
+
+    @property
+    def scheduled_count(self) -> int:
+        return len(self.tasks) - self.pruned_count
+
     def tasks_for_function(self, function: str) -> list[RunTask]:
         probe = self.probes.get(function)
         if probe is None:
             return []
-        return [probe, *self.releases[function]]
+        tasks = [probe, *self.releases[function],
+                 *self.inferred.get(function, ())]
+        tasks.sort(key=lambda task: task.order)
+        return tasks
 
     def census(self) -> dict:
         """Planned fault tuples by function — the plan-side census the
@@ -105,6 +127,7 @@ class CampaignPlan:
             "probes": len(self.probes),
             "releases": sum(len(group) for group in
                             self.releases.values()),
+            "inferred": self.pruned_count,
             "profiled": self.profile_task is not None,
             "per_function": per_function,
         }
@@ -123,11 +146,20 @@ class CampaignPlan:
                 f"profiled={self.profile_task is not None}>")
 
 
-def plan_campaign(faults: Sequence, profile_first: bool = True) -> CampaignPlan:
+def plan_campaign(faults: Sequence, profile_first: bool = True,
+                 prune=None) -> CampaignPlan:
     """Turn an ordered fault list into the wave-scheduled DAG.
 
     Works for both fault-spec flavours (parameter and return-value
     corruption) — anything with a ``.function`` attribute groups.
+
+    With ``prune`` (an :class:`~repro.lint.valueflow.EquivalenceManifest`,
+    or anything with its ``group_key(fault)`` contract), faults that
+    share a static equivalence class with an already-scheduled fault of
+    the same function and invocation become INFERRED tasks: they are
+    dispatched nowhere, and the executor copies their outcome from the
+    class representative's run.  Faults the manifest does not cover —
+    return-value faults, singleton classes — are always scheduled.
     """
     grouped = faults_by_function(faults)
     profile_task = None
@@ -139,23 +171,44 @@ def plan_campaign(faults: Sequence, profile_first: bool = True) -> CampaignPlan:
     tasks: list[RunTask] = []
     probes: dict[str, RunTask] = {}
     releases: dict[str, tuple[RunTask, ...]] = {}
+    inferred: dict[str, tuple[RunTask, ...]] = {}
     order = 0
     for function, group in grouped.items():
         function_tasks: list[RunTask] = []
+        inferred_tasks: list[RunTask] = []
+        representatives: dict[tuple, str] = {}
         # enumerate() — not list.index() — so duplicate faults that
         # compare equal still count correctly.
         for position, fault in enumerate(group):
+            class_key = None
+            if prune is not None:
+                class_key = prune.group_key(fault)
+                if class_key is not None:
+                    class_key += (getattr(fault, "invocation", None),)
             if position == 0:
                 task = RunTask(f"probe:{function}", TaskKind.PROBE, fault,
                                function, order, deps=probe_deps)
                 probes[function] = task
+            elif class_key is not None and class_key in representatives:
+                representative = representatives[class_key]
+                inferred_tasks.append(RunTask(
+                    f"inferred:{function}:{position}", TaskKind.INFERRED,
+                    fault, function, order, deps=(representative,),
+                    representative=representative))
+                order += 1
+                continue
             else:
                 task = RunTask(f"release:{function}:{position}",
                                TaskKind.RELEASE, fault, function, order,
                                deps=(f"probe:{function}",))
+            if class_key is not None:
+                representatives.setdefault(class_key, task.task_id)
             function_tasks.append(task)
             order += 1
-        tasks.extend(function_tasks)
+        tasks.extend(sorted(function_tasks + inferred_tasks,
+                            key=lambda t: t.order))
         releases[function] = tuple(function_tasks[1:])
+        if inferred_tasks:
+            inferred[function] = tuple(inferred_tasks)
     return CampaignPlan(tasks, profile_task, probes, releases,
-                        list(grouped))
+                        list(grouped), inferred=inferred)

@@ -1,16 +1,21 @@
 """``repro.lint`` — DTS-aware static analysis for the reproduction.
 
-Ten passes over the codebase, each rooted in a property the paper's
+Twelve passes over the codebase, each rooted in a property the paper's
 method depends on, checked here before anything runs.  Five are
 per-file pattern matchers; ``yield-race`` and ``determinism`` sit on a
 shared whole-program engine (:mod:`repro.lint.engine`) that models the
 cooperative substrate: per-generator segment CFGs cut at ``yield``
 points, module symbol tables, and delegation-aware suspension
-reachability.  The three newest (``error-propagation``,
-``corruption-escape``, ``fault-reachability``) add an interprocedural
-tier on top (:mod:`repro.lint.callgraph`): a whole-program call graph
-rooted at the process-image registrations, with per-function dataflow
-summaries.
+reachability.  ``error-propagation``, ``corruption-escape``, and
+``fault-reachability`` add an interprocedural tier on top
+(:mod:`repro.lint.callgraph`): a whole-program call graph rooted at
+the process-image registrations, with per-function dataflow summaries.
+The newest tier (:mod:`repro.lint.valueflow`, family ``valueflow``)
+abstractly interprets every intercepted kernel32 implementation to
+compute per-parameter usage facts; the same facts power the
+``dead-param`` / ``use-before-validate`` rules and the static
+fault-equivalence manifest that ``repro run --prune-equivalent``
+uses to collapse the campaign grid.
 
 ==========================  ==========================================
 rule                        catches
@@ -46,13 +51,23 @@ rule                        catches
                             iterated ``id()``-keyed containers
 ``fault-space``             fault-list files / inline FaultSpecs that
                             name faults the registry cannot inject
+``dead-param``              intercepted-signature parameters whose
+                            implementation never reads them, and
+                            role-reachable helpers with never-loaded
+                            formals — fault space that cannot activate
+``use-before-validate``     values from nullable accessors
+                            dereferenced before the null check that
+                            the surrounding code performs later
 ==========================  ==========================================
 
 Run via ``python -m repro lint [--format text|json|sarif] [--jobs N]
-[--baseline lint-baseline.json] [--update-baseline] [--census-diff
-[--census-store STORE.jsonl]] [paths...]``; exit code 0 means clean,
-1 means non-baselined findings (or unexplained census activations),
-2 means a usage error.
+[--baseline lint-baseline.json] [--update-baseline] [--rules/--select
+NAMES] [--census-diff [--census-store STORE.jsonl]] [--equiv-check
+[--equiv-sample N]] [--emit-equivalence FILE] [paths...]``; exit code
+0 means clean (a note is printed when findings exist but every one is
+baseline-suppressed), 1 means non-baselined findings (or unexplained
+census activations, or equivalence-oracle divergence), 2 means a
+usage error.
 """
 
 from .callgraph import CallGraph, callgraph_for
@@ -79,11 +94,25 @@ from .engine import (
     module_name_for_path,
 )
 from .sarif import render_sarif
+from .valueflow import (
+    DeadParamRule,
+    EquivalenceManifest,
+    UseBeforeValidateRule,
+    ValueFlow,
+    analyze_valueflow,
+    compute_equivalence,
+    equiv_check,
+    valueflow_for,
+)
 
 __all__ = [
     "Analyzer",
     "CallGraph",
     "CensusReport",
+    "DeadParamRule",
+    "EquivalenceManifest",
+    "UseBeforeValidateRule",
+    "ValueFlow",
     "FaultListFile",
     "Finding",
     "GeneratorCFG",
@@ -92,15 +121,19 @@ __all__ = [
     "ParsedModule",
     "ProjectIndex",
     "Rule",
+    "analyze_valueflow",
     "apply_baseline",
     "baseline_entry_path",
     "build_cfg",
     "callgraph_for",
     "census_diff",
+    "compute_equivalence",
     "default_rules",
     "dump_baseline",
+    "equiv_check",
     "load_baseline",
     "module_name_for_path",
     "render_sarif",
     "run_lint",
+    "valueflow_for",
 ]

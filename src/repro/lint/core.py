@@ -112,6 +112,10 @@ class Rule:
 
     name = ""
     description = ""
+    # Rule family, selectable as a group via ``--select`` (e.g. both
+    # valueflow rules answer to ``--select valueflow``).  Defaults to
+    # the rule's own name, so every rule belongs to a family.
+    family = ""
 
     def check_module(self, module: ParsedModule) -> Iterable[Finding]:
         return ()
@@ -326,6 +330,9 @@ class LintResult:
         lines.append(
             f"{len(self.findings)} finding(s), {self.suppressed} baselined, "
             f"{self.files_checked} file(s) checked")
+        if self.clean and self.suppressed:
+            lines.append("note: baseline-suppressed findings only — "
+                         "no new findings")
         return "\n".join(lines)
 
     def render_json(self) -> str:
@@ -443,7 +450,7 @@ class Analyzer:
 
 
 def default_rules() -> list[Rule]:
-    """The ten passes of the suite, in reporting order."""
+    """The twelve passes of the suite, in reporting order."""
     from .conformance import SignatureConformanceRule
     from .determinism import DeterminismRule
     from .escape import CorruptionEscapeRule
@@ -454,6 +461,7 @@ def default_rules() -> list[Rule]:
     from .races import YieldRaceRule
     from .returns import UncheckedReturnRule
     from .simhang import SimHangRule
+    from .valueflow import DeadParamRule, UseBeforeValidateRule
 
     return [
         SignatureConformanceRule(),
@@ -464,6 +472,8 @@ def default_rules() -> list[Rule]:
         SimHangRule(),
         YieldRaceRule(),
         DeterminismRule(),
+        DeadParamRule(),
+        UseBeforeValidateRule(),
         FaultSpaceRule(),
         FaultReachabilityRule(),
     ]

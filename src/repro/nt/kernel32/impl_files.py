@@ -468,6 +468,7 @@ def create_file_mapping_a(frame: Frame) -> int:
     backing = _file_from_handle(frame, 0)
     frame.opt_pointer(1)
     frame.uint(2)
+    frame.uint(3)  # dwMaximumSizeHigh: accepted as-is, sizes stay < 2**32
     size = frame.uint(4) or (backing.size if backing is not None else 0)
     frame.opt_string(5)
     if backing is None and frame.args[0].raw not in (0, INVALID_HANDLE_VALUE):
@@ -481,6 +482,10 @@ def create_file_mapping_a(frame: Frame) -> int:
 @k32impl("MapViewOfFile")
 def map_view_of_file(frame: Frame) -> int:
     mapping = frame.handle_object(0, FileMappingObject)
+    frame.uint(1)  # dwDesiredAccess: every simulated view is read/write
+    frame.uint(2)  # dwFileOffsetHigh: accepted as-is, views start at 0
+    frame.uint(3)  # dwFileOffsetLow: accepted as-is, views start at 0
+    frame.uint(4)  # dwNumberOfBytesToMap: 0 = whole mapping, always whole
     if mapping is None:
         return frame.fail(ERROR_INVALID_HANDLE, 0)
     data = bytes(mapping.backing.data) if mapping.backing else b"\0" * mapping.size

@@ -268,11 +268,13 @@ def _is_bad_pointer(frame: Frame) -> int:
 
 @k32impl("IsBadReadPtr")
 def is_bad_read_ptr(frame: Frame) -> int:
+    frame.uint(1)  # ucb: accepted as-is, probes test the base word only
     return _is_bad_pointer(frame)
 
 
 @k32impl("IsBadWritePtr")
 def is_bad_write_ptr(frame: Frame) -> int:
+    frame.uint(1)  # ucb: accepted as-is, probes test the base word only
     return _is_bad_pointer(frame)
 
 
@@ -283,4 +285,5 @@ def is_bad_code_ptr(frame: Frame) -> int:
 
 @k32impl("IsBadStringPtrA")
 def is_bad_string_ptr_a(frame: Frame) -> int:
+    frame.uint(1)  # ucchMax: accepted as-is, probes test the base word
     return _is_bad_pointer(frame)

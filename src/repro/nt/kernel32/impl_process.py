@@ -183,6 +183,7 @@ def exit_thread(frame: Frame) -> int:
 @k32impl("TerminateThread")
 def terminate_thread(frame: Frame) -> int:
     thread_obj = frame.handle_object(0, ThreadObject)
+    frame.uint(1)  # dwExitCode: accepted as-is, killed threads store none
     if thread_obj is None:
         return frame.fail(ERROR_INVALID_HANDLE)
     if thread_obj.sim_thread is not None and thread_obj.sim_thread.alive:

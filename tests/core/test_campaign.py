@@ -127,3 +127,88 @@ def test_campaign_is_deterministic(config):
                         config=config).run().outcome_counts()
 
     assert distribution() == distribution()
+
+
+# ----------------------------------------------------------------------
+# Equivalence pruning (--prune-equivalent): the Figure-2 census of a
+# pruned campaign must be bit-identical to the full campaign's.
+# ----------------------------------------------------------------------
+PRUNE_FUNCTIONS = ["CreateEventA", "SetErrorMode", "CreateFileA"]
+
+
+@pytest.fixture(scope="module")
+def manifest():
+    """The real manifest, computed from the shipped tree."""
+    from repro.lint.core import Analyzer, _lint_files
+    from repro.lint.valueflow import valueflow_for
+
+    analyzer = Analyzer([])
+    py_files, _fault_files = analyzer.collect(["src"])
+    tasks = [(path, analyzer._display_path(path)) for path in py_files]
+    modules, _parse_findings = _lint_files(tasks, [])
+    return valueflow_for(modules).manifest
+
+
+def _census(result):
+    """Per-fault outcome evidence, in canonical fault-list order."""
+    return [(run.fault.key, run.activated, run.outcome,
+             run.failure_mode, run.restarts_detected, run.retries_used)
+            for run in result.runs]
+
+
+def test_pruned_census_is_bit_identical(config, manifest):
+    full = Campaign("IIS", MiddlewareKind.NONE,
+                    functions=PRUNE_FUNCTIONS, config=config).run()
+    pruned = Campaign("IIS", MiddlewareKind.NONE,
+                      functions=PRUNE_FUNCTIONS, config=config,
+                      prune=manifest).run()
+    assert pruned.inferred_count > 0
+    executed = [run for run in pruned.runs if not run.inferred]
+    assert len(executed) == len(full.runs) - pruned.inferred_count
+    assert _census(pruned) == _census(full)
+    assert pruned.outcome_counts() == full.outcome_counts()
+
+
+def test_pruned_census_is_bit_identical_in_parallel(config, manifest):
+    full = Campaign("IIS", MiddlewareKind.NONE,
+                    functions=PRUNE_FUNCTIONS, config=config).run()
+    pruned = Campaign("IIS", MiddlewareKind.NONE,
+                      functions=PRUNE_FUNCTIONS, config=config,
+                      prune=manifest, jobs=2).run()
+    assert pruned.inferred_count > 0
+    assert _census(pruned) == _census(full)
+
+
+def test_pruned_campaign_kill_and_resume(config, manifest, tmp_path):
+    from repro.core.store import RunStore
+
+    path = tmp_path / "runs.jsonl"
+    reference = Campaign("IIS", MiddlewareKind.NONE,
+                         functions=PRUNE_FUNCTIONS, config=config).run()
+
+    class Killed(BaseException):
+        """Stands in for SIGINT: not caught by the progress guard."""
+
+    def kill_after(done, total, run):
+        if done == 2:
+            raise Killed
+
+    with RunStore(path) as store:
+        with pytest.raises(Killed):
+            Campaign("IIS", MiddlewareKind.NONE,
+                     functions=PRUNE_FUNCTIONS, config=config,
+                     prune=manifest, store=store,
+                     progress=kill_after).run()
+
+    with RunStore(path) as store:
+        resumed = Campaign("IIS", MiddlewareKind.NONE,
+                           functions=PRUNE_FUNCTIONS, config=config,
+                           prune=manifest, store=store).run()
+    # Only executed evidence is checkpointed; inferred results are
+    # re-expanded on resume and the census still matches the full run.
+    assert resumed.cached_count > 0
+    assert resumed.inferred_count > 0
+    assert _census(resumed) == _census(reference)
+    with RunStore(path) as store:
+        assert len(store) == len(reference.runs) - \
+            resumed.inferred_count + 1   # + the profile run

@@ -126,6 +126,35 @@ class TestRunExecutionOptions:
         assert code == 2
         assert "run store" in text
 
+    def test_prune_equivalent_infers_runs(self, tmp_path):
+        from repro.lint.valueflow import EquivalenceManifest
+
+        manifest = EquivalenceManifest([
+            {"function": "CreateEventA", "param": 3, "name": "lpName",
+             "usage": "optional-deref", "faults": ["ones", "flip"]}])
+        path = tmp_path / "equiv.json"
+        manifest.save(str(path))
+        argv = ["run", "--config", self._config_path(tmp_path),
+                "--functions", "CreateEventA",
+                "--prune-equivalent", str(path)]
+        code, text = _run(argv)
+        assert code == 0
+        assert "pruned by equivalence: 1 runs inferred" in text
+        assert manifest.fingerprint in text
+        # The expanded census matches the unpruned distribution.
+        full_code, full_text = _run(argv[:-2])
+        assert full_code == 0
+        assert text.splitlines()[-4:-1] == full_text.splitlines()[-3:]
+
+    def test_prune_equivalent_missing_manifest_exits_two(self, tmp_path):
+        code, text = _run(["run", "--config",
+                           self._config_path(tmp_path),
+                           "--functions", "SetErrorMode",
+                           "--prune-equivalent",
+                           str(tmp_path / "missing.json")])
+        assert code == 2
+        assert "equivalence manifest" in text
+
     def test_execution_section_supplies_defaults(self, tmp_path):
         from repro.core.config import DtsConfig
 

@@ -88,3 +88,90 @@ def test_return_fault_specs_plan_too():
     plan = plan_campaign(faults)
     assert plan.injection_count == 6
     assert set(plan.functions) == {"GetACP", "SetEvent"}
+
+
+# ----------------------------------------------------------------------
+# Equivalence pruning
+# ----------------------------------------------------------------------
+def _manifest(classes):
+    from repro.lint.valueflow import EquivalenceManifest
+
+    return EquivalenceManifest(classes)
+
+
+def test_pruned_faults_become_inferred_tasks():
+    faults = generate_fault_list(["SetEvent"])   # 1 param x 3 types
+    manifest = _manifest([{"function": "SetEvent", "param": 0,
+                           "name": "hEvent", "usage": "handle-checked",
+                           "faults": ["zero", "ones", "flip"]}])
+    plan = plan_campaign(faults, prune=manifest)
+    # The probe (zero) represents the class; ones and flip are inferred.
+    assert plan.injection_count == 3
+    assert plan.scheduled_count == 1
+    assert plan.pruned_count == 2
+    assert plan.releases["SetEvent"] == ()
+    inferred = plan.inferred["SetEvent"]
+    assert [task.kind for task in inferred] == [TaskKind.INFERRED] * 2
+    probe = plan.probes["SetEvent"]
+    for task in inferred:
+        assert task.representative == probe.task_id
+        assert task.deps == (probe.task_id,)
+    assert plan.census()["inferred"] == 2
+
+
+def test_pruning_keeps_canonical_order_and_census():
+    faults = generate_fault_list(["ReadFile", "SetEvent"])
+    manifest = _manifest([{"function": "ReadFile", "param": 0,
+                           "name": "hFile", "usage": "handle-checked",
+                           "faults": ["zero", "ones", "flip"]}])
+    plan = plan_campaign(faults, prune=manifest)
+    ordered = sorted(plan.tasks, key=lambda task: task.order)
+    assert [task.fault for task in ordered] == faults
+    assert plan.pruned_count == 2
+    # Untouched functions keep their full release schedule.
+    assert len(plan.releases["SetEvent"]) == 2
+    per_function = plan.census()["per_function"]
+    assert per_function["ReadFile"] == 15   # probe + releases + inferred
+
+
+def test_partial_class_prunes_only_listed_faults():
+    faults = generate_fault_list(["SetEvent"])
+    manifest = _manifest([{"function": "SetEvent", "param": 0,
+                           "name": "hEvent", "usage": "optional-deref",
+                           "faults": ["ones", "flip"]}])
+    plan = plan_campaign(faults, prune=manifest)
+    # zero (probe) is outside the class; ones is scheduled as the
+    # class representative, flip is inferred from it.
+    assert plan.scheduled_count == 2
+    assert plan.pruned_count == 1
+    (inferred,) = plan.inferred["SetEvent"]
+    assert inferred.fault.fault_type is FaultType.FLIP
+    assert inferred.representative == "release:SetEvent:1"
+
+
+def test_distinct_invocations_are_never_cross_pruned():
+    faults = generate_fault_list(["SetEvent"], invocations=(1, 2))
+    manifest = _manifest([{"function": "SetEvent", "param": 0,
+                           "name": "hEvent", "usage": "handle-checked",
+                           "faults": ["zero", "ones", "flip"]}])
+    plan = plan_campaign(faults, prune=manifest)
+    # Each invocation collapses within itself only: 2 classes of 3.
+    assert plan.injection_count == 6
+    assert plan.scheduled_count == 2
+    assert plan.pruned_count == 4
+    for task in plan.inferred["SetEvent"]:
+        representative = next(t for t in plan.tasks
+                              if t.task_id == task.representative)
+        assert representative.fault.invocation == task.fault.invocation
+
+
+def test_return_faults_are_never_pruned():
+    from repro.core.return_injector import generate_return_fault_list
+
+    faults = generate_return_fault_list(["SetEvent"])
+    manifest = _manifest([{"function": "SetEvent", "param": 0,
+                           "name": "hEvent", "usage": "handle-checked",
+                           "faults": ["zero", "ones", "flip"]}])
+    plan = plan_campaign(faults, prune=manifest)
+    assert plan.pruned_count == 0
+    assert plan.scheduled_count == plan.injection_count

@@ -288,6 +288,100 @@ class TestCensusDiffCli:
         assert payload["census"]["fault_space"]["exports"] == 681
 
 
+IMPL_SOURCE = """
+    @k32impl("Sleep")
+    def sleep_impl(frame):
+        return frame.succeed(0)
+"""
+
+
+class TestRuleSelection:
+    def test_select_is_an_alias_for_rules(self, tmp_path):
+        path = tmp_path / "impl.py"
+        path.write_text(textwrap.dedent(IMPL_SOURCE), encoding="utf-8")
+        code, text = run_cli("--select", "dead-param", str(path))
+        assert code == 1
+        assert "dead-param" in text
+
+    def test_select_accepts_a_rule_family(self, tmp_path):
+        path = tmp_path / "impl.py"
+        path.write_text(textwrap.dedent(IMPL_SOURCE), encoding="utf-8")
+        code, text = run_cli("--select", "valueflow", str(path))
+        assert code == 1
+        assert "dead-param" in text
+        # Family selection excludes everything outside the family.
+        code, text = run_cli("--select", "valueflow", FIXTURES)
+        assert "sim-hang" not in text
+
+    def test_unknown_family_exits_two(self, clean_tree):
+        code, text = run_cli("--select", "no-such-family",
+                             str(clean_tree))
+        assert code == 2
+        assert "unknown rule" in text
+
+
+class TestSuppressedOnlyNote:
+    def test_suppressed_only_run_passes_with_note(self, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        out = StringIO()
+        assert main(["lint", "--baseline", "none",
+                     "--write-baseline", str(baseline), FIXTURES],
+                    out=out) == 0
+        out = StringIO()
+        code = main(["lint", "--baseline", str(baseline), FIXTURES],
+                    out=out)
+        assert code == 0
+        assert "baseline-suppressed findings only" in out.getvalue()
+
+    def test_clean_tree_prints_no_note(self, clean_tree):
+        code, text = run_cli(str(clean_tree))
+        assert code == 0
+        assert "baseline-suppressed" not in text
+
+
+class TestEquivalenceCli:
+    def test_emit_equivalence_writes_manifest(self, clean_tree,
+                                              tmp_path):
+        manifest = tmp_path / "equiv.json"
+        code, text = run_cli("--emit-equivalence", str(manifest),
+                             str(clean_tree))
+        assert code == 0
+        assert "wrote" in text
+        payload = json.loads(manifest.read_text(encoding="utf-8"))
+        assert payload["version"] == 1
+        assert payload["fingerprint"] in text
+        # Generic (unimplemented-export) classes exist even for a tree
+        # without @k32impl sites; registered-at-runtime exports outside
+        # the linted scope must not contribute (unsound from partials).
+        assert payload["classes"]
+
+    def test_emit_equivalence_is_deterministic(self, clean_tree,
+                                               tmp_path):
+        first = tmp_path / "a.json"
+        second = tmp_path / "b.json"
+        run_cli("--emit-equivalence", str(first), str(clean_tree))
+        run_cli("--emit-equivalence", str(second), str(clean_tree))
+        assert first.read_text(encoding="utf-8") == \
+            second.read_text(encoding="utf-8")
+
+    def test_equiv_sample_requires_equiv_check(self, clean_tree):
+        code, text = run_cli("--equiv-sample", "3", str(clean_tree))
+        assert code == 2
+        assert "--equiv-check" in text
+
+    def test_equiv_check_rejects_sarif(self, clean_tree):
+        code, text = run_cli("--equiv-check", "--format", "sarif",
+                             str(clean_tree))
+        assert code == 2
+        assert "sarif" in text
+
+    def test_equiv_check_reports_oracle_outcome(self, clean_tree):
+        code, text = run_cli("--equiv-check", "--equiv-sample", "2",
+                             str(clean_tree))
+        assert code == 0
+        assert "equivalence oracle" in text
+
+
 class TestJobs:
     def test_parallel_findings_match_serial(self):
         serial_code, serial_text = run_cli("--format", "json", FIXTURES)

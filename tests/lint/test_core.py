@@ -111,10 +111,11 @@ class TestAnalyzer:
         assert payload["findings"] == []
         assert payload["files_checked"] == 1
 
-    def test_default_rules_are_the_ten_passes(self):
+    def test_default_rules_are_the_twelve_passes(self):
         names = {rule.name for rule in default_rules()}
         assert names == {"signature-conformance", "unchecked-return",
                          "error-propagation", "corruption-escape",
                          "handle-leak", "sim-hang", "yield-race",
                          "determinism", "fault-space",
-                         "fault-reachability"}
+                         "fault-reachability", "dead-param",
+                         "use-before-validate"}
