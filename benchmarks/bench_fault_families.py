@@ -1,0 +1,171 @@
+#!/usr/bin/env python
+"""Campaign throughput with the sustained fault families plumbed in.
+
+Not a paper artifact — this guards the cost of carrying the io/resource
+injection paths.  Arming a windowed fault is allowed to cost whatever
+the fault costs; what must stay free is *not* arming one: every run now
+consults ``machine.pressure`` in the allocator, the transport, and the
+compute path, and that tax is paid by all 4,725 parameter-fault runs of
+a full campaign whether or not a single windowed fault is ever armed.
+
+As a script it measures best-of-N campaign throughput (runs/sec) for:
+
+- ``zero-armed`` — a parameter-mechanism campaign slice with no
+  io/resource fault anywhere: the common path, and the gated number;
+- ``io-armed`` / ``resource-armed`` — the windowed families end to
+  end, reported for trending only (they include the faults' own
+  simulated damage, so they are not comparable across fault lists).
+
+The gate fails when zero-armed runs/sec drops more than 10% below the
+committed trend (``benchmarks/BENCH_fault_families.json``)::
+
+    python benchmarks/bench_fault_families.py --smoke -o out.json
+
+Re-record the trend when the machine class changes.  Under pytest it
+asserts behavioural invariants only (deterministic run counts, armed
+families activate); wall-clock thresholds on shared CI runners are
+flaky, so the timing gate lives in ``main()``.
+"""
+
+import argparse
+import json
+import os
+import time
+
+from repro.core.campaign import Campaign
+from repro.core.runner import RunConfig
+from repro.core.workload import MiddlewareKind
+
+# The zero-armed slice: a mid-sized export set IIS actually calls, so
+# the measured body is dominated by real runs, not skip bookkeeping.
+PARAM_FUNCTIONS = ["SetErrorMode", "CreateEventA", "CreateFileA",
+                   "ReadFile", "CloseHandle", "WaitForSingleObject"]
+SMOKE_PARAM_FUNCTIONS = PARAM_FUNCTIONS[:3]
+IO_OPS = ["ReadFile", "net.connect", "net.recv"]
+RESOURCES = ["memory", "handles"]
+DEFAULT_REPEATS = 3
+REGRESSION_TOLERANCE = 0.10  # CI gate: >10% below trend fails
+
+TREND_PATH = os.path.join(os.path.dirname(__file__),
+                          "BENCH_fault_families.json")
+
+
+def _campaign(mechanism, functions):
+    return Campaign("IIS", MiddlewareKind.NONE, mechanism=mechanism,
+                    functions=functions, config=RunConfig(base_seed=2000))
+
+
+def measure(mechanism: str, functions, repeats: int) -> dict:
+    """Best-of-N wall clock for one serial campaign."""
+    _campaign(mechanism, functions).run()  # untimed interpreter warm-up
+    best = None
+    result = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        result = _campaign(mechanism, functions).run()
+        elapsed = time.perf_counter() - started
+        best = elapsed if best is None else min(best, elapsed)
+    runs = len(result.runs) + 1  # + the profile run
+    return {
+        "mechanism": mechanism,
+        "functions": list(functions),
+        "repeats": repeats,
+        "runs": runs,
+        "activated": result.activated_count,
+        "seconds": round(best, 4),
+        "runs_per_sec": round(runs / best, 1),
+    }
+
+
+def test_fault_family_campaigns_smoke():
+    """Pytest entry: deterministic counts, armed families activate."""
+    zero = measure("parameter", SMOKE_PARAM_FUNCTIONS, repeats=1)
+    again = measure("parameter", SMOKE_PARAM_FUNCTIONS, repeats=1)
+    assert (zero["runs"], zero["activated"]) \
+        == (again["runs"], again["activated"])
+    assert zero["activated"] > 0
+
+    io = measure("io", IO_OPS, repeats=1)
+    resource = measure("resource", RESOURCES, repeats=1)
+    assert io["activated"] > 0
+    assert resource["activated"] > 0
+
+
+def load_trend(path: str):
+    """The committed trend document, or None when absent/corrupt."""
+    try:
+        with open(path, encoding="utf-8") as handle:
+            return json.load(handle)
+    except (OSError, ValueError):
+        return None
+
+
+def trend_reference(trend, smoke: bool):
+    """The committed zero-armed runs/sec for this size, if any."""
+    if not isinstance(trend, dict):
+        return None
+    entry = trend.get("zero-armed")
+    if not isinstance(entry, dict):
+        return None
+    key = "smoke_runs_per_sec" if smoke else "runs_per_sec"
+    return entry.get(key)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="smaller zero-armed slice for CI smoke runs")
+    parser.add_argument("--repeats", type=int, default=DEFAULT_REPEATS,
+                        help="best-of-N timing repeats (default "
+                             f"{DEFAULT_REPEATS})")
+    parser.add_argument("-o", "--output", default=None, metavar="PATH",
+                        help="write the measurements to this JSON file")
+    parser.add_argument("--trend", default=TREND_PATH, metavar="PATH",
+                        help="committed trend JSON to gate against "
+                             "(default: benchmarks/BENCH_fault_families"
+                             ".json)")
+    args = parser.parse_args(argv)
+
+    functions = SMOKE_PARAM_FUNCTIONS if args.smoke else PARAM_FUNCTIONS
+    report = {
+        "benchmark": "fault-families",
+        "workload": "IIS/stand-alone",
+        "smoke": args.smoke,
+        "cpu_count": os.cpu_count(),
+        "results": {},
+    }
+
+    zero = measure("parameter", functions, args.repeats)
+    report["results"]["zero-armed"] = zero
+    print(f"zero-armed  : {zero['runs']} runs in {zero['seconds']}s "
+          f"({zero['runs_per_sec']} runs/s)")
+    for name, mechanism, axes in (("io-armed", "io", IO_OPS),
+                                  ("resource-armed", "resource",
+                                   RESOURCES)):
+        entry = measure(mechanism, axes, args.repeats)
+        report["results"][name] = entry
+        print(f"{name:<12}: {entry['runs']} runs in {entry['seconds']}s "
+              f"({entry['runs_per_sec']} runs/s, "
+              f"{entry['activated']} activated)")
+
+    gate_ok = True
+    reference = trend_reference(load_trend(args.trend), args.smoke)
+    if reference is None:
+        print("gate: no committed trend for this size — recording only")
+    else:
+        floor = reference * (1.0 - REGRESSION_TOLERANCE)
+        verdict = "OK" if zero["runs_per_sec"] >= floor else "FAIL"
+        gate_ok = verdict == "OK"
+        print(f"gate: zero-armed {zero['runs_per_sec']} runs/s vs trend "
+              f"{reference} (floor {floor:.1f}) — {verdict}")
+
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote {args.output}")
+    return 0 if gate_ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

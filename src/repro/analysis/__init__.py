@@ -7,6 +7,15 @@ from .availability import (
     estimate_availability,
 )
 from .coverage import CoverageSummary, build_coverage
+from .fault_families import (
+    FAMILY_MECHANISMS,
+    FAMILY_ORDER,
+    FamilyComparison,
+    build_family_comparison,
+    build_family_comparison_from_runs,
+    family_of,
+    split_runs_by_family,
+)
 from .figures import (
     Figure2,
     Figure3,
@@ -57,6 +66,13 @@ __all__ = [
     "response_times_by_class",
     "CoverageSummary",
     "build_coverage",
+    "FAMILY_MECHANISMS",
+    "FAMILY_ORDER",
+    "FamilyComparison",
+    "build_family_comparison",
+    "build_family_comparison_from_runs",
+    "family_of",
+    "split_runs_by_family",
     "AvailabilityEstimate",
     "estimate_availability",
     "compare_availability",

@@ -76,6 +76,12 @@ def build_parser() -> argparse.ArgumentParser:
                      help="path to the DTS main configuration file")
     run.add_argument("--functions", default=None,
                      help="restrict to a comma-separated function subset")
+    run.add_argument("--fault-family", default="param",
+                     choices=("param", "return", "io", "resource", "all"),
+                     help="fault family to inject: parameter corruption "
+                          "(default), return-value corruption, sustained "
+                          "I/O-path faults, resource exhaustion, or "
+                          "'all' for a family-by-family comparison")
     _add_execution_arguments(run)
     run.add_argument("--prune-equivalent", default=None, metavar="FILE",
                      help="equivalence manifest (repro lint "
@@ -353,26 +359,60 @@ def cmd_run(args, out) -> int:
                 store.close()
             return 2
 
+    from .analysis.fault_families import (
+        FAMILY_MECHANISMS,
+        FAMILY_ORDER,
+        build_family_comparison,
+    )
+
+    if args.fault_family == "all":
+        families = [f for f in FAMILY_ORDER if f != "return"]
+    else:
+        families = [args.fault_family]
+
+    label = f"{config.workload} / {config.middleware.label}"
+    results = {}
     progress = CliProgress(out)
-    campaign = Campaign(config.workload, config.middleware,
-                        functions=functions, config=config.run_config(),
-                        jobs=jobs if jobs > 1 else None, store=store,
-                        progress=progress, prune=prune)
     try:
-        result = campaign.run()
+        for family in families:
+            mechanism = FAMILY_MECHANISMS[family]
+            campaign = Campaign(
+                config.workload, config.middleware,
+                # --functions names kernel32 exports; it only restricts
+                # the parameter/return spaces (io/resource enumerate
+                # their own op/resource axes).
+                functions=(functions if mechanism in ("parameter", "return")
+                           else None),
+                config=config.run_config(),
+                jobs=jobs if jobs > 1 else None, store=store,
+                progress=progress, mechanism=mechanism,
+                prune=prune if mechanism == "parameter" else None)
+            results[family] = campaign.run()
     finally:
         progress.finish()
         if store is not None:
             store.close()
-    dist = OutcomeDistribution.from_result(
-        f"{config.workload} / {config.middleware.label}", result)
-    print(dist.render(), file=out)
-    print(f"activated faults : {result.activated_count}", file=out)
-    print(f"failure coverage : {result.failure_coverage:.1%}", file=out)
-    print(f"skipped functions: {len(result.skipped_functions)}", file=out)
-    if store is not None:
-        print(f"resumed from store: {result.cached_count} cached, "
-              f"{result.executed_count} executed", file=out)
+
+    if len(results) > 1:
+        print(build_family_comparison(label, results).render(), file=out)
+        result = results[families[0]]
+    else:
+        result = results[families[0]]
+        dist = OutcomeDistribution.from_result(label, result)
+        print(dist.render(), file=out)
+    for family in families:
+        set_result = results[family]
+        prefix = f"[{family}] " if len(results) > 1 else ""
+        print(f"{prefix}activated faults : "
+              f"{set_result.activated_count}", file=out)
+        print(f"{prefix}failure coverage : "
+              f"{set_result.failure_coverage:.1%}", file=out)
+        print(f"{prefix}skipped functions: "
+              f"{len(set_result.skipped_functions)}", file=out)
+        if store is not None:
+            print(f"{prefix}resumed from store: "
+                  f"{set_result.cached_count} cached, "
+                  f"{set_result.executed_count} executed", file=out)
     if prune is not None:
         print(f"pruned by equivalence: {result.inferred_count} runs "
               f"inferred ({prune.fingerprint})", file=out)

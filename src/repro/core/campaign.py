@@ -122,7 +122,7 @@ class Campaign:
                  jobs: Optional[int] = None,
                  store=None,
                  prune=None):
-        if mechanism not in ("parameter", "return"):
+        if mechanism not in ("parameter", "return", "io", "resource"):
             raise ValueError(f"unknown injection mechanism {mechanism!r}")
         if backend is not None and jobs is not None:
             raise ValueError("pass either backend or jobs, not both")
@@ -151,6 +151,16 @@ class Campaign:
 
             return generate_return_fault_list(
                 self.functions, self.fault_types, self.invocations)
+        if self.mechanism == "io":
+            from .windowed import generate_io_fault_list
+
+            # ``functions`` restricts the op set here, mirroring how it
+            # restricts the export set for parameter faults.
+            return generate_io_fault_list(ops=self.functions)
+        if self.mechanism == "resource":
+            from .windowed import generate_resource_fault_list
+
+            return generate_resource_fault_list(resources=self.functions)
         return generate_fault_list(self.functions, self.fault_types,
                                    self.invocations,
                                    registry=self.workload.registry)

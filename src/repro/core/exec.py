@@ -240,7 +240,17 @@ def run_plan(plan: CampaignPlan, workload: WorkloadSpec,
         dispatch([plan.profile_task], count=False)
         execution.profile_run = results[plan.profile_task.task_id]
         called = set(execution.profile_run.called_functions)
-        eligible = [name for name in plan.functions if name in called]
+
+        def gated(name: str) -> bool:
+            # A fault may name the export whose presence in the profile
+            # run's called set gates its probe (``profile_gate``); None
+            # means always probe — transport ops and resource pressure
+            # have no kernel32 footprint to gate on.  Parameter faults
+            # gate on their own function name, as before.
+            gate = getattr(plan.probes[name].fault, "profile_gate", name)
+            return gate is None or gate in called
+
+        eligible = [name for name in plan.functions if gated(name)]
         execution.skipped_functions = set(plan.functions) - set(eligible)
 
     execution.total = sum(1 + len(plan.releases[name])

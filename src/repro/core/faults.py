@@ -1,13 +1,28 @@
-"""Fault model: parameter-value corruption.
+"""Fault model: parameter-value corruption and sustained fault windows.
 
 Section 4 of the paper: *"For each function, each function parameter
 was injected with three types of faults: (1) reset all bits to zero,
 (2) set all bits to one, and (3) flip all bits (i.e., one's complement
 for the parameter value)."*
 
-A fault is identified by (function, parameter index, invocation index,
-fault type); applying it rewrites the raw 32-bit argument word at the
-library-call boundary.
+A parameter fault is identified by (function, parameter index,
+invocation index, fault type); applying it rewrites the raw 32-bit
+argument word at the library-call boundary.
+
+Two further fault families extend the space below the call boundary
+(the failure modes field studies attribute to the environment rather
+than the application's own arguments):
+
+- :class:`IoFault` — errno-style failures (EIO/ENOSPC/EACCES), short
+  reads / partial writes and per-call latency on the file API, plus
+  connection refuse/reset/latency on the transport;
+- :class:`ResourceFault` — memory pressure, handle-table exhaustion
+  and CPU starvation via a scheduler tax.
+
+Unlike a parameter fault, which corrupts one invocation, both carry a
+:class:`FaultWindow`: the fault is *sustained* over a span of the
+target role's call sequence (``[start_call, end_call)``) or of sim
+time (``[start, end)`` seconds).
 """
 
 from __future__ import annotations
@@ -86,3 +101,252 @@ class FaultSpec:
         function, param_index, fault_type, invocation = parts
         return cls(function, int(param_index), FaultType(fault_type),
                    int(invocation))
+
+
+# ----------------------------------------------------------------------
+# Sustained fault windows
+# ----------------------------------------------------------------------
+WINDOW_UNITS = ("calls", "time")
+
+
+def _number_token(value) -> str:
+    """Canonical text for a window/severity number (``5``, ``0.5``)."""
+    return f"{value:g}"
+
+
+class FaultWindow:
+    """The activity span of a sustained fault.
+
+    ``unit="calls"``: active while the target role's 1-based
+    interception call index lies in ``[start, end)`` — the window
+    opens *before* call ``start`` is processed and closes before call
+    ``end``.  ``unit="time"``: active for sim time ``[start, end)``
+    seconds.  Windows are always finite, so every activation has a
+    matching deactivation within a completed run.
+    """
+
+    __slots__ = ("unit", "start", "end")
+
+    def __init__(self, unit: str = "calls", start=1, end=100):
+        if unit not in WINDOW_UNITS:
+            raise ValueError(f"unknown window unit {unit!r} "
+                             f"(legal: {', '.join(WINDOW_UNITS)})")
+        if unit == "calls":
+            start, end = int(start), int(end)
+            if start < 1:
+                raise ValueError(f"call window must start at >= 1, "
+                                 f"got {start}")
+        else:
+            start, end = float(start), float(end)
+            if start < 0.0:
+                raise ValueError(f"time window must start at >= 0, "
+                                 f"got {start}")
+        if end <= start:
+            raise ValueError(f"empty window [{start}, {end})")
+        self.unit = unit
+        self.start = start
+        self.end = end
+
+    @property
+    def key(self) -> tuple:
+        return (self.unit, self.start, self.end)
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, FaultWindow) and self.key == other.key
+
+    def __hash__(self) -> int:
+        return hash(self.key)
+
+    def __repr__(self) -> str:
+        return f"<Window {self.unit} {self.start}..{self.end}>"
+
+    def to_token(self) -> str:
+        """Canonical text form: ``calls@1-100``, ``time@5-60``."""
+        return (f"{self.unit}@{_number_token(self.start)}"
+                f"-{_number_token(self.end)}")
+
+    @classmethod
+    def from_token(cls, token: str) -> "FaultWindow":
+        try:
+            unit, span = token.split("@", 1)
+            start, end = span.split("-", 1)
+        except ValueError:
+            raise ValueError(f"malformed window token {token!r}") from None
+        return cls(unit, float(start), float(end))
+
+
+# ----------------------------------------------------------------------
+# I/O-path faults
+# ----------------------------------------------------------------------
+IO_MODES = ("error", "short", "delay")
+
+# errno-style failure names and the ops each may target.  File ops are
+# kernel32 exports; ``net.*`` ops name the transport fabric itself.
+FILE_IO_OPS = ("CreateFileA", "ReadFile", "WriteFile")
+NET_IO_OPS = ("net.connect", "net.send", "net.recv")
+IO_OPS = FILE_IO_OPS + NET_IO_OPS
+
+FILE_ERRNOS = ("EIO", "ENOSPC", "EACCES")
+NET_ERRNOS = ("ECONNREFUSED", "ECONNRESET")
+IO_ERRNOS = FILE_ERRNOS + NET_ERRNOS
+
+# The sensible error set per op (what the default fault list enumerates
+# and what the lint fault-space rule accepts for ERROR mode).
+IO_ERROR_CHOICES = {
+    "CreateFileA": ("EACCES", "ENOSPC"),
+    "ReadFile": ("EIO",),
+    "WriteFile": ("EIO", "ENOSPC"),
+    "net.connect": ("ECONNREFUSED",),
+    "net.send": ("ECONNRESET",),
+    "net.recv": ("ECONNRESET",),
+}
+
+# Ops whose byte-count argument a SHORT fault truncates.
+SHORT_IO_OPS = ("ReadFile", "WriteFile")
+
+
+class IoFault:
+    """One sustained I/O-path fault.
+
+    ``mode="error"``: every targeted op inside the window fails with
+    the Win32 mapping of ``value`` (an errno name); ``mode="short"``:
+    the op's byte count is truncated to ``floor(count * value)``
+    (short read / partial write); ``mode="delay"``: every targeted op
+    takes ``value`` extra sim-seconds.  All effects are deterministic
+    — no random draws — so runs stay bit-reproducible.
+    """
+
+    __slots__ = ("op", "mode", "value", "window")
+
+    def __init__(self, op: str, mode: str, value,
+                 window: "FaultWindow" = None):
+        if op not in IO_OPS:
+            raise ValueError(f"unknown io op {op!r} "
+                             f"(legal: {', '.join(IO_OPS)})")
+        if mode not in IO_MODES:
+            raise ValueError(f"unknown io fault mode {mode!r} "
+                             f"(legal: {', '.join(IO_MODES)})")
+        if mode == "error":
+            if value not in IO_ERRNOS:
+                raise ValueError(f"unknown errno {value!r} "
+                                 f"(legal: {', '.join(IO_ERRNOS)})")
+            legal = IO_ERROR_CHOICES.get(op)
+            if legal is not None and value not in legal:
+                raise ValueError(f"{op} cannot fail with {value} "
+                                 f"(legal: {', '.join(legal)})")
+            if op in NET_IO_OPS and value not in NET_ERRNOS:
+                raise ValueError(f"{op} needs a network errno, got {value}")
+            if op not in NET_IO_OPS and value in NET_ERRNOS:
+                raise ValueError(f"{op} cannot raise network errno {value}")
+        elif mode == "short":
+            if op not in SHORT_IO_OPS:
+                raise ValueError(f"short I/O applies to "
+                                 f"{', '.join(SHORT_IO_OPS)}; got {op!r}")
+            value = float(value)
+            if not 0.0 <= value < 1.0:
+                raise ValueError(f"short ratio must be in [0, 1), "
+                                 f"got {value}")
+        else:  # delay
+            value = float(value)
+            if value <= 0.0:
+                raise ValueError(f"delay must be positive, got {value}")
+        self.op = op
+        self.mode = mode
+        self.value = value
+        self.window = window if window is not None else FaultWindow()
+
+    # ------------------------------------------------------------------
+    @property
+    def function(self) -> str:
+        """Planner grouping name — the targeted op."""
+        return self.op
+
+    @property
+    def profile_gate(self):
+        """The kernel32 export whose presence in the profile run's
+        called set gates this fault's probe (None: always probe).
+        Transport ops have no kernel32 footprint, so they probe
+        unconditionally."""
+        return None if self.op in NET_IO_OPS else self.op
+
+    @property
+    def key(self) -> tuple:
+        return ("io", self.op, self.mode, self.value) + self.window.key
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, IoFault) and self.key == other.key
+
+    def __hash__(self) -> int:
+        return hash(self.key)
+
+    def __repr__(self) -> str:
+        return (f"<IoFault {self.op} {self.mode}={self.value} "
+                f"{self.window.to_token()}>")
+
+
+# ----------------------------------------------------------------------
+# Resource-exhaustion faults
+# ----------------------------------------------------------------------
+RESOURCE_KINDS = ("memory", "handles", "cpu")
+
+
+class ResourceFault:
+    """One sustained resource-exhaustion fault.
+
+    ``resource="memory"``: a fraction ``severity`` of the target
+    role's heap/virtual allocations fail with
+    ``ERROR_NOT_ENOUGH_MEMORY`` while the window is open (1.0: every
+    allocation).  ``resource="handles"``: the same fraction of
+    handle-allocating calls (``Create*``/``Open*``/...) fail with
+    ``ERROR_NO_SYSTEM_RESOURCES`` — exhaustion modelled at the API
+    boundary, where a full handle table surfaces.  ``resource="cpu"``:
+    a scheduler tax — CPU-bound service times are multiplied by
+    ``severity`` (> 1) for the window's duration.
+
+    Sub-1.0 severities are applied with a deterministic error-diffusion
+    counter (the first ``n`` affected operations fail exactly
+    ``floor(n * severity)`` times), never a random draw.
+    """
+
+    __slots__ = ("resource", "severity", "window")
+
+    def __init__(self, resource: str, severity, window: "FaultWindow" = None):
+        if resource not in RESOURCE_KINDS:
+            raise ValueError(f"unknown resource {resource!r} "
+                             f"(legal: {', '.join(RESOURCE_KINDS)})")
+        severity = float(severity)
+        if resource == "cpu":
+            if severity <= 1.0:
+                raise ValueError(f"cpu tax must exceed 1.0, got {severity}")
+        elif not 0.0 < severity <= 1.0:
+            raise ValueError(f"{resource} severity must be in (0, 1], "
+                             f"got {severity}")
+        self.resource = resource
+        self.severity = severity
+        self.window = window if window is not None else FaultWindow()
+
+    # ------------------------------------------------------------------
+    @property
+    def function(self) -> str:
+        """Planner grouping name (synthetic — not a kernel32 export)."""
+        return f"resource:{self.resource}"
+
+    @property
+    def profile_gate(self):
+        """Resource pressure has no single gating export: probe
+        unconditionally and let activation decide."""
+        return None
+
+    @property
+    def key(self) -> tuple:
+        return ("resource", self.resource, self.severity) + self.window.key
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, ResourceFault) and self.key == other.key
+
+    def __hash__(self) -> int:
+        return hash(self.key)
+
+    def __repr__(self) -> str:
+        return (f"<ResourceFault {self.resource} x{self.severity:g} "
+                f"{self.window.to_token()}>")

@@ -19,9 +19,10 @@ from ..nt.machine import Machine
 from ..sim import derive_seed
 from ..trace import TraceLevel, Tracer
 from .collector import RunResult, collect
-from .faults import FaultSpec
+from .faults import FaultSpec, IoFault, ResourceFault
 from .injector import Injector
 from .return_injector import ReturnFaultSpec, ReturnInjector
+from .windowed import IoInjector, ResourceInjector
 from .workload import MiddlewareKind, WorkloadSpec
 
 # Operational timeouts (virtual seconds), from the main config file in
@@ -75,6 +76,13 @@ def arm_fault(machine: Machine, workload: WorkloadSpec, fault):
         injector = ReturnInjector(fault,
                                   target_role=workload.target_role)
         machine.interception.add_return_hook(injector)
+    elif isinstance(fault, IoFault):
+        injector = IoInjector(fault, target_role=workload.target_role)
+        injector.install(machine)
+    elif isinstance(fault, ResourceFault):
+        injector = ResourceInjector(fault,
+                                    target_role=workload.target_role)
+        injector.install(machine)
     else:
         injector = Injector(fault, target_role=workload.target_role,
                             registry=workload.registry)
@@ -100,14 +108,27 @@ def execute_run(workload: WorkloadSpec, middleware: MiddlewareKind,
                     middleware=middleware.value, seed=machine.seed,
                     watchd_version=config.watchd_version)
         if fault is not None:
-            armed = {"function": fault.function,
-                     "fault_type": fault.fault_type.value,
-                     "invocation": fault.invocation}
-            if isinstance(fault, ReturnFaultSpec):
-                armed["mechanism"] = "return"
+            armed = {"function": fault.function}
+            if isinstance(fault, IoFault):
+                armed.update(mechanism="io", op=fault.op,
+                             mode=fault.mode, value=fault.value)
+            elif isinstance(fault, ResourceFault):
+                armed.update(mechanism="resource", resource=fault.resource,
+                             severity=fault.severity)
+            elif isinstance(fault, ReturnFaultSpec):
+                armed.update(mechanism="return",
+                             fault_type=fault.fault_type.value,
+                             invocation=fault.invocation)
             else:
-                armed["mechanism"] = "parameter"
-                armed["param_index"] = fault.param_index
+                armed.update(mechanism="parameter",
+                             param_index=fault.param_index,
+                             fault_type=fault.fault_type.value,
+                             invocation=fault.invocation)
+            window = getattr(fault, "window", None)
+            if window is not None:
+                armed.update(window_unit=window.unit,
+                             window_start=window.start,
+                             window_end=window.end)
             tracer.emit(0.0, "fault", "armed", **armed)
     workload.setup(machine)
 
@@ -145,6 +166,10 @@ def execute_run(workload: WorkloadSpec, middleware: MiddlewareKind,
             if process.alive:
                 process.terminate(exit_code=0)
     _graceful_shutdown(machine)
+    # A sustained-fault window still open at teardown is closed here so
+    # its activation trace event always has a deactivation pair.
+    if injector is not None and hasattr(injector, "finalize"):
+        injector.finalize()
     result = collect(
         machine=machine,
         workload=workload,

@@ -122,7 +122,13 @@ def dynamic_census_from_stores(paths: Sequence[str]) -> dict:
                 bucket.update(result.called_functions)
                 fault = getattr(result, "fault", None)
                 if fault is not None and getattr(result, "activated",
-                                                 False):
+                                                 False) \
+                        and not hasattr(fault, "window"):
+                    # Windowed faults (io/resource) activate through
+                    # transport ops or synthetic resource axes, not
+                    # through a kernel32 export the call graph could
+                    # predict — contributing their .function here would
+                    # fabricate unexplained activations.
                     bucket.add(fault.function)
     return table
 
@@ -186,7 +192,8 @@ class CensusReport:
         return {
             "fault_space": {key: totals[key] for key in
                             ("exports", "zero_param", "injectable",
-                             "param_faults")},
+                             "param_faults", "io_faults",
+                             "resource_faults")},
             "roles": [self.roles[role].to_json()
                       for role in sorted(self.roles)],
             "clean": self.clean,
@@ -205,7 +212,9 @@ class CensusReport:
             f"fault space: {totals['exports']} exports, "
             f"{totals['zero_param']} zero-param, "
             f"{totals['injectable']} injectable, "
-            f"{totals['param_faults']} parameter faults",
+            f"{totals['param_faults']} parameter faults, "
+            f"{totals['io_faults']} io faults, "
+            f"{totals['resource_faults']} resource faults",
         ]
         for role in sorted(self.roles):
             census = self.roles[role]

@@ -23,7 +23,7 @@ from __future__ import annotations
 import ast
 from typing import Iterable, Iterator, Optional
 
-from ..core.faults import FaultType
+from ..core.faults import FaultType, FaultWindow, IoFault, ResourceFault
 from ..nt.kernel32.signatures import REGISTRY
 from .core import FaultListFile, Finding, ParsedModule, Rule, iter_functions, suggest, walk_in_scope
 
@@ -31,6 +31,14 @@ RULE = "fault-space"
 
 _FAULT_TYPE_VALUES = {fault_type.value for fault_type in FaultType}
 _FAULT_TYPE_NAMES = {fault_type.name for fault_type in FaultType}
+
+# Sustained-fault literals the rule validates by construction: the spec
+# type plus its positional parameter names.
+_FAMILY_SPECS = {
+    "IoFault": (IoFault, ("op", "mode", "value", "window")),
+    "ResourceFault": (ResourceFault, ("resource", "severity", "window")),
+    "FaultWindow": (FaultWindow, ("unit", "start", "end")),
+}
 
 
 def _validate_fault(path: str, line: int, function: str,
@@ -128,6 +136,9 @@ class FaultSpaceRule(Rule):
         func = call.func
         if isinstance(func, ast.Name) and func.id == "FaultSpec":
             yield from self._check_constructor(module, symbol, call)
+        elif isinstance(func, ast.Name) and func.id in _FAMILY_SPECS:
+            yield from self._check_family_literal(module, symbol, call,
+                                                  func.id)
         elif isinstance(func, ast.Attribute) and func.attr == "from_line" \
                 and isinstance(func.value, ast.Name) \
                 and func.value.id == "FaultSpec":
@@ -183,6 +194,66 @@ class FaultSpaceRule(Rule):
         yield from _validate_fault(module.path, call.lineno, parts[0],
                                    param_index, parts[2], invocation,
                                    symbol=symbol)
+
+    # ------------------------------------------------------------------
+    # Sustained fault families (IoFault / ResourceFault / FaultWindow)
+    # ------------------------------------------------------------------
+    def _check_family_literal(self, module: ParsedModule, symbol: str,
+                              call: ast.Call,
+                              name: str) -> Iterator[Finding]:
+        """Validate an inline sustained-fault literal by constructing
+        the real spec: the spec constructors already encode every rule
+        (legal op/errno combinations, window bounds, severity ranges),
+        so lint defers to them instead of duplicating the table."""
+        spec_type, param_names = _FAMILY_SPECS[name]
+        values, dynamic = self._literal_arguments(call, param_names)
+        if dynamic:
+            return  # dynamic arguments: runtime validation owns them
+        try:
+            spec_type(**values)
+        except TypeError:
+            return  # wrong arity/keywords: Python itself reports this
+        except ValueError as exc:
+            yield Finding(RULE, module.path, call.lineno,
+                          f"invalid {name}: {exc}", symbol=symbol)
+
+    def _literal_arguments(self, call: ast.Call,
+                           param_names: tuple[str, ...]):
+        """(keyword → constant value, any_dynamic) for a spec call.
+
+        A nested ``FaultWindow(...)`` literal is evaluated recursively;
+        any argument that is not a compile-time constant marks the call
+        dynamic.
+        """
+        nodes: dict[str, ast.AST] = {}
+        for position, arg in enumerate(call.args):
+            if position < len(param_names):
+                nodes[param_names[position]] = arg
+        for keyword in call.keywords:
+            if keyword.arg:
+                nodes[keyword.arg] = keyword.value
+        values: dict[str, object] = {}
+        for key, node in nodes.items():
+            if isinstance(node, ast.Constant) \
+                    and isinstance(node.value, (str, int, float)):
+                values[key] = node.value
+            elif isinstance(node, ast.Call) \
+                    and isinstance(node.func, ast.Name) \
+                    and node.func.id == "FaultWindow":
+                inner, dynamic = self._literal_arguments(
+                    node, _FAMILY_SPECS["FaultWindow"][1])
+                if dynamic:
+                    return {}, True
+                try:
+                    values[key] = FaultWindow(**inner)
+                except (TypeError, ValueError):
+                    # The nested window is invalid; the module walk
+                    # visits that FaultWindow call on its own, so the
+                    # error is reported there, once.
+                    return {}, True
+            else:
+                return {}, True
+        return values, False
 
     # ------------------------------------------------------------------
     @staticmethod

@@ -46,6 +46,14 @@ class _Reset:
 RESET = _Reset()
 
 
+def _server_role(connection: "Connection") -> Optional[str]:
+    """Role owning the server side of a connection — the identity an
+    I/O fault on the transport is scoped by (faults target the
+    workload's server role, so only its connections degrade)."""
+    owner = connection._server_owner
+    return owner.role if owner is not None else None
+
+
 class Side(enum.Enum):
     CLIENT = "client"
     SERVER = "server"
@@ -243,6 +251,15 @@ class Transport:
         listener = self._listeners.get(port)
         if listener is None or not listener.open or not listener.owner.alive:
             return None  # connection refused
+        fault = self.machine.pressure.net
+        if fault is not None and fault.affects_net("net.connect",
+                                                   listener.owner.role):
+            if fault.mode == "delay":
+                yield Sleep(fault.value)
+                fault.record_impact()
+            else:  # ECONNREFUSED: the listener's host path is down
+                fault.record_impact()
+                return None
         connection = Connection(port)
         connection.bind(Side.CLIENT, client)
         connection.bind(Side.SERVER, listener.owner)
@@ -257,9 +274,20 @@ class Transport:
         """Queue a message for the peer; delivered after the latency."""
         if not connection.open:
             return False
+        latency = self.latency
+        fault = self.machine.pressure.net
+        if fault is not None and fault.affects_net(
+                "net.send", _server_role(connection)):
+            if fault.mode == "delay":
+                latency += fault.value
+                fault.record_impact()
+            else:  # ECONNRESET: the segment bounces, tearing the pipe
+                fault.record_impact()
+                connection.reset()
+                return False
         peer = Side.SERVER if sender is Side.CLIENT else Side.CLIENT
         self.machine.engine.schedule(
-            self.latency, self._deliver, connection, peer, message,
+            latency, self._deliver, connection, peer, message,
         )
         return True
 
@@ -272,6 +300,15 @@ class Transport:
     def recv(self, connection: Connection, side: Side,
              timeout: Optional[float] = None):
         """Wait for the next message; TIMED_OUT or RESET on failure."""
+        fault = self.machine.pressure.net
+        if fault is not None and connection.open and fault.affects_net(
+                "net.recv", _server_role(connection)):
+            if fault.mode == "delay":
+                yield Sleep(fault.value)
+                fault.record_impact()
+            else:  # ECONNRESET: the wait completes with a torn pipe
+                fault.record_impact()
+                connection.reset()
         inbox = (connection._client_inbox if side is Side.CLIENT
                  else connection._server_inbox)
         if not connection.open:

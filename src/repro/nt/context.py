@@ -38,7 +38,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Any
 
 from ..sim import Sleep
-from .interception import CallRecord
+from .interception import CallOverride, CallRecord
 from .kernel32 import runtime
 from .kernel32.signatures import REGISTRY, FunctionSig
 from .memory import MASK32, ArgKind, DecodedArg
@@ -127,15 +127,21 @@ def build_call_handler(ctx: "Win32Context", sig: FunctionSig):
             else:
                 raw_list.append(encode(value))
         raw_args = tuple(raw_list)
-        # --- 2. interception: hooks may rewrite the raw words --------
+        # --- 2. interception: hooks may rewrite the raw words, or ----
+        # preempt the call outright (a CallOverride: I/O and resource
+        # faults fail or delay the call without touching its arguments)
         invocation = per_pid.get(name, 0) + 1
         per_pid[name] = invocation
         injected = False
+        override = None
         if hooks:
             for hook in hooks:
                 replacement = hook.on_call(process, sig, invocation, raw_args)
                 if replacement is not None:
-                    raw_args = replacement
+                    if replacement.__class__ is CallOverride:
+                        override = replacement
+                    else:
+                        raw_args = replacement
                     injected = True
         called_add(name)
         call_counts[name] = call_counts.get(name, 0) + 1
@@ -147,6 +153,16 @@ def build_call_handler(ctx: "Win32Context", sig: FunctionSig):
             trace_append(CallRecord(
                 engine.now, pid, role, name, invocation, injected,
             ))
+        if override is not None:
+            if override.delay > 0.0:
+                yield Sleep(override.delay)
+            if override.skip:
+                process.last_error = override.last_error
+                result = override.result
+                if not return_hooks:
+                    if tracer is None or not tracer.calls_enabled:
+                        return result
+                return interception.dispatch_return(process, sig, result)
         # --- 3. decode: raw words back against the declared types ----
         decoded = []
         if has_pointers:
@@ -219,8 +235,11 @@ class Win32Context:
         return self.machine.engine.now
 
     def compute(self, seconds: float):
-        """Model CPU-bound work; scales with the machine's clock speed."""
-        yield Sleep(seconds * self.machine.cpu_scale)
+        """Model CPU-bound work; scales with the machine's clock speed
+        and with any active CPU-starvation tax (a resource fault)."""
+        machine = self.machine
+        yield Sleep(seconds * machine.cpu_scale
+                    * machine.pressure.cpu_tax(self.process.role))
 
     def log_debug(self, message: str) -> None:
         """Program-side diagnostics kept on the machine for tests."""
@@ -246,7 +265,20 @@ class Win32Context:
         machine = self.machine
         space = machine.address_space
         raw_args = tuple(map(space.encode, sem_args))
-        raw_args = machine.interception.dispatch(self.process, sig, raw_args)
+        raw_args, override = machine.interception.dispatch(
+            self.process, sig, raw_args)
+        interception = machine.interception
+        if override is not None:
+            if override.delay > 0.0:
+                yield Sleep(override.delay)
+            if override.skip:
+                self.process.last_error = override.last_error
+                result = override.result
+                if not interception.return_hooks:
+                    tracer = machine.tracer
+                    if tracer is None or not tracer.calls_enabled:
+                        return result
+                return interception.dispatch_return(self.process, sig, result)
         decoded = list(map(space.decode, raw_args, sig.pointer_flags))
         frame = runtime.Frame(machine, self.process, sig, decoded)
         impl, blocking = _resolve_impl(sig)

@@ -29,7 +29,9 @@ ERROR_INVALID_HANDLE = 6
 ERROR_NOT_ENOUGH_MEMORY = 8
 ERROR_INVALID_DATA = 13
 ERROR_OUTOFMEMORY = 14
+ERROR_GEN_FAILURE = 31        # EIO: a device attached to the system failed
 ERROR_INVALID_PARAMETER = 87
+ERROR_DISK_FULL = 112         # ENOSPC: not enough space on the disk
 ERROR_INSUFFICIENT_BUFFER = 122
 ERROR_INVALID_NAME = 123
 ERROR_MOD_NOT_FOUND = 126
@@ -49,6 +51,7 @@ ERROR_SERVICE_NOT_ACTIVE = 1062
 ERROR_EXCEPTION_IN_SERVICE = 1064
 ERROR_SERVICE_SPECIFIC_ERROR = 1066
 ERROR_SERVICE_DOES_NOT_EXIST = 1060
+ERROR_NO_SYSTEM_RESOURCES = 1450  # a full handle table surfaces as this
 ERROR_TIMEOUT = 1460
 
 # Wait function return values (not errors, but the same numeric space).

@@ -25,6 +25,34 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from .process_manager import NTProcess
 
 
+class CallOverride:
+    """A hook's decision to preempt a call instead of rewriting it.
+
+    With ``skip`` (the default) the implementation never runs: the
+    process's last-error slot is set to ``last_error`` and ``result``
+    is returned to the caller — how an I/O fault makes ``WriteFile``
+    fail with ``ERROR_DISK_FULL`` without corrupting any argument.
+    With ``skip=False`` only ``delay`` applies: the call blocks for
+    that many sim-seconds and then proceeds normally (per-call
+    latency).  ``delay`` is honoured in both cases, before the skip.
+    """
+
+    __slots__ = ("result", "last_error", "delay", "skip")
+
+    def __init__(self, result: int = 0, last_error: int = 0,
+                 delay: float = 0.0, skip: bool = True):
+        self.result = result
+        self.last_error = last_error
+        self.delay = delay
+        self.skip = skip
+
+    def __repr__(self) -> str:
+        if self.skip:
+            return (f"<CallOverride result={self.result} "
+                    f"last_error={self.last_error}>")
+        return f"<CallOverride delay={self.delay}>"
+
+
 class CallHook(Protocol):
     """Interface for interception hooks (the fault injector)."""
 
@@ -33,7 +61,8 @@ class CallHook(Protocol):
         """Observe/rewrite one call.
 
         ``invocation`` is 1-based and counted per (process, function).
-        Return replacement raw args, or None to leave them unchanged.
+        Return replacement raw args, a :class:`CallOverride` to
+        preempt or delay the call, or None to leave it unchanged.
         """
 
 
@@ -110,8 +139,13 @@ class InterceptionLayer:
     # Dispatch
     # ------------------------------------------------------------------
     def dispatch(self, process: "NTProcess", sig: FunctionSig,
-                 raw_args: tuple[int, ...]) -> tuple[int, ...]:
-        """Run hooks over one call; returns the (possibly corrupted) args."""
+                 raw_args: tuple[int, ...]):
+        """Run hooks over one call.
+
+        Returns ``(raw_args, override)`` — the possibly corrupted
+        argument words plus the last :class:`CallOverride` any hook
+        issued (None when the call proceeds normally).
+        """
         name = sig.name
         per_pid = self._invocations.get(process.pid)
         if per_pid is None:
@@ -120,10 +154,14 @@ class InterceptionLayer:
         per_pid[name] = invocation
 
         injected = False
+        override = None
         for hook in self.hooks:
             replacement = hook.on_call(process, sig, invocation, raw_args)
             if replacement is not None:
-                raw_args = replacement
+                if replacement.__class__ is CallOverride:
+                    override = replacement
+                else:
+                    raw_args = replacement
                 injected = True
 
         called = self._called_by_role.get(process.role)
@@ -142,7 +180,7 @@ class InterceptionLayer:
                 process.machine.engine.now, process.pid, process.role,
                 sig.name, invocation, injected,
             ))
-        return raw_args
+        return raw_args, override
 
     def dispatch_return(self, process: "NTProcess", sig: FunctionSig,
                         result):

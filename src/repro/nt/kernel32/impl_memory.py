@@ -68,6 +68,10 @@ def heap_destroy(frame: Frame) -> int:
 def _alloc(frame: Frame, heap: HeapObject, size: int) -> int:
     if size > _MAX_SANE_ALLOCATION:
         return frame.fail(ERROR_NOT_ENOUGH_MEMORY, 0)
+    if frame.machine.pressure.deny_alloc(frame.process.role):
+        # A sustained memory-pressure fault window is open: the
+        # allocation fails exactly as an exhausted heap would.
+        return frame.fail(ERROR_NOT_ENOUGH_MEMORY, 0)
     block = Buffer(b"\0" * size, label="heap-block")
     address = frame.machine.address_space.intern(block)
     heap.allocations.add(address)
@@ -216,6 +220,8 @@ def virtual_alloc(frame: Frame) -> int:
     frame.uint(2)
     frame.uint(3)
     if size == 0 or size > _MAX_SANE_ALLOCATION:
+        return frame.fail(ERROR_NOT_ENOUGH_MEMORY, 0)
+    if frame.machine.pressure.deny_alloc(frame.process.role):
         return frame.fail(ERROR_NOT_ENOUGH_MEMORY, 0)
     block = Buffer(b"\0" * size, label="virtual")
     return frame.succeed(frame.machine.address_space.intern(block))

@@ -21,6 +21,7 @@ from .filesystem import FileSystem
 from .handles import HandleTable
 from .interception import InterceptionLayer
 from .memory import AddressSpace
+from .pressure import PressureState
 from .process_manager import NTProcess, ProcessManager
 from .scm import ServiceControlManager
 
@@ -53,6 +54,9 @@ class Machine:
         self.scm = ServiceControlManager(self, lock_enabled=scm_lock_enabled)
         self.eventlog = EventLog()
         self.transport = Transport(self)
+        # Sustained resource/I-O fault state (repro.nt.pressure); the
+        # allocator, CPU model and transport consult it inline.
+        self.pressure = PressureState()
         self.base_environment: dict[str, str] = {
             "SystemRoot": "C:\\WINNT",
             "COMPUTERNAME": "DTSTARGET",

@@ -1,0 +1,57 @@
+"""Machine-wide resource/I-O fault state.
+
+The windowed injectors (:mod:`repro.core.windowed`) toggle faults on
+and off here; the effect sites — the heap allocator, the CPU-time
+model, the transport fabric — consult this object on their own paths
+instead of scanning hook lists.  A machine with nothing armed pays one
+attribute test per consultation, which is what keeps the zero-armed
+campaign overhead inside the bench gate.
+
+Everything here is deterministic: severities below 1.0 are applied by
+the injector's error-diffusion counter, never a random draw, so runs
+remain bit-reproducible across serial/pool execution and kill+resume.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class PressureState:
+    """Active sustained faults, by effect site.
+
+    ``memory`` / ``cpu`` hold the arming :class:`ResourceInjector`
+    while its window is open (None otherwise); ``net`` holds the
+    arming :class:`IoInjector` for a transport-op fault.  The slots
+    are injectors, not specs, so every denied allocation and taxed
+    compute is credited back as an activation impact.
+    """
+
+    __slots__ = ("memory", "cpu", "net")
+
+    def __init__(self):
+        self.memory = None
+        self.cpu = None
+        self.net: Optional[object] = None
+
+    # ------------------------------------------------------------------
+    def deny_alloc(self, role: str) -> bool:
+        """Should this allocation by ``role`` fail under memory
+        pressure?  Consulted by the heap/virtual allocators."""
+        injector = self.memory
+        if injector is None:
+            return False
+        return injector.consume(role)
+
+    def cpu_tax(self, role: str) -> float:
+        """Service-time multiplier for CPU-bound work by ``role``
+        (1.0 when no starvation fault is active)."""
+        injector = self.cpu
+        if injector is None:
+            return 1.0
+        return injector.tax(role)
+
+    def __repr__(self) -> str:
+        armed = [name for name in self.__slots__
+                 if getattr(self, name) is not None]
+        return f"<PressureState armed={armed or 'none'}>"

@@ -69,8 +69,16 @@ class PosixContext:
                 f" got {len(sem_args)}")
         space = self.machine.address_space
         raw_args = tuple(space.encode(value) for value in sem_args)
-        raw_args = self.machine.interception.dispatch(self.process, sig,
-                                                      raw_args)
+        raw_args, override = self.machine.interception.dispatch(
+            self.process, sig, raw_args)
+        if override is not None:
+            if override.delay > 0.0:
+                yield Sleep(override.delay)
+            if override.skip:
+                # errno shares the last-error slot on the Linux port
+                self.process.last_error = override.last_error
+                return self.machine.interception.dispatch_return(
+                    self.process, sig, override.result)
         decoded = [
             space.decode(raw, spec.ptype.pointer_like)
             for raw, spec in zip(raw_args, sig.params)

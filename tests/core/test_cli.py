@@ -168,6 +168,56 @@ class TestRunExecutionOptions:
         assert store.exists()
 
 
+class TestRunFaultFamilies:
+    def _config_path(self, tmp_path):
+        from repro.core.config import DtsConfig
+
+        path = tmp_path / "dts.ini"
+        path.write_text(DtsConfig(workload="IIS").to_text())
+        return str(path)
+
+    def test_io_family_campaign(self, tmp_path):
+        code, text = _run(["run", "--config", self._config_path(tmp_path),
+                           "--fault-family", "io"])
+        assert code == 0
+        assert "IIS / Stand-alone" in text
+        assert "activated faults :" in text
+
+    def test_resource_family_campaign(self, tmp_path):
+        code, text = _run(["run", "--config", self._config_path(tmp_path),
+                           "--fault-family", "resource"])
+        assert code == 0
+        assert "activated faults :" in text
+        assert "failure" in text
+
+    def test_all_families_render_a_comparison(self, tmp_path):
+        # --functions restricts only the parameter axis; io/resource
+        # enumerate their own default spaces.
+        code, text = _run(["run", "--config", self._config_path(tmp_path),
+                           "--functions", "SetErrorMode,GetACP",
+                           "--fault-family", "all"])
+        assert code == 0
+        assert "Outcome distributions by fault family" in text
+        for family in ("param", "io", "resource"):
+            assert f"[{family}] activated faults :" in text
+
+    def test_family_store_checkpoints_and_resumes(self, tmp_path):
+        store = tmp_path / "family-runs.jsonl"
+        argv = ["run", "--config", self._config_path(tmp_path),
+                "--fault-family", "resource", "--store", str(store)]
+        code, first = _run(argv)
+        assert code == 0
+        assert store.exists()
+        code, second = _run(argv + ["--resume"])
+        assert code == 0
+        assert "0 executed" in second
+
+    def test_unknown_family_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            _run(["run", "--config", self._config_path(tmp_path),
+                  "--fault-family", "chaos"])
+
+
 def test_unknown_command_rejected():
     with pytest.raises(SystemExit):
         _run(["explode"])

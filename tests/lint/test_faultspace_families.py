@@ -1,0 +1,154 @@
+"""The fault-space rule over sustained-fault literals.
+
+Inline ``IoFault``/``ResourceFault``/``FaultWindow`` constructions with
+constant arguments get the same front-loaded validation as FaultSpec
+literals and fault-list lines: the rule constructs the real spec and
+converts its ValueError into a finding, so lint and runtime can never
+disagree about legality.
+"""
+
+import textwrap
+
+from repro.lint.faultspace import FaultSpaceRule
+
+RULES = [FaultSpaceRule()]
+
+
+def _findings(lint_source, body):
+    source = ("from repro.core.faults import "
+              "FaultWindow, IoFault, ResourceFault\n"
+              + textwrap.dedent(body))
+    return [finding for finding in lint_source(source, rules=RULES)
+            if finding.rule == "fault-space"]
+
+
+# ----------------------------------------------------------------------
+# Valid literals stay silent
+# ----------------------------------------------------------------------
+def test_valid_family_literals_are_clean(lint_source):
+    assert _findings(lint_source, """\
+        WINDOW = FaultWindow("calls", 1, 100)
+        FAULTS = [
+            IoFault("ReadFile", "error", "EIO", WINDOW),
+            IoFault("net.connect", "error", "ECONNREFUSED",
+                    FaultWindow("time", 5.0, 60.0)),
+            IoFault("WriteFile", "short", 0.5, FaultWindow("calls", 1, 9)),
+            ResourceFault("memory", 1.0, FaultWindow("time", 0.0, 30.0)),
+            ResourceFault("cpu", 8.0, WINDOW),
+        ]
+        """) == []
+
+
+def test_keyword_arguments_are_understood(lint_source):
+    assert _findings(lint_source, """\
+        FAULT = IoFault(op="net.send", mode="delay", value=0.25,
+                        window=FaultWindow(unit="time", start=1, end=2))
+        """) == []
+
+
+# ----------------------------------------------------------------------
+# Invalid literals become findings
+# ----------------------------------------------------------------------
+def test_wrong_errno_for_op_is_reported(lint_source):
+    findings = _findings(lint_source, """\
+        BAD = IoFault("ReadFile", "error", "ENOSPC",
+                      FaultWindow("calls", 1, 100))
+        """)
+    assert len(findings) == 1
+    assert "invalid IoFault" in findings[0].message
+    assert "ENOSPC" in findings[0].message
+
+
+def test_network_errno_on_file_op_is_reported(lint_source):
+    findings = _findings(lint_source, """\
+        BAD = IoFault("CreateFileA", "error", "ECONNRESET",
+                      FaultWindow("calls", 1, 100))
+        """)
+    assert len(findings) == 1
+    assert "invalid IoFault" in findings[0].message
+
+
+def test_short_ratio_out_of_bounds_is_reported(lint_source):
+    findings = _findings(lint_source, """\
+        BAD = IoFault("ReadFile", "short", 1.5,
+                      FaultWindow("calls", 1, 100))
+        """)
+    assert len(findings) == 1
+    assert "short ratio" in findings[0].message
+
+
+def test_cpu_severity_below_one_is_reported(lint_source):
+    findings = _findings(lint_source, """\
+        BAD = ResourceFault("cpu", 0.5, FaultWindow("calls", 1, 100))
+        """)
+    assert len(findings) == 1
+    assert "invalid ResourceFault" in findings[0].message
+    assert "cpu tax" in findings[0].message
+
+
+def test_unknown_resource_kind_is_reported(lint_source):
+    findings = _findings(lint_source, """\
+        BAD = ResourceFault("disk", 0.5, FaultWindow("calls", 1, 100))
+        """)
+    assert len(findings) == 1
+    assert "unknown resource" in findings[0].message
+
+
+def test_empty_window_is_reported_once_at_the_window(lint_source):
+    # The invalid window nested inside the IoFault call marks the
+    # IoFault dynamic; the standalone walk of the FaultWindow call
+    # itself carries the single finding.
+    findings = _findings(lint_source, """\
+        BAD = IoFault("ReadFile", "error", "EIO",
+                      FaultWindow("calls", 7, 7))
+        """)
+    assert len(findings) == 1
+    assert "invalid FaultWindow" in findings[0].message
+    assert "empty window" in findings[0].message
+
+
+def test_unknown_window_unit_is_reported(lint_source):
+    findings = _findings(lint_source, """\
+        BAD = FaultWindow("ticks", 1, 2)
+        """)
+    assert len(findings) == 1
+    assert "unknown window unit" in findings[0].message
+
+
+def test_finding_carries_the_enclosing_symbol(lint_source):
+    findings = _findings(lint_source, """\
+        def build():
+            return ResourceFault("memory", 2.0,
+                                 FaultWindow("calls", 1, 100))
+        """)
+    assert len(findings) == 1
+    assert findings[0].symbol == "build"
+
+
+# ----------------------------------------------------------------------
+# Dynamic constructions are left to runtime validation
+# ----------------------------------------------------------------------
+def test_dynamic_arguments_are_skipped(lint_source):
+    assert _findings(lint_source, """\
+        import os
+
+        def build(op, severity):
+            window = FaultWindow("calls", 1, int(os.environ["END"]))
+            return [
+                IoFault(op, "error", "EIO", FaultWindow("calls", 1, 10)),
+                ResourceFault("memory", severity,
+                              FaultWindow("calls", 1, 10)),
+                IoFault("ReadFile", "error", "EIO", window),
+            ]
+        """) == []
+
+
+def test_unrelated_same_name_calls_need_constants_to_fire(lint_source):
+    # A local helper coincidentally named IoFault with non-constant
+    # arguments must not crash or produce findings.
+    assert _findings(lint_source, """\
+        def IoFaultish(*args):
+            return args
+
+        X = IoFaultish("ReadFile", object(), [1, 2])
+        """) == []

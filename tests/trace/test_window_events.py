@@ -1,0 +1,177 @@
+"""Window semantics, pinned at the trace tier.
+
+A sustained fault's span is ``[start, end)``: this module asserts the
+half-open contract to the exact call index and the exact sim-time
+instant through the emitted ``fault.activated`` /
+``fault.deactivated`` events, and that every activation has its
+deactivation pair even when the window outlives the workload.
+"""
+
+from repro.core.faults import FaultWindow, IoFault, ResourceFault
+from repro.core.runner import RunConfig, execute_run
+from repro.core.workload import MiddlewareKind, get_workload
+from repro.trace.metrics import derive_metrics
+
+CONFIG = RunConfig(trace_level="outcome")
+
+
+def _run(fault, middleware=MiddlewareKind.NONE):
+    return execute_run(get_workload("IIS"), middleware, fault, CONFIG)
+
+
+def _window_events(result):
+    return [event for event in result.trace
+            if event.category == "fault"
+            and event.name in ("activated", "deactivated")]
+
+
+def _pair(result):
+    events = _window_events(result)
+    assert [event.name for event in events] == ["activated", "deactivated"]
+    return events
+
+
+# ----------------------------------------------------------------------
+# Call-indexed windows
+# ----------------------------------------------------------------------
+class TestCallWindows:
+    def test_activation_lands_exactly_on_the_start_index(self):
+        for start in (1, 3, 10):
+            result = _run(ResourceFault("memory", 1.0,
+                                        FaultWindow("calls", start, 500)))
+            activated, _ = _pair(result)
+            assert activated.data["call_index"] == start
+
+    def test_deactivation_lands_exactly_on_the_end_index(self):
+        result = _run(ResourceFault("memory", 1.0,
+                                    FaultWindow("calls", 1, 5)))
+        activated, deactivated = _pair(result)
+        assert activated.data["call_index"] == 1
+        assert deactivated.data["call_index"] == 5
+        assert deactivated.data["reason"] == "window"
+
+    def test_indices_count_target_role_calls_only(self):
+        # The call counter is the *server's* interception stream — the
+        # client and middleware make calls too, but a window over
+        # [1, 5) must close before the server's fifth call whatever
+        # the rest of the machine does.
+        result = _run(ResourceFault("memory", 1.0,
+                                    FaultWindow("calls", 1, 5)),
+                      middleware=MiddlewareKind.WATCHD)
+        _, deactivated = _pair(result)
+        assert deactivated.data["call_index"] == 5
+
+    def test_window_outliving_the_run_closes_at_run_end(self):
+        result = _run(ResourceFault("cpu", 8.0,
+                                    FaultWindow("calls", 1, 10_000)))
+        _, deactivated = _pair(result)
+        assert deactivated.data["reason"] == "run-end"
+        assert "call_index" not in deactivated.data
+
+    def test_never_opened_window_emits_nothing(self):
+        result = _run(ResourceFault("memory", 1.0,
+                                    FaultWindow("calls", 9_000, 10_000)))
+        assert _window_events(result) == []
+        assert not result.activated
+
+
+# ----------------------------------------------------------------------
+# Time windows
+# ----------------------------------------------------------------------
+class TestTimeWindows:
+    def test_events_fire_at_exactly_the_window_bounds(self):
+        window = FaultWindow("time", 5.0, 60.0)
+        result = _run(IoFault("net.recv", "error", "ECONNRESET", window))
+        activated, deactivated = _pair(result)
+        assert activated.time == window.start
+        assert deactivated.time == window.end
+        assert deactivated.data["reason"] == "window"
+
+    def test_time_events_carry_no_call_index(self):
+        result = _run(IoFault("net.recv", "error", "ECONNRESET",
+                              FaultWindow("time", 5.0, 60.0)))
+        for event in _window_events(result):
+            assert "call_index" not in event.data
+
+    def test_window_past_shutdown_closes_at_run_end(self):
+        result = _run(IoFault("net.connect", "delay", 0.5,
+                              FaultWindow("time", 0.0, 100_000.0)))
+        activated, deactivated = _pair(result)
+        assert activated.time == 0.0
+        assert deactivated.data["reason"] == "run-end"
+        assert deactivated.time < 100_000.0
+
+
+# ----------------------------------------------------------------------
+# Event payloads
+# ----------------------------------------------------------------------
+class TestEventPayloads:
+    def test_payload_identifies_the_spec_and_window(self):
+        window = FaultWindow("calls", 2, 40)
+        result = _run(IoFault("ReadFile", "error", "EIO", window))
+        activated, deactivated = _pair(result)
+        for event in (activated, deactivated):
+            assert event.data["mechanism"] == "io"
+            assert event.data["function"] == "ReadFile"
+            assert event.data["op"] == "ReadFile"
+            assert event.data["mode"] == "error"
+            assert event.data["value"] == "EIO"
+            assert (event.data["window_unit"], event.data["window_start"],
+                    event.data["window_end"]) == window.key
+
+    def test_resource_payload_carries_severity(self):
+        result = _run(ResourceFault("handles", 0.5,
+                                    FaultWindow("calls", 1, 200)))
+        activated, deactivated = _pair(result)
+        assert activated.data["mechanism"] == "resource"
+        assert activated.data["resource"] == "handles"
+        assert activated.data["severity"] == 0.5
+        assert deactivated.data["impacts"] > 0
+
+    def test_deactivation_reports_the_impact_count(self):
+        result = _run(ResourceFault("memory", 1.0,
+                                    FaultWindow("calls", 1, 500)))
+        _, deactivated = _pair(result)
+        assert deactivated.data["impacts"] > 0
+        assert result.activated
+
+    def test_untraced_runs_emit_no_window_events(self):
+        result = execute_run(get_workload("IIS"), MiddlewareKind.NONE,
+                             ResourceFault("memory", 1.0),
+                             RunConfig(trace_level="off"))
+        assert result.activated
+        assert not result.trace
+
+
+# ----------------------------------------------------------------------
+# Derived metrics
+# ----------------------------------------------------------------------
+class TestDetectionMetrics:
+    def test_calls_until_activation_comes_from_the_window_event(self):
+        result = _run(ResourceFault("memory", 1.0,
+                                    FaultWindow("calls", 7, 500)))
+        metrics = derive_metrics(result.trace)
+        assert metrics.calls_until_activation == 7
+        assert metrics.activated_function == "resource:memory"
+        assert metrics.activated_at is not None
+
+    def test_detection_latency_is_deterministic(self):
+        def measure():
+            result = _run(ResourceFault("memory", 1.0,
+                                        FaultWindow("time", 5.0, 120.0)),
+                          middleware=MiddlewareKind.WATCHD)
+            metrics = derive_metrics(result.trace)
+            return (metrics.activated_at, metrics.detected_at,
+                    metrics.time_to_detection)
+
+        first, second = measure(), measure()
+        assert first == second
+        assert first[0] == 5.0
+
+    def test_watchd_detects_sustained_memory_pressure(self):
+        result = _run(ResourceFault("memory", 1.0,
+                                    FaultWindow("time", 5.0, 120.0)),
+                      middleware=MiddlewareKind.WATCHD)
+        metrics = derive_metrics(result.trace)
+        assert metrics.time_to_detection is not None
+        assert metrics.time_to_detection > 0.0
