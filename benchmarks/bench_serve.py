@@ -1,0 +1,283 @@
+#!/usr/bin/env python
+"""Serve-path throughput: HTTP submissions and sharded-store appends.
+
+Not a paper artifact — this guards the cost of the campaign service
+layer.  Two numbers matter:
+
+- ``submissions_per_sec`` — full HTTP round trips through a live
+  daemon: POST a fully-cached campaign spec, poll it to ``done``.
+  Everything the service adds over the campaign machinery (routing,
+  JSON codec, job queue, status polling) is on this path; the
+  campaigns themselves are warm cache hits so the measured body is the
+  service, not the simulator.
+- ``sharded_appends_per_sec`` vs ``single_appends_per_sec`` — raw
+  ``put`` throughput of :class:`ShardedRunStore` against the
+  single-file :class:`RunStore` on the same entries.  Sharding exists
+  for multi-writer scale, not single-writer speed, but it must not tax
+  the common case: the gate fails when sharded appends drop more than
+  10% below the committed trend (``benchmarks/BENCH_serve.json``)::
+
+    python benchmarks/bench_serve.py --smoke -o out.json
+
+Re-record the trend when the machine class changes.  Under pytest it
+asserts behavioural invariants only (both store flavours hold the same
+entries, cached submissions execute nothing); wall-clock thresholds on
+shared CI runners are flaky, so the timing gates live in ``main()``.
+"""
+
+import argparse
+import json
+import os
+import shutil
+import tempfile
+import threading
+import time
+import urllib.request
+
+from repro.clients.record import AttemptResult, ClientRecord, RequestRecord
+from repro.core.collector import RunResult
+from repro.core.faults import FaultSpec, FaultType
+from repro.core.outcomes import FailureMode, Outcome
+from repro.core.store import RunStore, ShardedRunStore
+from repro.core.workload import MiddlewareKind
+from repro.serve import ReproServer
+
+FUNCTIONS = ["SetErrorMode", "CreateEventA", "CreateFileA"]
+CAMPAIGN = {"kind": "campaign", "workload": "IIS",
+            "functions": FUNCTIONS, "base_seed": 2000}
+DEFAULT_SUBMISSIONS = 40
+SMOKE_SUBMISSIONS = 10
+DEFAULT_APPENDS = 20000
+SMOKE_APPENDS = 4000
+REGRESSION_TOLERANCE = 0.10  # CI gate: >10% below trend fails
+
+TREND_PATH = os.path.join(os.path.dirname(__file__), "BENCH_serve.json")
+
+
+# ----------------------------------------------------------------------
+# Synthetic store entries (append benchmarks)
+# ----------------------------------------------------------------------
+def _synthetic_result(function: str, invocation: int) -> RunResult:
+    record = ClientRecord()
+    record.started_at = 0.0
+    record.finished_at = 21.5
+    request = RequestRecord("GET /index.html")
+    request.attempts = [AttemptResult.OK]
+    request.succeeded = True
+    record.requests.append(request)
+    return RunResult(
+        workload_name="IIS", middleware=MiddlewareKind.NONE,
+        fault=FaultSpec(function, 0, FaultType.ZERO, invocation),
+        activated=True, activated_as_noop=False,
+        outcome=Outcome.NORMAL_SUCCESS, failure_mode=FailureMode.NONE,
+        response_time=21.5, restarts_detected=0, retries_used=0,
+        server_came_up=True, called_functions={function},
+        client_record=record, watchd_version=3)
+
+
+def _entries(count: int):
+    functions = ["ReadFile", "CreateFileA", "CloseHandle", "SetEvent"]
+    return [("fp%04d" % (i % 97), _synthetic_result(
+        functions[i % len(functions)], i + 1)) for i in range(count)]
+
+
+def measure_appends(count: int) -> dict:
+    """Raw put() throughput: single-file vs sharded, same entries."""
+    entries = _entries(count)
+    tempdir = tempfile.mkdtemp(prefix="bench-serve-")
+    try:
+        single = RunStore(os.path.join(tempdir, "single.jsonl"))
+        started = time.perf_counter()
+        for fingerprint, result in entries:
+            single.put(fingerprint, result.fault, result)
+        single_elapsed = time.perf_counter() - started
+        single.close()
+
+        sharded = ShardedRunStore(os.path.join(tempdir, "sharded.d"),
+                                  segments=8)
+        started = time.perf_counter()
+        for fingerprint, result in entries:
+            sharded.put(fingerprint, result.fault, result)
+        sharded_elapsed = time.perf_counter() - started
+        sharded.close()
+    finally:
+        shutil.rmtree(tempdir, ignore_errors=True)
+    return {
+        "appends": count,
+        "single_seconds": round(single_elapsed, 4),
+        "single_appends_per_sec": round(count / single_elapsed, 1),
+        "sharded_seconds": round(sharded_elapsed, 4),
+        "sharded_appends_per_sec": round(count / sharded_elapsed, 1),
+        "sharded_vs_single": round(single_elapsed / sharded_elapsed, 3),
+    }
+
+
+# ----------------------------------------------------------------------
+# HTTP submission round trips
+# ----------------------------------------------------------------------
+def _request(base: str, method: str, path: str, body=None):
+    data = json.dumps(body).encode("utf-8") if body is not None else None
+    request = urllib.request.Request(base + path, data=data, method=method)
+    if data is not None:
+        request.add_header("Content-Type", "application/json")
+    with urllib.request.urlopen(request, timeout=30) as response:
+        return json.loads(response.read().decode("utf-8"))
+
+
+def measure_submissions(count: int) -> dict:
+    """POST→done round trips per second against a warm store."""
+    tempdir = tempfile.mkdtemp(prefix="bench-serve-")
+    try:
+        store = ShardedRunStore(os.path.join(tempdir, "store.d"),
+                                segments=8)
+        server = ReproServer(("127.0.0.1", 0), store, jobs=1)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            # Warm-up submission executes the campaign once; everything
+            # measured afterwards is a pure cache hit.
+            warm = _request(server.url, "POST", "/campaigns", CAMPAIGN)
+            final = _poll(server.url, warm["id"])
+            assert final["state"] == "done", final
+            executed = final["progress"]["executed"]
+
+            started = time.perf_counter()
+            for _ in range(count):
+                job = _request(server.url, "POST", "/campaigns", CAMPAIGN)
+                _poll(server.url, job["id"])
+            elapsed = time.perf_counter() - started
+        finally:
+            server.close()
+            thread.join(timeout=10)
+    finally:
+        shutil.rmtree(tempdir, ignore_errors=True)
+    return {
+        "submissions": count,
+        "runs_per_campaign": executed,
+        "seconds": round(elapsed, 4),
+        "submissions_per_sec": round(count / elapsed, 1),
+    }
+
+
+def _poll(base: str, job_id: str, timeout: float = 120.0) -> dict:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        status = _request(base, "GET", f"/campaigns/{job_id}")
+        if status["state"] in ("done", "failed", "cancelled"):
+            return status
+        time.sleep(0.002)
+    raise AssertionError(f"job {job_id} never finished")
+
+
+# ----------------------------------------------------------------------
+# Pytest entry: invariants, no wall-clock thresholds
+# ----------------------------------------------------------------------
+def test_serve_bench_smoke():
+    appends = measure_appends(500)
+    assert appends["single_appends_per_sec"] > 0
+    assert appends["sharded_appends_per_sec"] > 0
+
+    submissions = measure_submissions(2)
+    assert submissions["runs_per_campaign"] > 0
+    assert submissions["submissions_per_sec"] > 0
+
+
+def test_both_store_flavours_hold_identical_entries():
+    entries = _entries(200)
+    tempdir = tempfile.mkdtemp(prefix="bench-serve-")
+    try:
+        single = RunStore(os.path.join(tempdir, "single.jsonl"))
+        sharded = ShardedRunStore(os.path.join(tempdir, "sharded.d"),
+                                  segments=8)
+        for fingerprint, result in entries:
+            single.put(fingerprint, result.fault, result)
+            sharded.put(fingerprint, result.fault, result)
+        assert single.keys() == sharded.keys()
+        single.close()
+        sharded.close()
+    finally:
+        shutil.rmtree(tempdir, ignore_errors=True)
+
+
+# ----------------------------------------------------------------------
+# Trend gating
+# ----------------------------------------------------------------------
+def load_trend(path: str):
+    try:
+        with open(path, encoding="utf-8") as handle:
+            return json.load(handle)
+    except (OSError, ValueError):
+        return None
+
+
+def trend_reference(trend, metric: str, smoke: bool):
+    if not isinstance(trend, dict):
+        return None
+    entry = trend.get(metric)
+    if not isinstance(entry, dict):
+        return None
+    return entry.get("smoke" if smoke else "full")
+
+
+def _gate(name: str, measured: float, reference) -> bool:
+    if reference is None:
+        print(f"gate: no committed trend for {name} — recording only")
+        return True
+    floor = reference * (1.0 - REGRESSION_TOLERANCE)
+    verdict = "OK" if measured >= floor else "FAIL"
+    print(f"gate: {name} {measured} vs trend {reference} "
+          f"(floor {floor:.1f}) — {verdict}")
+    return verdict == "OK"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="smaller sizes for CI smoke runs")
+    parser.add_argument("-o", "--output", default=None, metavar="PATH",
+                        help="write the measurements to this JSON file")
+    parser.add_argument("--trend", default=TREND_PATH, metavar="PATH",
+                        help="committed trend JSON to gate against "
+                             "(default: benchmarks/BENCH_serve.json)")
+    args = parser.parse_args(argv)
+
+    submissions = SMOKE_SUBMISSIONS if args.smoke else DEFAULT_SUBMISSIONS
+    append_count = SMOKE_APPENDS if args.smoke else DEFAULT_APPENDS
+    report = {
+        "benchmark": "serve",
+        "smoke": args.smoke,
+        "cpu_count": os.cpu_count(),
+        "results": {},
+    }
+
+    appends = measure_appends(append_count)
+    report["results"]["appends"] = appends
+    print(f"appends     : {append_count} entries — single "
+          f"{appends['single_appends_per_sec']}/s, sharded "
+          f"{appends['sharded_appends_per_sec']}/s "
+          f"(x{appends['sharded_vs_single']})")
+
+    submitted = measure_submissions(submissions)
+    report["results"]["submissions"] = submitted
+    print(f"submissions : {submissions} cached campaigns in "
+          f"{submitted['seconds']}s "
+          f"({submitted['submissions_per_sec']}/s)")
+
+    trend = load_trend(args.trend)
+    gate_ok = _gate(
+        "sharded appends/s", appends["sharded_appends_per_sec"],
+        trend_reference(trend, "sharded_appends_per_sec", args.smoke))
+    gate_ok &= _gate(
+        "submissions/s", submitted["submissions_per_sec"],
+        trend_reference(trend, "submissions_per_sec", args.smoke))
+
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote {args.output}")
+    return 0 if gate_ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

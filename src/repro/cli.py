@@ -213,6 +213,31 @@ def build_parser() -> argparse.ArgumentParser:
                       metavar="N",
                       help="classes sampled by --equiv-check "
                            "(default: 6; 0 checks every class)")
+
+    serve = commands.add_parser(
+        "serve", help="campaign-as-a-service daemon: accept campaign/"
+                      "load specs over HTTP+JSON, queue them onto a "
+                      "shared process pool and a sharded run store")
+    serve.add_argument("--store", required=True, metavar="DIR",
+                       help="sharded run store directory (created on "
+                            "first submission; restarting on an "
+                            "existing one resumes its checkpoints)")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default: 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8642,
+                       help="bind port; 0 picks an ephemeral port "
+                            "(default: 8642)")
+    serve.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="process-pool workers shared by all jobs "
+                            "(default: 1, serial)")
+    serve.add_argument("--segments", type=int, default=None, metavar="N",
+                       help="segment files in a newly created store "
+                            "(default: 8; existing stores keep theirs)")
+    serve.add_argument("--no-durable", action="store_true",
+                       help="skip the per-append fsync (faster, but a "
+                            "power loss may drop recent runs)")
+    serve.add_argument("--verbose", action="store_true",
+                       help="log each HTTP request to stderr")
     return parser
 
 
@@ -273,14 +298,17 @@ class CliProgress:
             print(file=self.out)
 
 
-def _open_store(path: Optional[str], resume: bool, out):
+def _open_store(path: Optional[str], resume: bool, out,
+                durable: bool = False):
     """Build the run store for a command, enforcing resume semantics.
 
     An existing store is only reused when ``--resume`` is given, so a
-    stale file is never picked up by accident.  Returns ``(store,
+    stale file is never picked up by accident.  A path naming a
+    directory (or spelled with a ``.d`` suffix) opens a sharded store;
+    anything else a single JSONL file.  Returns ``(store,
     error_code)``; exactly one is set.
     """
-    from .core.store import RunStore
+    from .core.store import open_store, store_exists
 
     if path is None:
         if resume:
@@ -288,11 +316,18 @@ def _open_store(path: Optional[str], resume: bool, out):
                   "[execution] store)", file=out)
             return None, 2
         return None, None
-    if os.path.exists(path) and not resume:
+    if store_exists(path) and not resume:
         print(f"run store {path} already exists; pass --resume to reuse "
               f"its checkpointed runs, or choose a new path", file=out)
         return None, 2
-    return RunStore(path), None
+    store = open_store(path, durable=durable)
+    if resume and len(store):
+        corrupt = (f"; {store.corrupt_lines} corrupt mid-file line(s) "
+                   f"ignored, the runs they held will re-execute"
+                   if store.corrupt_lines else "")
+        print(f"resuming from {path}: {len(store)} checkpointed "
+              f"run(s){corrupt}", file=out)
+    return store, None
 
 
 # ----------------------------------------------------------------------
@@ -476,13 +511,13 @@ def _lookup_traced_run(store, key: str, fingerprint, out):
 
 
 def cmd_trace(args, out) -> int:
-    from .core.store import RunStore
+    from .core.store import open_store, store_exists
 
-    if not os.path.exists(args.store):
+    if not store_exists(args.store):
         print(f"no such run store: {args.store}", file=out)
         return 2
 
-    with RunStore(args.store) as store:
+    with open_store(args.store) as store:
         if args.key is None:
             # Listing mode: every stored run, traced ones annotated.
             for fp, key in store.keys():
@@ -652,6 +687,18 @@ def cmd_load(args, out) -> int:
         print(f"resumed from store: {execution.cached_count} cached, "
               f"{execution.executed_count} executed", file=out)
     return 0
+
+
+def cmd_serve(args, out) -> int:
+    from .serve import serve_forever
+
+    if args.jobs < 1:
+        print("--jobs must be >= 1", file=out)
+        return 2
+    return serve_forever(args.store, host=args.host, port=args.port,
+                         jobs=args.jobs, segments=args.segments,
+                         durable=not args.no_durable,
+                         verbose=args.verbose, out=out)
 
 
 def cmd_lint(args, out) -> int:
@@ -854,6 +901,7 @@ _COMMANDS = {
     "trace": cmd_trace,
     "load": cmd_load,
     "lint": cmd_lint,
+    "serve": cmd_serve,
 }
 
 

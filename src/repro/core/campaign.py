@@ -121,7 +121,8 @@ class Campaign:
                  backend: Optional[ExecutionBackend] = None,
                  jobs: Optional[int] = None,
                  store=None,
-                 prune=None):
+                 prune=None,
+                 on_stage=None):
         if mechanism not in ("parameter", "return", "io", "resource"):
             raise ValueError(f"unknown injection mechanism {mechanism!r}")
         if backend is not None and jobs is not None:
@@ -142,6 +143,9 @@ class Campaign:
         # An EquivalenceManifest (repro.lint.valueflow): statically
         # equivalent faults are scheduled once and expanded afterwards.
         self.prune = prune
+        # Wave-start hook ("profiling"/"probing"/"releasing") — the
+        # serve daemon's job state machine observes campaigns with it.
+        self.on_stage = on_stage
 
     # ------------------------------------------------------------------
     def fault_list(self) -> list:
@@ -191,7 +195,7 @@ class Campaign:
                 self.plan(), self.workload, self.middleware, self.config,
                 backend=backend, store=self.store, progress=self.progress,
                 fingerprint=self.fingerprint() if self.store else None,
-                mechanism=self.mechanism)
+                mechanism=self.mechanism, on_stage=self.on_stage)
         finally:
             if owns_backend:
                 backend.close()

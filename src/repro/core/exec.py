@@ -125,13 +125,45 @@ class ProcessPoolBackend(ExecutionBackend):
             for chunk in chunks
         ]
         results: list[RunResult] = []
-        for chunk, future in zip(chunks, futures):
-            runs = future.result()
+
+        def record(chunk, runs) -> None:
             for task, run in zip(chunk, runs):
                 if on_result is not None:
                     on_result(task, run)
                 results.append(run)
+
+        for index, future in enumerate(futures):
+            try:
+                record(chunks[index], future.result())
+            except BaseException:
+                self._drain_after_failure(chunks, futures, index, record)
+                raise
         return results
+
+    @staticmethod
+    def _drain_after_failure(chunks, futures, failed, record) -> None:
+        """A chunk raised: don't orphan the rest of the wave.
+
+        Chunks still queued are cancelled; chunks already running are
+        waited out and their completed runs handed to ``on_result``, so
+        everything that finished reaches the store before the exception
+        propagates and a resume re-executes only what truly never ran.
+        """
+        remaining = futures[failed + 1:]
+        for future in remaining:
+            future.cancel()
+        concurrent.futures.wait(remaining)
+        for chunk, future in zip(chunks[failed + 1:], remaining):
+            if future.cancelled():
+                continue
+            try:
+                runs = future.result()
+            except BaseException:
+                continue  # another failing chunk; the first wins
+            try:
+                record(chunk, runs)
+            except BaseException:
+                continue  # recording itself is failing; keep draining
 
     def close(self) -> None:
         if self._pool is not None:
@@ -191,13 +223,18 @@ def run_plan(plan: CampaignPlan, workload: WorkloadSpec,
              backend: Optional[ExecutionBackend] = None,
              store=None, progress=None,
              fingerprint: Optional[str] = None,
-             mechanism: str = "parameter") -> PlanExecution:
+             mechanism: str = "parameter",
+             on_stage=None) -> PlanExecution:
     """Execute a campaign plan wave by wave.
 
     Completed runs are checkpointed to ``store`` (when given) before
     the progress callback fires, so an interrupt never loses a finished
     run; runs already present in the store are served from it and not
     re-executed.
+
+    ``on_stage`` (when given) is called with ``"profiling"``,
+    ``"probing"`` and ``"releasing"`` as the corresponding wave starts
+    — the serve daemon's job state machine rides on it.
     """
     backend = backend or SerialBackend()
     if store is not None and fingerprint is None:
@@ -237,6 +274,8 @@ def run_plan(plan: CampaignPlan, workload: WorkloadSpec,
     # --- Wave 0: the fault-free profiling run --------------------------
     eligible = list(plan.functions)
     if plan.profile_task is not None:
+        if on_stage is not None:
+            on_stage("profiling")
         dispatch([plan.profile_task], count=False)
         execution.profile_run = results[plan.profile_task.task_id]
         called = set(execution.profile_run.called_functions)
@@ -257,6 +296,8 @@ def run_plan(plan: CampaignPlan, workload: WorkloadSpec,
                           for name in eligible)
 
     # --- Wave 1: probes (one fault per function) -----------------------
+    if on_stage is not None:
+        on_stage("probing")
     dispatch([plan.probes[name] for name in eligible], count=True)
 
     # --- Activation gate: release the rest of each activated function --
@@ -272,6 +313,8 @@ def run_plan(plan: CampaignPlan, workload: WorkloadSpec,
             state["done"] += len(plan.releases[name])
 
     # --- Wave 2: released faults ---------------------------------------
+    if on_stage is not None:
+        on_stage("releasing")
     dispatch(released, count=True)
 
     # --- Expansion: pruned faults inherit their representative's run --

@@ -9,14 +9,25 @@ run already present and re-executes nothing, and a campaign killed
 mid-grid resumes from the last checkpointed run.
 
 Because each line is flushed as soon as its run completes, a store
-interrupted mid-write loses at most the in-flight line; malformed
-trailing lines are skipped on load.
+interrupted by a *process kill* loses at most the in-flight line; a
+malformed trailing line is skipped on load.  That guarantee does not
+extend to power loss or OS crashes — the flush hands the line to the
+OS, not the disk.  Pass ``durable=True`` to fsync every append and
+close that gap at the cost of one disk round-trip per run (the serve
+daemon's store runs in this mode).
+
+At millions of runs a single append-only file becomes the bottleneck;
+:class:`ShardedRunStore` spreads the same ``(fingerprint, key)`` index
+across per-segment files under a directory and is a drop-in
+replacement everywhere a store is accepted.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+import os
+import zlib
 from pathlib import Path
 from typing import Iterator, Optional, Union
 
@@ -259,37 +270,61 @@ def config_fingerprint(workload_name: str, middleware: MiddlewareKind,
 # ----------------------------------------------------------------------
 # The JSONL store
 # ----------------------------------------------------------------------
-class RunStore:
-    """Append-only JSONL store of completed runs, indexed in memory.
+def _load_jsonl(path: Path, index: dict[tuple[str, str], dict]) -> int:
+    """Load one JSONL file into ``index``; returns the number of
+    *interior* corrupt lines.
 
-    One line per run::
-
-        {"fp": "<fingerprint>", "key": "<fault key>", "run": {...}}
-
-    ``get`` deserializes lazily so loading a large store stays cheap.
+    A kill mid-write legitimately truncates the final line, so a bad
+    final line is tolerated silently.  A bad line anywhere else means
+    the file was damaged after the fact — those entries are gone, the
+    runs they checkpointed will re-execute (appending duplicate keys),
+    and the caller should tell the user rather than hide it.
     """
+    with open(path, "r", encoding="utf-8") as handle:
+        lines = handle.read().splitlines()
+    corrupt = 0
+    last = len(lines)
+    for number, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            entry = json.loads(line)
+            index[(entry["fp"], entry["key"])] = entry["run"]
+        except (ValueError, KeyError, TypeError):
+            if number != last:
+                corrupt += 1
+    return corrupt
 
-    def __init__(self, path: Union[str, Path]):
-        self.path = Path(path)
+
+class _StoreIndex:
+    """The shared in-memory half of both store flavours: the
+    ``(fingerprint, fault key) -> serialized run`` map plus a
+    lazily-built secondary index by fault key for :meth:`find`."""
+
+    def __init__(self):
         self._index: dict[tuple[str, str], dict] = {}
-        self._handle = None
-        self._load()
+        # fault key -> [fingerprint, ...]; built on the first find()
+        # and kept current across put() so repeated lookups (the trace
+        # CLI, the daemon's result queries) stay O(matches).
+        self._by_key: Optional[dict[str, list[str]]] = None
+        # Interior corrupt lines seen while loading (see _load_jsonl).
+        self.corrupt_lines = 0
 
     # ------------------------------------------------------------------
-    def _load(self) -> None:
-        if not self.path.exists():
-            return
-        with open(self.path, "r", encoding="utf-8") as handle:
-            for line in handle:
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    entry = json.loads(line)
-                except ValueError:
-                    # A kill mid-write leaves a truncated final line.
-                    continue
-                self._index[(entry["fp"], entry["key"])] = entry["run"]
+    def _remember(self, fingerprint: str, key: str, data: dict) -> None:
+        if self._by_key is not None and \
+                (fingerprint, key) not in self._index:
+            self._by_key.setdefault(key, []).append(fingerprint)
+        self._index[(fingerprint, key)] = data
+
+    def _key_index(self) -> dict[str, list[str]]:
+        if self._by_key is None:
+            by_key: dict[str, list[str]] = {}
+            for fingerprint, key in self._index:
+                by_key.setdefault(key, []).append(fingerprint)
+            self._by_key = by_key
+        return self._by_key
 
     # ------------------------------------------------------------------
     def get(self, fingerprint: str, fault) -> Optional[RunResult]:
@@ -303,18 +338,6 @@ class RunStore:
         if data is None:
             return None
         return deserialize_result(data)
-
-    def put(self, fingerprint: str, fault, result) -> None:
-        """Checkpoint one completed run (flushed immediately)."""
-        key = fault if isinstance(fault, str) else fault_key_str(fault)
-        data = serialize_result(result)
-        self._index[(fingerprint, key)] = data
-        if self._handle is None:
-            self.path.parent.mkdir(parents=True, exist_ok=True)
-            self._handle = open(self.path, "a", encoding="utf-8")
-        self._handle.write(json.dumps({"fp": fingerprint, "key": key,
-                                       "run": data}) + "\n")
-        self._handle.flush()
 
     def keys(self) -> list[tuple[str, str]]:
         """All ``(fingerprint, fault key)`` pairs, sorted."""
@@ -339,9 +362,17 @@ class RunStore:
         """All stored runs for one fault key, across fingerprints
         (the trace CLI's lookup: a key names the run, the fingerprint
         disambiguates which campaign configuration produced it)."""
-        return [(fp, deserialize_result(data))
-                for (fp, key), data in sorted(self._index.items())
-                if key == fault_key]
+        fingerprints = self._key_index().get(fault_key, ())
+        return [(fp, deserialize_result(self._index[(fp, fault_key)]))
+                for fp in sorted(fingerprints)]
+
+    def entries_for(self, fingerprint: str) -> Iterator[tuple[str, dict]]:
+        """Serialized entries under one fingerprint, sorted by fault
+        key — the serve daemon streams campaign results with this
+        without paying deserialization."""
+        for fp, key in sorted(self._index):
+            if fp == fingerprint:
+                yield key, self._index[(fp, key)]
 
     def __contains__(self, key: tuple[str, str]) -> bool:
         return key in self._index
@@ -349,16 +380,248 @@ class RunStore:
     def __len__(self) -> int:
         return len(self._index)
 
-    def close(self) -> None:
-        if self._handle is not None:
-            self._handle.close()
-            self._handle = None
-
-    def __enter__(self) -> "RunStore":
+    def __enter__(self):
         return self
 
     def __exit__(self, *exc_info) -> None:
         self.close()
 
+    def close(self) -> None:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+
+class RunStore(_StoreIndex):
+    """Append-only JSONL store of completed runs, indexed in memory.
+
+    One line per run::
+
+        {"fp": "<fingerprint>", "key": "<fault key>", "run": {...}}
+
+    ``get`` deserializes lazily so loading a large store stays cheap.
+    With ``durable=True`` every append is fsynced, upgrading the
+    kill-safety guarantee from process kills to power loss.
+    """
+
+    def __init__(self, path: Union[str, Path], durable: bool = False):
+        super().__init__()
+        self.path = Path(path)
+        self.durable = durable
+        self._handle = None
+        self._load()
+
+    # ------------------------------------------------------------------
+    def _load(self) -> None:
+        if not self.path.exists():
+            return
+        self.corrupt_lines = _load_jsonl(self.path, self._index)
+
+    # ------------------------------------------------------------------
+    def put(self, fingerprint: str, fault, result) -> None:
+        """Checkpoint one completed run (flushed immediately; fsynced
+        too when the store is ``durable``)."""
+        key = fault if isinstance(fault, str) else fault_key_str(fault)
+        data = serialize_result(result)
+        self._remember(fingerprint, key, data)
+        if self._handle is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = open(self.path, "a", encoding="utf-8")
+        self._handle.write(json.dumps({"fp": fingerprint, "key": key,
+                                       "run": data}) + "\n")
+        self._handle.flush()
+        if self.durable:
+            os.fsync(self._handle.fileno())
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
     def __repr__(self) -> str:
         return f"<RunStore {self.path} entries={len(self._index)}>"
+
+
+# ----------------------------------------------------------------------
+# The sharded store
+# ----------------------------------------------------------------------
+MANIFEST_NAME = "MANIFEST.json"
+SEGMENT_GLOB = "segment-*.jsonl"
+DEFAULT_SEGMENTS = 8
+
+
+def _segment_name(number: int) -> str:
+    return f"segment-{number:03d}.jsonl"
+
+
+class ShardedRunStore(_StoreIndex):
+    """A run store sharded across segment files under one directory::
+
+        store.d/
+          MANIFEST.json       {"format": 3, "segments": 8}
+          segment-000.jsonl
+          segment-001.jsonl
+          ...
+
+    Entries are routed to a segment by a stable hash of their
+    ``(fingerprint, key)`` pair, so every rewrite of a key lands in the
+    same file and last-write-wins stays well defined however segments
+    are loaded.  The index semantics, resume behaviour and kill-safety
+    guarantee (per segment: at most a truncated final line) are exactly
+    :class:`RunStore`'s — the class is a drop-in replacement everywhere
+    a store is accepted.
+
+    The segment count is fixed at creation and recorded in the
+    manifest; reopening ignores the ``segments`` argument in favour of
+    the recorded value, keeping routing stable for the store's life.
+    """
+
+    def __init__(self, path: Union[str, Path],
+                 segments: int = DEFAULT_SEGMENTS,
+                 durable: bool = False):
+        super().__init__()
+        if segments < 1:
+            raise ValueError(f"segments must be >= 1, got {segments}")
+        self.path = Path(path)
+        self.durable = durable
+        self.segments = segments
+        self._handles: dict[int, object] = {}
+        self._load()
+
+    # ------------------------------------------------------------------
+    @property
+    def _manifest_path(self) -> Path:
+        return self.path / MANIFEST_NAME
+
+    def _load(self) -> None:
+        if not self.path.is_dir():
+            return
+        manifest = self._manifest_path
+        if manifest.exists():
+            with open(manifest, "r", encoding="utf-8") as handle:
+                recorded = json.load(handle)
+            self.segments = int(recorded["segments"])
+        for segment in sorted(self.path.glob(SEGMENT_GLOB)):
+            self.corrupt_lines += _load_jsonl(segment, self._index)
+
+    def _ensure_manifest(self) -> None:
+        if self._manifest_path.exists():
+            return
+        self.path.mkdir(parents=True, exist_ok=True)
+        payload = {"format": STORE_FORMAT, "segments": self.segments}
+        with open(self._manifest_path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, sort_keys=True)
+            handle.write("\n")
+
+    def segment_for(self, fingerprint: str, key: str) -> int:
+        """Stable routing: built-in ``hash`` is salted per process, so
+        the crc of the pair keeps placement identical across runs."""
+        pair = f"{fingerprint}:{key}".encode("utf-8")
+        return zlib.crc32(pair) % self.segments
+
+    # ------------------------------------------------------------------
+    def put(self, fingerprint: str, fault, result) -> None:
+        """Checkpoint one completed run into its segment (flushed
+        immediately; fsynced too when the store is ``durable``)."""
+        key = fault if isinstance(fault, str) else fault_key_str(fault)
+        data = serialize_result(result)
+        self._remember(fingerprint, key, data)
+        number = self.segment_for(fingerprint, key)
+        handle = self._handles.get(number)
+        if handle is None:
+            self._ensure_manifest()
+            handle = open(self.path / _segment_name(number), "a",
+                          encoding="utf-8")
+            self._handles[number] = handle
+        handle.write(json.dumps({"fp": fingerprint, "key": key,
+                                 "run": data}) + "\n")
+        handle.flush()
+        if self.durable:
+            os.fsync(handle.fileno())
+
+    # ------------------------------------------------------------------
+    def compact(self) -> None:
+        """Rewrite every segment deterministically: entries in sorted
+        ``(fingerprint, key)`` order, superseded and corrupt lines
+        dropped.  Two stores holding the same runs compact to the same
+        bytes whatever order the runs arrived in."""
+        self.close()
+        if not self.path.is_dir():
+            return
+        by_segment: dict[int, list[tuple[str, str]]] = {}
+        for fingerprint, key in sorted(self._index):
+            number = self.segment_for(fingerprint, key)
+            by_segment.setdefault(number, []).append((fingerprint, key))
+        existing = {int(segment.stem.split("-", 1)[1])
+                    for segment in self.path.glob(SEGMENT_GLOB)}
+        for number in sorted(existing | set(by_segment)):
+            segment = self.path / _segment_name(number)
+            replacement = segment.with_name(segment.name + ".tmp")
+            with open(replacement, "w", encoding="utf-8") as handle:
+                for fingerprint, key in by_segment.get(number, ()):
+                    handle.write(json.dumps(
+                        {"fp": fingerprint, "key": key,
+                         "run": self._index[(fingerprint, key)]}) + "\n")
+                handle.flush()
+                if self.durable:
+                    os.fsync(handle.fileno())
+            os.replace(replacement, segment)
+        self.corrupt_lines = 0
+
+    def merge_to(self, path: Union[str, Path]) -> Path:
+        """Merge every segment into one plain single-file store at
+        ``path`` — sorted ``(fingerprint, key)`` order, superseded
+        lines dropped, so the merge of a sharded store is
+        byte-deterministic whatever order the runs arrived in."""
+        target = Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        replacement = target.with_name(target.name + ".tmp")
+        with open(replacement, "w", encoding="utf-8") as handle:
+            for fingerprint, key in sorted(self._index):
+                handle.write(json.dumps(
+                    {"fp": fingerprint, "key": key,
+                     "run": self._index[(fingerprint, key)]}) + "\n")
+            handle.flush()
+            if self.durable:
+                os.fsync(handle.fileno())
+        os.replace(replacement, target)
+        return target
+
+    def close(self) -> None:
+        for handle in self._handles.values():
+            handle.close()
+        self._handles = {}
+
+    def __repr__(self) -> str:
+        return (f"<ShardedRunStore {self.path} "
+                f"segments={self.segments} entries={len(self._index)}>")
+
+
+# ----------------------------------------------------------------------
+# Store construction helpers
+# ----------------------------------------------------------------------
+def is_sharded_path(path: Union[str, Path]) -> bool:
+    """Whether ``path`` names a sharded store: an existing store
+    directory, or a fresh path spelled with a ``.d`` suffix."""
+    p = Path(path)
+    if p.is_dir():
+        return True
+    return p.suffix == ".d"
+
+
+def store_exists(path: Union[str, Path]) -> bool:
+    """Whether a store (of either flavour) already has content at
+    ``path`` — the CLI's "pass --resume to reuse" gate."""
+    p = Path(path)
+    if p.is_dir():
+        return (p / MANIFEST_NAME).exists() or \
+            any(p.glob(SEGMENT_GLOB))
+    return p.exists()
+
+
+def open_store(path: Union[str, Path], durable: bool = False,
+               segments: Optional[int] = None):
+    """Open the store flavour ``path`` names (see
+    :func:`is_sharded_path`)."""
+    if is_sharded_path(path):
+        return ShardedRunStore(path, segments=segments or DEFAULT_SEGMENTS,
+                               durable=durable)
+    return RunStore(path, durable=durable)

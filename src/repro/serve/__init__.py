@@ -1,0 +1,45 @@
+"""Campaign-as-a-service: the ``repro serve`` daemon.
+
+ProFIPy frames fault injection *as a service*: submit a campaign spec,
+get queued execution, progress and results over an API.  This package
+is that layer for the DTS reproduction — a long-lived stdlib-only HTTP
+daemon on top of the existing pure planner (:mod:`repro.core.plan`),
+pluggable backends (:mod:`repro.core.exec`) and resumable run stores
+(:mod:`repro.core.store`):
+
+- :mod:`repro.serve.spec` — the JSON codec for campaign and load
+  specs (the same parameters the CLI parses, as a wire schema);
+- :mod:`repro.serve.jobs` — the job queue and per-job state machine
+  (queued → profiling → probing → releasing → done/failed), sharing
+  one persistent process pool and one sharded run store so
+  overlapping campaigns dedup through the cross-campaign run cache;
+- :mod:`repro.serve.daemon` — the HTTP surface
+  (``POST/GET/DELETE /campaigns``, streamed JSONL results).
+
+A killed daemon restarted on the same store directory resumes exactly
+like ``--resume`` does today: resubmitted specs are served from the
+checkpointed runs and only the missing ones execute.
+"""
+
+from .daemon import ReproServer, serve_forever
+from .jobs import Job, JobQueue, JobState
+from .spec import (
+    CampaignJobSpec,
+    LoadJobSpec,
+    SpecError,
+    spec_from_dict,
+    spec_to_dict,
+)
+
+__all__ = [
+    "CampaignJobSpec",
+    "Job",
+    "JobQueue",
+    "JobState",
+    "LoadJobSpec",
+    "ReproServer",
+    "SpecError",
+    "serve_forever",
+    "spec_from_dict",
+    "spec_to_dict",
+]

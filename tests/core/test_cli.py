@@ -120,6 +120,38 @@ class TestRunExecutionOptions:
         assert code == 0
         assert "0 executed" in text
 
+    def test_resume_reports_interior_store_corruption(self, tmp_path):
+        config = self._config_path(tmp_path)
+        store = tmp_path / "runs.jsonl"
+        argv = ["run", "--config", config,
+                "--functions", "SetErrorMode,CreateEventA",
+                "--store", str(store)]
+        code, _ = _run(argv)
+        assert code == 0
+
+        lines = store.read_text().splitlines()
+        assert len(lines) >= 3
+        lines[1] = "garbage"  # damage an interior line, not the tail
+        store.write_text("\n".join(lines) + "\n")
+
+        code, text = _run(argv + ["--resume"])
+        assert code == 0
+        assert "1 corrupt mid-file line(s) ignored" in text
+        assert "re-execute" in text
+
+    def test_resume_into_sharded_store_directory(self, tmp_path):
+        config = self._config_path(tmp_path)
+        store = tmp_path / "runs.d"
+        argv = ["run", "--config", config, "--functions", "SetErrorMode",
+                "--store", str(store)]
+        code, _ = _run(argv)
+        assert code == 0
+        assert (store / "MANIFEST.json").exists()
+
+        code, text = _run(argv + ["--resume"])
+        assert code == 0
+        assert "0 executed" in text
+
     def test_resume_without_store_rejected(self, tmp_path):
         code, text = _run(["run", "--config", self._config_path(tmp_path),
                            "--functions", "SetErrorMode", "--resume"])

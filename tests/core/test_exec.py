@@ -139,3 +139,72 @@ def test_safe_progress_with_none_callback_is_noop():
     safe = SafeProgress(None)
     safe(1, 2, None)  # must not raise
     assert safe.broken
+
+
+# ----------------------------------------------------------------------
+# Chunk-failure draining (no orphaned pool work)
+# ----------------------------------------------------------------------
+def _tasks_for(faults):
+    from repro.core.plan import RunTask, TaskKind
+
+    return [RunTask(f"release:{fault.function}:{index}", TaskKind.RELEASE,
+                    fault, fault.function, index)
+            for index, fault in enumerate(faults)]
+
+
+def test_chunk_failure_drains_completed_runs(config):
+    """A chunk that raises must not orphan the chunks already running:
+    their completed runs reach ``on_result`` (and hence the store)
+    before the exception propagates, so a resume re-executes only the
+    failing chunk."""
+    from repro.core.faultlist import generate_fault_list
+    from repro.core.faults import FaultSpec, FaultType
+    from repro.core.workload import get_workload
+
+    real = generate_fault_list(["CreateFileA", "ReadFile"])[:6]
+    poison = FaultSpec("NoSuchExport", 0, FaultType.ZERO, 1)
+    # Chunk 0 = [real, real, poison]: it executes two runs before the
+    # worker raises, which leaves chunk 1 well past the point where it
+    # could still be cancelled — the drain must wait it out and record.
+    faults = [real[0], real[1], poison] + real[2:5]
+    tasks = _tasks_for(faults)
+    recorded = []
+
+    with ProcessPoolBackend(jobs=2, chunk_size=3) as backend:
+        with pytest.raises(ValueError, match="NoSuchExport"):
+            backend.run_tasks(
+                tasks, get_workload("IIS"), MiddlewareKind.NONE, config,
+                on_result=lambda task, run: recorded.append(task.fault.key))
+        # Chunk 1 finished in a worker; pre-fix its runs were dropped.
+        assert recorded == [fault.key for fault in real[2:5]]
+
+        # The pool survives the failure and keeps dispatching.
+        survivors = backend.run_tasks(
+            _tasks_for(real[:2]), get_workload("IIS"),
+            MiddlewareKind.NONE, config)
+        assert [run.fault.key for run in survivors] == \
+            [fault.key for fault in real[:2]]
+
+
+def test_chunk_failure_drain_tolerates_failing_on_result(config):
+    """An ``on_result`` that itself raises (e.g. a cancellation signal)
+    still triggers the drain, and the drain keeps going even though
+    recording keeps failing."""
+    from repro.core.faultlist import generate_fault_list
+    from repro.core.workload import get_workload
+
+    real = generate_fault_list(["CreateFileA"])[:4]
+    seen = []
+
+    def explode(task, run):
+        seen.append(task.fault.key)
+        raise RuntimeError("checkpoint broke")
+
+    with ProcessPoolBackend(jobs=2, chunk_size=2) as backend:
+        with pytest.raises(RuntimeError, match="checkpoint broke"):
+            backend.run_tasks(_tasks_for(real), get_workload("IIS"),
+                              MiddlewareKind.NONE, config,
+                              on_result=explode)
+    # The first run was recorded (then its exception propagated); the
+    # drain attempted the rest without hanging on the raised recorder.
+    assert seen[0] == real[0].key

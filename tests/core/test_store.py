@@ -64,7 +64,8 @@ def test_fault_dict_roundtrip(fault):
 # ----------------------------------------------------------------------
 # RunResult serialization — one synthetic result per outcome class
 # ----------------------------------------------------------------------
-def _synthetic_result(outcome: Outcome) -> RunResult:
+def _synthetic_result(outcome: Outcome,
+                      function: str = "ReadFile") -> RunResult:
     record = ClientRecord()
     record.started_at = 0.0
     record.finished_at = 21.5 if outcome is not Outcome.FAILURE else None
@@ -82,7 +83,7 @@ def _synthetic_result(outcome: Outcome) -> RunResult:
     restarts = 2 if outcome.involves_restart else 0
     return RunResult(
         workload_name="IIS", middleware=MiddlewareKind.WATCHD,
-        fault=FaultSpec("ReadFile", 2, FaultType.ZERO),
+        fault=FaultSpec(function, 2, FaultType.ZERO),
         activated=True, activated_as_noop=False,
         outcome=outcome,
         failure_mode=(FailureMode.NO_RESPONSE
@@ -293,3 +294,106 @@ def test_store_shared_across_campaign_configs(tmp_path):
                          functions=["SetErrorMode"], config=config,
                          store=store).run()
         assert other.executed_count > 0
+
+
+# ----------------------------------------------------------------------
+# Corruption accounting (interior vs truncated tail)
+# ----------------------------------------------------------------------
+def test_truncated_tail_is_not_counted_as_corruption(tmp_path):
+    path = tmp_path / "runs.jsonl"
+    original = _synthetic_result(Outcome.NORMAL_SUCCESS)
+    with RunStore(path) as store:
+        store.put("fp", original.fault, original)
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write('{"fp": "fp", "key": "param:X:0:z')
+    with RunStore(path) as store:
+        assert store.corrupt_lines == 0
+
+
+def test_interior_corruption_is_counted_not_hidden(tmp_path):
+    """Damage anywhere but the final line is counted so callers can
+    warn — a silently shrunk store looks identical to a healthy one."""
+    path = tmp_path / "runs.jsonl"
+    results = {k: _synthetic_result(Outcome.NORMAL_SUCCESS, function=k)
+               for k in ("ReadFile", "CreateFileA", "CloseHandle")}
+    with RunStore(path) as store:
+        for result in results.values():
+            store.put("fp", result.fault, result)
+    lines = path.read_text().splitlines()
+    lines[1] = lines[1][: len(lines[1]) // 2]  # damage the MIDDLE line
+    path.write_text("\n".join(lines) + "\n")
+    with RunStore(path) as store:
+        assert store.corrupt_lines == 1
+        assert len(store) == 2
+        assert store.get("fp", results["ReadFile"].fault) is not None
+        assert store.get("fp", results["CreateFileA"].fault) is None
+
+
+def test_structurally_wrong_interior_line_is_counted(tmp_path):
+    path = tmp_path / "runs.jsonl"
+    original = _synthetic_result(Outcome.NORMAL_SUCCESS)
+    path.write_text('{"not": "a store entry"}\n')
+    with RunStore(path) as store:
+        store.put("fp", original.fault, original)
+    with RunStore(path) as reopened:
+        assert reopened.corrupt_lines == 1
+        assert len(reopened) == 1
+
+
+# ----------------------------------------------------------------------
+# Durability (flush vs fsync)
+# ----------------------------------------------------------------------
+def test_durable_store_fsyncs_every_append(tmp_path, monkeypatch):
+    import os as os_module
+
+    synced = []
+    real_fsync = os_module.fsync
+    monkeypatch.setattr(os_module, "fsync",
+                        lambda fd: (synced.append(fd), real_fsync(fd)))
+    result = _synthetic_result(Outcome.NORMAL_SUCCESS)
+
+    with RunStore(tmp_path / "plain.jsonl") as store:
+        store.put("fp", result.fault, result)
+    assert synced == []  # default: flush only, no disk round-trip
+
+    with RunStore(tmp_path / "durable.jsonl", durable=True) as store:
+        store.put("fp", result.fault, result)
+        store.put("fp2", result.fault, result)
+    assert len(synced) == 2  # one fsync per append
+
+
+# ----------------------------------------------------------------------
+# find(): the secondary index by fault key
+# ----------------------------------------------------------------------
+def test_find_returns_sorted_fingerprints(tmp_path):
+    result = _synthetic_result(Outcome.NORMAL_SUCCESS)
+    key = fault_key_str(result.fault)
+    with RunStore(tmp_path / "runs.jsonl") as store:
+        for fp in ("bbbb", "aaaa", "cccc"):
+            store.put(fp, result.fault, result)
+        found = store.find(key)
+    assert [fp for fp, _ in found] == ["aaaa", "bbbb", "cccc"]
+    assert all(fault_key_str(match.fault) == key for _, match in found)
+
+
+def test_find_index_stays_current_across_put(tmp_path):
+    """The lazily-built key index must see entries added after it was
+    built — a stale index would make resumed lookups miss fresh runs."""
+    first = _synthetic_result(Outcome.NORMAL_SUCCESS, function="ReadFile")
+    second = _synthetic_result(Outcome.NORMAL_SUCCESS,
+                               function="CreateFileA")
+    with RunStore(tmp_path / "runs.jsonl") as store:
+        store.put("fp1", first.fault, first)
+        assert len(store.find(fault_key_str(first.fault))) == 1  # builds it
+        store.put("fp2", first.fault, first)       # new fingerprint
+        store.put("fp1", second.fault, second)     # new key entirely
+        store.put("fp1", first.fault, first)       # overwrite: no dup
+        assert [fp for fp, _ in store.find(fault_key_str(first.fault))] \
+            == ["fp1", "fp2"]
+        assert [fp for fp, _ in store.find(fault_key_str(second.fault))] \
+            == ["fp1"]
+        assert store.find("param:Nothing:0:zero:1") == []
+        # White-box: lookups go through the secondary index (built on
+        # the first find, maintained across put) — not a linear scan.
+        assert store._by_key is not None
+        assert store._by_key[fault_key_str(first.fault)] == ["fp1", "fp2"]

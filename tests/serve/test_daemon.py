@@ -1,0 +1,221 @@
+"""End-to-end tests for the ``repro serve`` daemon.
+
+Two tiers: in-process servers on an ephemeral port for the HTTP
+surface, and a real subprocess that gets SIGKILLed mid-campaign to
+prove the restart-resumes contract — a daemon restarted on the same
+sharded store directory must finish with results byte-identical to an
+uninterrupted serial single-file run.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+import pytest
+
+from repro.core.campaign import Campaign
+from repro.core.exec import SerialBackend
+from repro.core.runner import RunConfig
+from repro.core.store import RunStore, ShardedRunStore
+from repro.core.workload import MiddlewareKind
+from repro.serve import ReproServer
+
+FUNCTIONS = ["SetErrorMode", "CreateEventA", "CreateFileA", "ReadFile"]
+CAMPAIGN = {"kind": "campaign", "workload": "IIS",
+            "functions": FUNCTIONS, "base_seed": 2000}
+
+
+def _request(base, method, path, body=None):
+    data = json.dumps(body).encode("utf-8") if body is not None else None
+    request = urllib.request.Request(base + path, data=data, method=method)
+    if data is not None:
+        request.add_header("Content-Type", "application/json")
+    with urllib.request.urlopen(request, timeout=30) as response:
+        return response.status, response.read().decode("utf-8")
+
+
+def _wait_for_state(base, job_id, states=("done", "failed", "cancelled"),
+                    timeout=120.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        _, body = _request(base, "GET", f"/campaigns/{job_id}")
+        status = json.loads(body)
+        if status["state"] in states:
+            return status
+        time.sleep(0.05)
+    raise AssertionError(f"job {job_id} never reached {states}")
+
+
+@pytest.fixture()
+def server(tmp_path):
+    store = ShardedRunStore(tmp_path / "store.d", segments=4)
+    instance = ReproServer(("127.0.0.1", 0), store, jobs=2)
+    thread = threading.Thread(target=instance.serve_forever, daemon=True)
+    thread.start()
+    yield instance
+    instance.close()
+    thread.join(timeout=10)
+
+
+# ----------------------------------------------------------------------
+# The HTTP surface (in-process)
+# ----------------------------------------------------------------------
+def test_healthz(server):
+    status, body = _request(server.url, "GET", "/healthz")
+    assert status == 200
+    health = json.loads(body)
+    assert health["ok"] is True
+    assert health["jobs"] == 0
+
+
+def test_campaign_over_http_executes_and_caches(server):
+    status, body = _request(server.url, "POST", "/campaigns", CAMPAIGN)
+    assert status == 201
+    submitted = json.loads(body)
+    assert submitted["id"] == "job-1"
+
+    final = _wait_for_state(server.url, "job-1")
+    assert final["state"] == "done"
+    assert final["progress"]["executed"] > 0
+    assert final["progress"]["cached"] == 0
+
+    # Streamed results: one JSONL line per checkpointed run.
+    status, body = _request(server.url, "GET", "/campaigns/job-1/results")
+    assert status == 200
+    lines = [json.loads(line) for line in body.splitlines() if line]
+    assert len(lines) == final["progress"]["executed"]
+    assert {line["fp"] for line in lines} == set(final["fingerprints"])
+    keys = [line["key"] for line in lines]
+    assert keys == sorted(keys)
+    assert "profile" in keys
+
+    # An overlapping second campaign dedups through the shared store.
+    _request(server.url, "POST", "/campaigns", CAMPAIGN)
+    second = _wait_for_state(server.url, "job-2")
+    assert second["state"] == "done"
+    assert second["progress"]["executed"] == 0
+    assert second["progress"]["cached"] == final["progress"]["executed"]
+
+    status, body = _request(server.url, "GET", "/campaigns")
+    assert [job["id"] for job in json.loads(body)["jobs"]] == \
+        ["job-1", "job-2"]
+
+
+def test_cancel_over_http(server):
+    _request(server.url, "POST", "/campaigns", CAMPAIGN)
+    blocked = dict(CAMPAIGN, functions=["WaitForSingleObject"])
+    _request(server.url, "POST", "/campaigns", blocked)
+    status, body = _request(server.url, "DELETE", "/campaigns/job-2")
+    assert status == 200
+    assert json.loads(body)["state"] in ("cancelled", "queued")
+    final = _wait_for_state(server.url, "job-2")
+    assert final["state"] == "cancelled"
+    _wait_for_state(server.url, "job-1")
+
+
+@pytest.mark.parametrize("method, path, body, code, fragment", [
+    ("POST", "/campaigns", {"workload": "NoSuchServer"}, 400,
+     "unknown workload"),
+    ("POST", "/campaigns", {"workload": "IIS", "mechanism": "voltage"},
+     400, "unknown mechanism"),
+    ("POST", "/campaigns/job-1", {"workload": "IIS"}, 404, "endpoint"),
+    ("GET", "/campaigns/job-9", None, 404, "no such job"),
+    ("GET", "/campaigns/job-9/results", None, 404, "no such job"),
+    ("GET", "/nope", None, 404, "endpoint"),
+    ("DELETE", "/campaigns", None, 404, "endpoint"),
+    ("DELETE", "/campaigns/job-9", None, 404, "no such job"),
+])
+def test_http_error_paths(server, method, path, body, code, fragment):
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        _request(server.url, method, path, body)
+    assert excinfo.value.code == code
+    assert fragment in excinfo.value.read().decode("utf-8")
+
+
+def test_post_rejects_junk_bodies(server):
+    request = urllib.request.Request(
+        server.url + "/campaigns", data=b"{not json", method="POST")
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        urllib.request.urlopen(request, timeout=30)
+    assert excinfo.value.code == 400
+    assert "JSON" in excinfo.value.read().decode("utf-8")
+
+
+# ----------------------------------------------------------------------
+# Kill -9 and restart on the same store (real subprocess)
+# ----------------------------------------------------------------------
+def _spawn_daemon(store_path):
+    env = dict(os.environ)
+    root = Path(__file__).resolve().parents[2]
+    env["PYTHONPATH"] = str(root / "src")
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--store",
+         str(store_path), "--port", "0", "--jobs", "2"],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+        env=env, cwd=str(root))
+    banner = process.stdout.readline()
+    assert "listening on" in banner, banner
+    url = banner.split("listening on ", 1)[1].split(" ")[0]
+    return process, url
+
+
+def test_killed_daemon_restarts_and_resumes(tmp_path):
+    """SIGKILL the daemon mid-wave; a restart on the same sharded store
+    finishes the campaign byte-identical to an uninterrupted serial
+    run into a single-file store."""
+    # The uninterrupted serial reference.
+    reference_path = tmp_path / "reference.jsonl"
+    with RunStore(reference_path) as reference:
+        Campaign("IIS", MiddlewareKind.NONE, functions=FUNCTIONS,
+                 config=RunConfig(base_seed=2000), store=reference,
+                 backend=SerialBackend()).run()
+    reference_lines = sorted(
+        line + "\n" for line in reference_path.read_text().splitlines())
+
+    store_path = tmp_path / "store.d"
+    process, url = _spawn_daemon(store_path)
+    try:
+        _request(url, "POST", "/campaigns", CAMPAIGN)
+        # Let it checkpoint a few runs, then kill -9 mid-campaign.
+        deadline = time.monotonic() + 60.0
+        while time.monotonic() < deadline:
+            done = json.loads(
+                _request(url, "GET", "/campaigns/job-1")[1])["progress"]["done"]
+            if done >= 2:
+                break
+            time.sleep(0.02)
+        assert done >= 2, "campaign never started executing"
+    finally:
+        process.kill()
+        process.wait(timeout=30)
+
+    with ShardedRunStore(store_path) as interrupted:
+        survivors = len(interrupted)
+    assert 0 < survivors < len(reference_lines), \
+        "kill landed before any checkpoint or after the whole campaign"
+
+    # Restart on the same store; the resubmitted spec resumes.
+    process, url = _spawn_daemon(store_path)
+    try:
+        _request(url, "POST", "/campaigns", CAMPAIGN)
+        final = _wait_for_state(url, "job-1")
+        assert final["state"] == "done"
+        assert final["progress"]["cached"] >= survivors - 1
+        assert final["progress"]["executed"] <= \
+            len(reference_lines) - survivors + 1
+    finally:
+        process.kill()
+        process.wait(timeout=30)
+
+    # Byte-identity: the merged sharded store equals the sorted serial
+    # single-file store, line for line.
+    with ShardedRunStore(store_path) as store:
+        merged = store.merge_to(tmp_path / "merged.jsonl")
+    assert merged.read_text() == "".join(reference_lines)

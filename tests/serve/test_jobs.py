@@ -1,0 +1,178 @@
+"""Unit tests for the job queue and its per-job state machine."""
+
+import time
+
+import pytest
+
+from repro.core.store import ShardedRunStore
+from repro.load import LoadSpec
+from repro.serve import CampaignJobSpec, JobQueue, JobState, LoadJobSpec
+
+FUNCTIONS = ["SetErrorMode", "CreateEventA", "CreateFileA"]
+
+
+def _campaign_spec(**overrides):
+    params = dict(workload="IIS", functions=FUNCTIONS)
+    params.update(overrides)
+    return CampaignJobSpec(**params)
+
+
+@pytest.fixture()
+def queue(tmp_path):
+    queue = JobQueue(ShardedRunStore(tmp_path / "store.d", segments=4))
+    yield queue
+    queue.close()
+    queue.store.close()
+
+
+def _wait(job, timeout=60.0):
+    assert job.wait(timeout), f"job stuck in {job.state}"
+    return job
+
+
+# ----------------------------------------------------------------------
+# Lifecycle
+# ----------------------------------------------------------------------
+def test_campaign_job_runs_to_done(queue):
+    job = queue.submit(_campaign_spec())
+    _wait(job)
+    assert job.state is JobState.DONE
+    assert job.error is None
+    assert job.executed_count > 0
+    assert job.done == job.total > 0
+    assert job.fingerprints == [job.spec.fingerprint()]
+    status = job.status_dict()
+    assert status["state"] == "done"
+    assert status["progress"]["executed"] == job.executed_count
+    assert status["elapsed_seconds"] >= 0
+
+
+def test_job_ids_are_deterministic(queue):
+    first = queue.submit(_campaign_spec(functions=["SetErrorMode"]))
+    second = queue.submit(_campaign_spec(functions=["GetACP"]))
+    assert [first.job_id, second.job_id] == ["job-1", "job-2"]
+    assert [job.job_id for job in queue.jobs()] == ["job-1", "job-2"]
+    assert queue.get("job-1") is first
+    assert queue.get("job-99") is None
+
+
+def test_overlapping_campaigns_share_the_store(queue):
+    """The second submission of an overlapping spec is served from the
+    cross-campaign run cache, visible as ``cached_count``."""
+    first = _wait(queue.submit(_campaign_spec()))
+    assert first.cached_count == 0
+    second = _wait(queue.submit(_campaign_spec()))
+    assert second.state is JobState.DONE
+    assert second.executed_count == 0
+    assert second.cached_count == first.executed_count
+    # A partial overlap re-executes only the new functions.
+    third = _wait(queue.submit(_campaign_spec(
+        functions=FUNCTIONS + ["WaitForSingleObject"])))
+    assert third.cached_count > 0
+    assert 0 < third.executed_count < first.executed_count
+
+
+def test_failed_job_reports_error(queue):
+    job = _wait(queue.submit(_campaign_spec(workload="NotAServer")))
+    assert job.state is JobState.FAILED
+    assert "NotAServer" in job.error
+    assert job.status_dict()["state"] == "failed"
+
+
+def test_load_job_runs_to_done(queue):
+    spec = LoadJobSpec(LoadSpec("IIS", clients=3), reps=2, sweep=[3, 5])
+    job = _wait(queue.submit(spec))
+    assert job.state is JobState.DONE
+    assert job.executed_count == 4  # 2 client counts x 2 reps
+    assert len(job.fingerprints) == 2  # one per swept client count
+
+
+def test_campaign_walks_the_stage_machine(tmp_path):
+    """The wave schedule surfaces as state transitions: profiling
+    before probing before releasing before done."""
+    observed = []
+
+    class SpyingStore(ShardedRunStore):
+        def __init__(self, path, job_box):
+            super().__init__(path, segments=2)
+            self.job_box = job_box
+
+        def put(self, fingerprint, fault, result):
+            if self.job_box:
+                observed.append(self.job_box[0].state)
+            super().put(fingerprint, fault, result)
+
+    job_box = []
+    store = SpyingStore(tmp_path / "store.d", job_box)
+    queue = JobQueue(store)
+    try:
+        job = queue.submit(_campaign_spec())
+        job_box.append(job)
+        _wait(job)
+    finally:
+        queue.close()
+        store.close()
+    assert job.state is JobState.DONE
+    states = [state.value for state in observed]
+    assert states[0] == "profiling"
+    assert "releasing" in states
+    order = {"profiling": 0, "probing": 1, "releasing": 2}
+    ranks = [order[state] for state in states]
+    assert ranks == sorted(ranks)
+
+
+# ----------------------------------------------------------------------
+# Cancellation
+# ----------------------------------------------------------------------
+def test_cancel_queued_job_is_immediate(tmp_path):
+    store = ShardedRunStore(tmp_path / "store.d", segments=2)
+    queue = JobQueue(store)
+    try:
+        # Park a long job in front so the second one stays queued.
+        first = queue.submit(_campaign_spec())
+        second = queue.submit(_campaign_spec(functions=["GetACP"]))
+        cancelled = queue.cancel(second.job_id)
+        assert cancelled.state is JobState.CANCELLED
+        _wait(first)
+        time.sleep(0.05)  # let the worker skip the cancelled entry
+        assert second.state is JobState.CANCELLED
+        assert second.executed_count == 0
+    finally:
+        queue.close()
+        store.close()
+    assert queue.cancel("job-99") is None
+
+
+def test_cancel_running_job_keeps_checkpoints(tmp_path):
+    """A cancelled run unwinds at the next completed run; what already
+    finished stays in the store, so a resubmission resumes."""
+    store = ShardedRunStore(tmp_path / "store.d", segments=2)
+    queue = JobQueue(store)
+    try:
+        job = queue.submit(_campaign_spec())
+        deadline = time.monotonic() + 60.0
+        while job.done < 2 and time.monotonic() < deadline:
+            time.sleep(0.005)
+        assert job.done >= 2, "campaign never started executing"
+        queue.cancel(job.job_id)
+        _wait(job)
+        assert job.state is JobState.CANCELLED
+        checkpointed = len(store)
+        assert checkpointed >= 2
+
+        resumed = _wait(queue.submit(_campaign_spec()))
+        assert resumed.state is JobState.DONE
+        assert resumed.cached_count >= 2
+        assert resumed.executed_count < resumed.total
+    finally:
+        queue.close()
+        store.close()
+
+
+def test_submit_after_close_is_refused(tmp_path):
+    store = ShardedRunStore(tmp_path / "store.d", segments=2)
+    queue = JobQueue(store)
+    queue.close()
+    store.close()
+    with pytest.raises(RuntimeError, match="shutting down"):
+        queue.submit(_campaign_spec())

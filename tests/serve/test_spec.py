@@ -1,0 +1,139 @@
+"""Tests for the serve wire schema: validation and round-tripping.
+
+The property that matters: ``spec_from_dict(spec_to_dict(s)) == s``
+for every constructible spec, because the daemon's dedup depends on a
+resubmitted JSON body producing the identical store fingerprint.
+"""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.store import config_fingerprint
+from repro.load import LoadSpec
+from repro.serve import (
+    CampaignJobSpec,
+    LoadJobSpec,
+    SpecError,
+    spec_from_dict,
+    spec_to_dict,
+)
+
+FUNCTION_NAMES = ("CreateFileA", "ReadFile", "CloseHandle", "Sleep")
+
+
+# ----------------------------------------------------------------------
+# Hypothesis strategies over the constructible spec space
+# ----------------------------------------------------------------------
+campaign_specs = st.builds(
+    CampaignJobSpec,
+    workload=st.sampled_from(("IIS", "Apache1", "Apache2", "SQL")),
+    middleware=st.sampled_from(("none", "watchd")),
+    watchd_version=st.sampled_from((1, 2, 3)),
+    mechanism=st.sampled_from(("parameter", "return", "io", "resource")),
+    functions=st.one_of(
+        st.none(),
+        st.lists(st.sampled_from(FUNCTION_NAMES), min_size=1,
+                 max_size=4, unique=True)),
+    base_seed=st.integers(min_value=0, max_value=2**31),
+    trace_level=st.sampled_from(("off", "outcome", "calls")),
+)
+
+load_specs = st.builds(
+    LoadJobSpec,
+    load=st.builds(
+        LoadSpec,
+        workload=st.sampled_from(("IIS", "SQL")),
+        middleware=st.sampled_from(("none", "watchd")),
+        clients=st.integers(min_value=1, max_value=50),
+        mode=st.sampled_from(("closed", "open")),
+        iterations=st.integers(min_value=1, max_value=5),
+    ),
+    reps=st.integers(min_value=1, max_value=4),
+    sweep=st.one_of(
+        st.none(),
+        st.lists(st.integers(min_value=1, max_value=100), min_size=1,
+                 max_size=3)),
+    base_seed=st.integers(min_value=0, max_value=2**31),
+    watchd_version=st.sampled_from((1, 2, 3)),
+)
+
+
+@given(spec=campaign_specs)
+def test_campaign_spec_roundtrips(spec):
+    decoded = spec_from_dict(spec_to_dict(spec))
+    assert decoded == spec
+    assert decoded.fingerprint() == spec.fingerprint()
+
+
+@given(spec=load_specs)
+def test_load_spec_roundtrips(spec):
+    decoded = spec_from_dict(spec_to_dict(spec))
+    assert decoded == spec
+    assert decoded.to_dict() == spec.to_dict()
+
+
+@given(spec=campaign_specs)
+def test_campaign_fingerprint_matches_cli_store_keying(spec):
+    """A daemon-submitted spec must hash to the same store fingerprint
+    the CLI computes, or daemon and CLI runs stop being
+    interchangeable cache entries."""
+    assert spec.fingerprint() == config_fingerprint(
+        spec.workload, spec.middleware, spec.run_config(), spec.mechanism)
+
+
+# ----------------------------------------------------------------------
+# Defaults and aliases
+# ----------------------------------------------------------------------
+def test_minimal_campaign_submission():
+    spec = spec_from_dict({"workload": "IIS"})
+    assert isinstance(spec, CampaignJobSpec)
+    assert spec.mechanism == "parameter"
+    assert spec.base_seed == 2000
+    assert spec.functions is None
+
+
+def test_mechanism_alias_param():
+    spec = spec_from_dict({"workload": "IIS", "mechanism": "param"})
+    assert spec.mechanism == "parameter"
+
+
+def test_load_submission_embeds_loadspec():
+    load = LoadSpec("IIS", clients=5)
+    spec = spec_from_dict({"kind": "load", "spec": load.to_dict(),
+                           "reps": 2, "sweep": [5, 10]})
+    assert isinstance(spec, LoadJobSpec)
+    assert spec.load.to_dict() == load.to_dict()
+    assert spec.sweep == [5, 10]
+
+
+# ----------------------------------------------------------------------
+# Rejection paths (everything here must bounce with HTTP 400)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("body, fragment", [
+    ("not a dict", "JSON object"),
+    ({"kind": "unknown"}, "unknown kind"),
+    ({"workload": ""}, "workload"),
+    ({"workload": "IIS", "mechanism": "voltage"}, "mechanism"),
+    ({"workload": "IIS", "middleware": "systemd"}, "middleware"),
+    ({"workload": "IIS", "watchd_version": 9}, "watchd_version"),
+    ({"workload": "IIS", "trace_level": "loud"}, "trace_level"),
+    ({"workload": "IIS", "base_seed": "lots"}, "base_seed"),
+    ({"workload": "IIS", "functions": []}, "functions"),
+    ({"kind": "load"}, "spec"),
+    ({"kind": "load", "spec": LoadSpec("IIS").to_dict(), "reps": 0},
+     "reps"),
+    ({"kind": "load", "spec": LoadSpec("IIS").to_dict(), "sweep": []},
+     "sweep"),
+    ({"kind": "load", "spec": {"workload": "IIS", "clients": 0}},
+     "load spec"),
+])
+def test_bad_submissions_raise_spec_error(body, fragment):
+    with pytest.raises(SpecError, match=fragment):
+        spec_from_dict(body)
+
+
+def test_unregistered_workload_rejected_at_campaign_time(tmp_path):
+    spec = spec_from_dict({"workload": "NotAServer"})
+    with pytest.raises(SpecError, match="unknown workload"):
+        spec.campaign()
